@@ -1,0 +1,110 @@
+// Figure 3 reproduction: execution-time reduction provided by Alternate
+// Elimination, Pre-Counting, and the combination of both, over the
+// classical eager-count-optimized plan, for queries Q4-Q11 under the
+// AnySum scheme (the only Section-7 scheme compatible with alternate
+// elimination).
+//
+// The paper reports the reduction as a percentage of the unoptimized
+// (eager-count) time; taller is better.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/canonical_plan.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "mcalc/parser.h"
+
+namespace graft {
+namespace {
+
+using bench::kPaperQueries;
+
+double RunOnce(const mcalc::Query& query, const sa::ScoringScheme& scheme,
+               const core::OptimizerOptions& options, size_t* hits) {
+  core::Optimizer optimizer(&scheme, options);
+  auto plan = optimizer.Optimize(query, bench::SharedBenchIndex());
+  if (!plan.ok()) {
+    std::fprintf(stderr, "optimize failed: %s\n",
+                 plan.status().ToString().c_str());
+    return -1.0;
+  }
+  exec::Executor executor(&bench::SharedBenchIndex(), &scheme,
+                          core::MakeQueryContext(query));
+  // Warm up once (also captures the hit count).
+  {
+    auto results = executor.ExecuteRanked(*plan->plan);
+    if (!results.ok()) {
+      std::fprintf(stderr, "execute failed: %s\n",
+                   results.status().ToString().c_str());
+      return -1.0;
+    }
+    *hits = results->size();
+  }
+  return bench::MeasureSeconds([&executor, &plan] {
+    auto results = executor.ExecuteRanked(*plan->plan);
+    (void)results;
+  });
+}
+
+}  // namespace
+}  // namespace graft
+
+int main() {
+  using namespace graft;
+  const sa::ScoringScheme& scheme =
+      *sa::SchemeRegistry::Global().Lookup("AnySum");
+
+  // Baseline: selection pushing + join reordering + eager counting (the
+  // paper's "plans optimized as described above").
+  core::OptimizerOptions baseline;
+  baseline.eager_aggregation = false;
+  baseline.pre_counting = false;
+  baseline.alternate_elimination = false;
+
+  core::OptimizerOptions alt_elim = baseline;
+  alt_elim.alternate_elimination = true;
+
+  core::OptimizerOptions pre_count = baseline;
+  pre_count.pre_counting = true;
+
+  core::OptimizerOptions combined = baseline;
+  combined.alternate_elimination = true;
+  combined.pre_counting = true;
+
+  std::printf(
+      "Figure 3 — execution-time reduction over the eager-count plan "
+      "(AnySum scheme)\n");
+  std::printf(
+      "%-5s %8s | %12s %12s %12s | %9s %9s %9s\n", "query", "hits",
+      "base(ms)", "altelim(ms)", "combo(ms)", "alt-elim%", "precount%",
+      "combined%");
+  std::printf("---------------------------------------------------------"
+              "---------------------------\n");
+
+  for (const bench::PaperQuery& pq : bench::kPaperQueries) {
+    auto query = mcalc::ParseQuery(pq.text);
+    if (!query.ok()) {
+      std::printf("%-5s parse error\n", pq.name);
+      continue;
+    }
+    size_t hits = 0;
+    const double base = RunOnce(*query, scheme, baseline, &hits);
+    size_t hits2 = 0;
+    const double alt = RunOnce(*query, scheme, alt_elim, &hits2);
+    const double pre = RunOnce(*query, scheme, pre_count, &hits2);
+    const double both = RunOnce(*query, scheme, combined, &hits2);
+    const auto reduction = [base](double t) {
+      return base > 0 ? 100.0 * (base - t) / base : 0.0;
+    };
+    std::printf("%-5s %8zu | %12.3f %12.3f %12.3f | %8.1f%% %8.1f%% %8.1f%%\n",
+                pq.name, hits, base * 1e3, alt * 1e3, both * 1e3,
+                reduction(alt), reduction(pre), reduction(both));
+  }
+  std::printf(
+      "\nExpected shape (paper): alternate elimination helps every query; "
+      "pre-counting\ndominates on free-keyword-only queries (Q4, Q5) and is "
+      "inapplicable to Q7/Q11\n(no free keywords); the combination is "
+      "additive where the two apply to\ndifferent subplans (Q6).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Desideratum 3: "despite overhead from generic scoring, performs
+// competitively with systems using a fixed scoring algorithm."
+//
+// Measures the cost of GRAFT's genericity head-on: the GRAFT engine with
+// the Lucene plug-in scheme (virtual α/⊘/⊚/⊕/ω calls, generic operators)
+// against the Lucene-like rigid engine whose identical scoring formula is
+// fused into the match loop. Both produce identical scores (asserted by
+// the test suite); only the architecture differs.
+
+#include <cstdio>
+
+#include "baseline/lucene_like.h"
+#include "bench_util.h"
+#include "core/engine.h"
+#include "mcalc/parser.h"
+
+int main() {
+  using namespace graft;
+  const index::InvertedIndex& index = bench::SharedBenchIndex();
+  core::Engine engine(&index);
+  baseline::LuceneLikeEngine rigid(&index);
+  const sa::ScoringScheme& scheme =
+      *sa::SchemeRegistry::Global().Lookup("Lucene");
+
+  std::printf("Generic-scoring overhead: GRAFT(Lucene scheme) vs the fused "
+              "rigid engine\n");
+  std::printf("%-5s %8s | %14s %14s | %10s\n", "query", "hits", "GRAFT(ms)",
+              "rigid(ms)", "ratio");
+  std::printf("-----------------------------------------------------------"
+              "---\n");
+
+  double total_graft = 0.0;
+  double total_rigid = 0.0;
+  for (const bench::PaperQuery& pq : bench::kPaperQueries) {
+    if (!pq.baseline_supported) continue;
+    auto query = mcalc::ParseQuery(pq.text);
+    if (!query.ok()) continue;
+
+    auto hits = rigid.SearchQuery(*query);
+    const double graft_time = bench::MeasureSeconds([&] {
+      auto r = engine.SearchQuery(*query, scheme);
+      (void)r;
+    });
+    const double rigid_time = bench::MeasureSeconds([&] {
+      auto r = rigid.SearchQuery(*query);
+      (void)r;
+    });
+    total_graft += graft_time;
+    total_rigid += rigid_time;
+    std::printf("%-5s %8zu | %14.3f %14.3f | %9.2fx\n", pq.name,
+                hits.ok() ? hits->size() : 0, graft_time * 1e3,
+                rigid_time * 1e3,
+                rigid_time > 0 ? graft_time / rigid_time : 0.0);
+  }
+  std::printf("-----------------------------------------------------------"
+              "---\n");
+  std::printf("%-5s %8s | %14.3f %14.3f | %9.2fx\n", "sum", "",
+              total_graft * 1e3, total_rigid * 1e3,
+              total_rigid > 0 ? total_graft / total_rigid : 0.0);
+  std::printf("\nExpected shape (paper): the optimized generic plans stay "
+              "within a small\nconstant factor of — and sometimes beat — "
+              "the fused engine, because the\nscheme-aware rewrites unlock "
+              "the same physical tricks the rigid plan\nhardcodes.\n");
+  return 0;
+}

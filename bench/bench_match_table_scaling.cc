@@ -1,0 +1,82 @@
+// Section 6: the match table is O(W^Q) in the worst case — the cost of
+// eagerly materializing it (the score-isolated canonical plan) versus
+// GRAFT's interleaved matching and scoring, as the query grows.
+//
+// Queries are conjunctions of 1..4 frequent keywords; the match table per
+// document is the cross product of the keywords' position lists.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/canonical_plan.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "ma/reference_evaluator.h"
+#include "mcalc/parser.h"
+
+int main() {
+  using namespace graft;
+  const index::InvertedIndex& index = bench::SharedBenchIndex();
+  const sa::ScoringScheme& scheme =
+      *sa::SchemeRegistry::Global().Lookup("MeanSum");
+
+  const char* queries[] = {
+      "free",
+      "free software",
+      "free software windows",
+      "free software windows service",
+  };
+
+  std::printf("Section 6 — match-table growth and the cost of eager "
+              "materialization (MeanSum)\n");
+  std::printf("%-3s %36s | %12s | %14s %14s | %8s\n", "Q", "query",
+              "match rows", "canonical(ms)", "optimized(ms)", "speedup");
+  std::printf("------------------------------------------------------------"
+              "------------------------------\n");
+
+  for (const char* text : queries) {
+    auto query = mcalc::ParseQuery(text);
+    if (!query.ok()) continue;
+
+    // Canonical score-isolated plan: materialize the match table, then
+    // score it (the reference evaluator is the paper's "eager" extreme).
+    auto canonical = core::BuildCanonicalPlan(*query, scheme);
+    if (!canonical.ok()) continue;
+    if (!ma::ResolvePlan(canonical->plan.get(), index).ok()) continue;
+    ma::ReferenceEvaluator reference(&index, &scheme,
+                                     core::MakeQueryContext(*query));
+
+    // Match-table size: evaluate the matching subplan once.
+    auto matching = core::BuildMatchingSubplan(*query);
+    if (!matching.ok()) continue;
+    if (!ma::ResolvePlan(matching->get(), index).ok()) continue;
+    auto table = reference.Evaluate(**matching);
+    const size_t rows = table.ok() ? table->rows.size() : 0;
+
+    const double canonical_time = bench::MeasureSeconds([&] {
+      auto result = reference.Evaluate(*canonical->plan);
+      (void)result;
+    });
+
+    core::Optimizer optimizer(&scheme);
+    auto plan = optimizer.Optimize(*query, index);
+    exec::Executor executor(&index, &scheme,
+                            core::MakeQueryContext(*query));
+    const double optimized_time = bench::MeasureSeconds([&] {
+      auto result = executor.ExecuteRanked(*plan->plan);
+      (void)result;
+    });
+
+    const size_t terms =
+        std::count(text, text + std::string(text).size(), ' ') + 1;
+    std::printf("%-3zu %36s | %12zu | %14.3f %14.3f | %7.1fx\n", terms, text,
+                rows, canonical_time * 1e3, optimized_time * 1e3,
+                optimized_time > 0 ? canonical_time / optimized_time : 0.0);
+  }
+  std::printf("\nExpected shape: match rows grow multiplicatively with "
+              "query size (the\ncross-product of position lists); the "
+              "optimized plan's advantage grows with\nthem because it "
+              "never materializes the table (eager aggregation reduces\n"
+              "each keyword to one ⟨score, count⟩ row per document).\n");
+  return 0;
+}

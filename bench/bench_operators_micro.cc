@@ -1,0 +1,170 @@
+// Operator micro-benchmarks (google-benchmark): the physical primitives
+// every plan is made of — positional scans, galloping skips, zig-zag
+// joins, count scans, grouping, and alternate elimination.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/canonical_plan.h"
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "mcalc/parser.h"
+#include "sa/scoring_scheme.h"
+
+namespace {
+
+using namespace graft;
+
+const index::InvertedIndex& Index() { return bench::SharedBenchIndex(); }
+
+void BM_PostingScan(benchmark::State& state) {
+  const TermId term = Index().LookupTerm("free");
+  for (auto _ : state) {
+    index::PostingCursor cursor(&Index().postings(term));
+    uint64_t checksum = 0;
+    while (!cursor.AtEnd()) {
+      for (const Offset offset : cursor.offsets()) {
+        checksum += offset;
+      }
+      cursor.Next();
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          Index().CollectionFreq(term));
+}
+BENCHMARK(BM_PostingScan);
+
+void BM_GallopingSkip(benchmark::State& state) {
+  // Skip through the frequent 'free' postings using a rare term's docs as
+  // targets: the zig-zag access pattern.
+  const TermId frequent = Index().LookupTerm("free");
+  const TermId rare = Index().LookupTerm("emulator");
+  const index::PostingList& targets = Index().postings(rare);
+  for (auto _ : state) {
+    index::CountCursor cursor(&Index().postings(frequent));
+    uint64_t hits = 0;
+    for (size_t i = 0; i < targets.doc_count(); ++i) {
+      cursor.SkipTo(targets.doc_at(i));
+      if (cursor.AtEnd()) break;
+      hits += cursor.doc() == targets.doc_at(i) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_GallopingSkip);
+
+void RunMatchingSubplan(const char* query_text, benchmark::State& state) {
+  auto query = mcalc::ParseQuery(query_text);
+  auto plan = core::BuildMatchingSubplanNoSort(*query);
+  if (!ma::ResolvePlan(plan->get(), Index()).ok()) {
+    state.SkipWithError("resolve failed");
+    return;
+  }
+  exec::Executor executor(&Index(), nullptr, sa::QueryContext{});
+  for (auto _ : state) {
+    auto table = executor.ExecuteTable(**plan);
+    benchmark::DoNotOptimize(table->rows.size());
+  }
+}
+
+void BM_ZigZagJoin_RareFrequent(benchmark::State& state) {
+  RunMatchingSubplan("emulator free", state);
+}
+BENCHMARK(BM_ZigZagJoin_RareFrequent);
+
+void BM_ZigZagJoin_FrequentFrequent(benchmark::State& state) {
+  RunMatchingSubplan("free software", state);
+}
+BENCHMARK(BM_ZigZagJoin_FrequentFrequent);
+
+void BM_UnionMerge(benchmark::State& state) {
+  RunMatchingSubplan("image | picture | drawing | illustration", state);
+}
+BENCHMARK(BM_UnionMerge);
+
+void BM_PhraseFilter(benchmark::State& state) {
+  RunMatchingSubplan("\"san francisco\"", state);
+}
+BENCHMARK(BM_PhraseFilter);
+
+void BM_EagerCountScan(benchmark::State& state) {
+  ma::PlanNodePtr plan = ma::MakeGroup(
+      ma::MakeProject(ma::MakeAtom("free", 0), {}), [] {
+        ma::GroupSpec spec;
+        spec.count_output = "c0";
+        spec.count_keyword = "free";
+        return spec;
+      }());
+  if (!ma::ResolvePlan(plan.get(), Index()).ok()) {
+    state.SkipWithError("resolve failed");
+    return;
+  }
+  exec::Executor executor(&Index(), nullptr, sa::QueryContext{});
+  for (auto _ : state) {
+    auto table = executor.ExecuteTable(*plan);
+    benchmark::DoNotOptimize(table->rows.size());
+  }
+}
+BENCHMARK(BM_EagerCountScan);
+
+void BM_PreCountScan(benchmark::State& state) {
+  ma::PlanNodePtr plan = ma::MakePreCountAtom("free", "c0");
+  if (!ma::ResolvePlan(plan.get(), Index()).ok()) {
+    state.SkipWithError("resolve failed");
+    return;
+  }
+  exec::Executor executor(&Index(), nullptr, sa::QueryContext{});
+  for (auto _ : state) {
+    auto table = executor.ExecuteTable(*plan);
+    benchmark::DoNotOptimize(table->rows.size());
+  }
+}
+BENCHMARK(BM_PreCountScan);
+
+void BM_StreamGroupVsAltElim(benchmark::State& state) {
+  // γ_d over all positions of a frequent keyword vs δ_A taking one row.
+  const bool alt_elim = state.range(0) == 1;
+  auto query = mcalc::ParseQuery("free");
+  auto matching = core::BuildMatchingSubplanNoSort(*query);
+  const sa::ScoringScheme& scheme =
+      *sa::SchemeRegistry::Global().Lookup("AnySum");
+  ma::PlanNodePtr plan;
+  if (alt_elim) {
+    plan = ma::MakeAltElim(std::move(*matching));
+  } else {
+    std::vector<ma::ProjectItem> items;
+    items.push_back(
+        ma::ProjectItem::Scored("s", ma::ScoreExpr::InitPos("p0")));
+    plan = ma::MakeProject(std::move(*matching), std::move(items));
+    ma::GroupSpec spec;
+    spec.score_aggs.push_back({"s", "s", ""});
+    plan = ma::MakeGroup(std::move(plan), std::move(spec));
+  }
+  if (!ma::ResolvePlan(plan.get(), Index()).ok()) {
+    state.SkipWithError("resolve failed");
+    return;
+  }
+  exec::Executor executor(&Index(), &scheme, sa::QueryContext{1});
+  for (auto _ : state) {
+    auto table = executor.ExecuteTable(*plan);
+    benchmark::DoNotOptimize(table->rows.size());
+  }
+}
+BENCHMARK(BM_StreamGroupVsAltElim)->Arg(0)->Arg(1);
+
+void BM_FullEngineSearch(benchmark::State& state) {
+  auto query = mcalc::ParseQuery("san francisco fault line");
+  const sa::ScoringScheme& scheme =
+      *sa::SchemeRegistry::Global().Lookup("Lucene");
+  core::Engine engine(&Index());
+  for (auto _ : state) {
+    auto result = engine.SearchQuery(*query, scheme);
+    benchmark::DoNotOptimize(result->results.size());
+  }
+}
+BENCHMARK(BM_FullEngineSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Section 5.2.3 / Section 8: "pre-counting yields significant performance
+// gains over eager counting; we report a query with twenty-fold runtime
+// speedup."
+//
+// The gap grows with the number of positions per document: eager counting
+// walks the term-position postings (O(total positions)); the pre-counting
+// Atomic Match Factory CA scans the much smaller term-document index
+// (O(documents)). This bench sweeps occurrences-per-document and reports
+// the speedup plus the memory-traffic counters that explain it.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "mcalc/parser.h"
+
+int main() {
+  using namespace graft;
+
+  std::printf("Pre-counting vs eager counting (single free keyword, "
+              "AnySum)\n");
+  std::printf("%10s %8s | %12s %12s | %10s | %14s %14s\n", "positions/doc",
+              "docs", "eager(ms)", "precount(ms)", "speedup", "pos-scanned",
+              "count-scanned");
+  std::printf("-----------------------------------------------------------"
+              "----------------------------\n");
+
+  for (const uint32_t per_doc : {4u, 16u, 64u, 256u, 1024u}) {
+    // A dedicated corpus: one planted keyword with `per_doc` occurrences
+    // in every document.
+    const uint64_t docs = 8000;
+    index::IndexBuilder builder;
+    std::vector<std::string> tokens;
+    Rng rng(per_doc);
+    for (uint64_t d = 0; d < docs; ++d) {
+      tokens.clear();
+      const uint32_t len = per_doc * 3;
+      for (uint32_t i = 0; i < len; ++i) {
+        tokens.push_back("f" + std::to_string(rng.NextBounded(500)));
+      }
+      for (uint32_t i = 0; i < per_doc; ++i) {
+        tokens[i * 3] = "needle";
+      }
+      builder.AddDocumentStrings(tokens);
+    }
+    index::InvertedIndex index = builder.Build();
+
+    auto query = mcalc::ParseQuery("needle");
+    const sa::ScoringScheme& scheme =
+        *sa::SchemeRegistry::Global().Lookup("AnySum");
+
+    core::OptimizerOptions eager;
+    eager.eager_aggregation = false;
+    eager.pre_counting = false;
+    eager.alternate_elimination = false;
+    core::OptimizerOptions pre = eager;
+    pre.pre_counting = true;
+
+    const auto measure = [&](const core::OptimizerOptions& options,
+                             exec::ExecStats* stats) {
+      core::Optimizer optimizer(&scheme, options);
+      auto plan = optimizer.Optimize(*query, index);
+      exec::Executor executor(&index, &scheme,
+                              core::MakeQueryContext(*query));
+      const double t = bench::MeasureSeconds([&] {
+        auto r = executor.ExecuteRanked(*plan->plan);
+        (void)r;
+      });
+      *stats = executor.stats();
+      return t;
+    };
+
+    exec::ExecStats eager_stats;
+    exec::ExecStats pre_stats;
+    const double eager_time = measure(eager, &eager_stats);
+    const double pre_time = measure(pre, &pre_stats);
+
+    std::printf("%10u %8llu | %12.3f %12.3f | %9.1fx | %14llu %14llu\n",
+                per_doc, static_cast<unsigned long long>(docs),
+                eager_time * 1e3, pre_time * 1e3,
+                pre_time > 0 ? eager_time / pre_time : 0.0,
+                static_cast<unsigned long long>(
+                    eager_stats.positions_scanned / 9),
+                static_cast<unsigned long long>(
+                    pre_stats.count_entries_scanned / 9));
+  }
+  std::printf("\nExpected shape (paper): the speedup scales with "
+              "positions-per-document,\nreaching order-of-twenty-fold for "
+              "position-heavy keywords, because CA touches\nno position "
+              "memory at all.\n");
+  return 0;
+}

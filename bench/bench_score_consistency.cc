@@ -1,0 +1,95 @@
+// Definition 1 at benchmark scale: for every scheme and every evaluation
+// query, the optimized streaming plan must compute exactly the canonical
+// score-isolated plan's answers and scores — and the speedup from
+// interleaving matching and scoring is reported alongside.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/canonical_plan.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "ma/reference_evaluator.h"
+#include "mcalc/parser.h"
+
+int main() {
+  using namespace graft;
+  const index::InvertedIndex& index = bench::SharedBenchIndex();
+  const char* scheme_names[] = {"AnySum",  "SumBest",    "Lucene",
+                                "JoinNormalized", "MeanSum", "EventModel",
+                                "BestSumMinDist"};
+
+  std::printf("Score consistency (Definition 1): optimized plan vs "
+              "canonical score-isolated plan\n");
+  std::printf("%-5s %-16s %8s | %14s %14s %8s | %s\n", "query", "scheme",
+              "hits", "canonical(ms)", "optimized(ms)", "speedup",
+              "consistent");
+  std::printf("------------------------------------------------------------"
+              "--------------------------\n");
+
+  int checked = 0;
+  int consistent = 0;
+  for (const bench::PaperQuery& pq : bench::kPaperQueries) {
+    auto query = mcalc::ParseQuery(pq.text);
+    if (!query.ok()) continue;
+    for (const char* scheme_name : scheme_names) {
+      const sa::ScoringScheme& scheme =
+          *sa::SchemeRegistry::Global().Lookup(scheme_name);
+
+      auto canonical = core::BuildCanonicalPlan(*query, scheme);
+      if (!canonical.ok()) continue;
+      if (!ma::ResolvePlan(canonical->plan.get(), index).ok()) continue;
+      ma::ReferenceEvaluator reference(&index, &scheme,
+                                       core::MakeQueryContext(*query));
+      auto oracle_table = reference.Evaluate(*canonical->plan);
+      if (!oracle_table.ok()) continue;
+      auto oracle = ma::ExtractRankedResults(*oracle_table);
+      if (!oracle.ok()) continue;
+
+      core::Optimizer optimizer(&scheme);
+      auto plan = optimizer.Optimize(*query, index);
+      if (!plan.ok()) continue;
+      exec::Executor executor(&index, &scheme,
+                              core::MakeQueryContext(*query));
+      auto optimized = executor.ExecuteRanked(*plan->plan);
+      if (!optimized.ok()) continue;
+
+      bool equal = oracle->size() == optimized->size();
+      if (equal) {
+        std::map<DocId, double> scores;
+        for (const ma::ScoredDoc& r : *oracle) scores[r.doc] = r.score;
+        for (const ma::ScoredDoc& r : *optimized) {
+          const auto it = scores.find(r.doc);
+          if (it == scores.end() ||
+              std::fabs(it->second - r.score) >
+                  1e-7 * std::max(1.0, std::fabs(it->second))) {
+            equal = false;
+            break;
+          }
+        }
+      }
+      ++checked;
+      consistent += equal ? 1 : 0;
+
+      const double canonical_time = bench::MeasureSeconds([&] {
+        auto t = reference.Evaluate(*canonical->plan);
+        (void)t;
+      });
+      const double optimized_time = bench::MeasureSeconds([&] {
+        auto r = executor.ExecuteRanked(*plan->plan);
+        (void)r;
+      });
+      std::printf("%-5s %-16s %8zu | %14.3f %14.3f %7.1fx | %s\n", pq.name,
+                  scheme_name, oracle->size(), canonical_time * 1e3,
+                  optimized_time * 1e3,
+                  optimized_time > 0 ? canonical_time / optimized_time : 0.0,
+                  equal ? "yes" : "NO");
+    }
+  }
+  std::printf("------------------------------------------------------------"
+              "--------------------------\n");
+  std::printf("consistent: %d / %d plan pairs\n", consistent, checked);
+  return consistent == checked ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+// Table 1 reproduction: the optimization gate — each optimization with the
+// scheme properties it requires. Printed from the gate's decision logic
+// itself (OperatorRequirement / DirectionRequirement feed the same switch
+// that IsOptimizationValid executes), not a hardcoded table.
+
+#include <cstdio>
+
+#include "core/optimization_gate.h"
+
+int main() {
+  using namespace graft::core;
+  std::printf("Table 1 — optimization gate (requirements for score "
+              "consistency)\n");
+  std::printf("%-18s | %-26s | %-14s\n", "OPTIMIZATION", "OPERATOR REQ.",
+              "DIRECTION REQ.");
+  std::printf("-------------------+----------------------------+-----------"
+              "-----\n");
+  for (const Optimization opt : kAllOptimizations) {
+    std::printf("%-18s | %-26s | %-14s\n", OptimizationName(opt).c_str(),
+                OperatorRequirement(opt).c_str(),
+                DirectionRequirement(opt).c_str());
+  }
+
+  // Demonstrate the gate executing: a worst-case scheme declaration admits
+  // exactly the four unrestricted classical optimizations.
+  graft::sa::SchemeProperties hostile;
+  hostile.direction = graft::sa::Direction::kRowFirst;
+  hostile.positional = true;
+  std::printf("\nWorst-case declaration (row-first, positional, no algebraic "
+              "properties)\nadmits:");
+  for (const Optimization opt : ValidOptimizations(hostile)) {
+    std::printf(" [%s]", OptimizationName(opt).c_str());
+  }
+  std::printf("\n— the classical rewrites are never restricted "
+              "(Section 5.2.4): decoupling\nscoring from match computation "
+              "is what keeps join reordering, selection\npushing, zig-zag "
+              "joins, and eager counting unconditionally valid.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Table 2 reproduction: the optimization-relevant properties of the seven
+// Section-7 scoring schemes — the declared matrix, plus an empirical pass
+// that validates every declaration on randomized realizable score samples
+// (the property checker used by the test suite).
+
+#include <cstdio>
+#include <functional>
+
+#include "sa/property_checker.h"
+#include "sa/scoring_scheme.h"
+
+int main() {
+  using namespace graft::sa;
+  const char* scheme_names[] = {"AnySum",  "SumBest",    "Lucene",
+                                "JoinNormalized", "MeanSum", "EventModel",
+                                "BestSumMinDist"};
+
+  std::printf("Table 2 — declared scheme properties\n");
+  std::printf("%-22s", "property");
+  for (const char* name : scheme_names) {
+    std::printf(" %-8.8s", name);
+  }
+  std::printf("\n");
+
+  const auto row = [&](const char* label,
+                       const std::function<std::string(
+                           const SchemeProperties&)>& cell) {
+    std::printf("%-22s", label);
+    for (const char* name : scheme_names) {
+      const ScoringScheme* scheme = SchemeRegistry::Global().Lookup(name);
+      std::printf(" %-8.8s", cell(scheme->properties()).c_str());
+    }
+    std::printf("\n");
+  };
+  const auto mark = [](bool b) { return std::string(b ? "✓" : "·"); };
+
+  row("directional", [](const SchemeProperties& p) {
+    switch (p.direction) {
+      case Direction::kDiagonal: return std::string("·");
+      case Direction::kRowFirst: return std::string("row");
+      case Direction::kColumnFirst: return std::string("col");
+    }
+    return std::string("?");
+  });
+  row("positional",
+      [&](const SchemeProperties& p) { return mark(p.positional); });
+  row("⊕ associates",
+      [&](const SchemeProperties& p) { return mark(p.alt.associative); });
+  row("⊕ commutes",
+      [&](const SchemeProperties& p) { return mark(p.alt.commutative); });
+  row("⊕ monotonic inc", [&](const SchemeProperties& p) {
+    return mark(p.alt.monotonic_increasing);
+  });
+  row("⊕ idempotent",
+      [&](const SchemeProperties& p) { return mark(p.alt.idempotent); });
+  row("⊕ multiplies",
+      [&](const SchemeProperties& p) { return mark(p.alt_multiplies); });
+  row("constant",
+      [&](const SchemeProperties& p) { return mark(p.constant); });
+  row("⊘ associates",
+      [&](const SchemeProperties& p) { return mark(p.conj.associative); });
+  row("⊘ commutes",
+      [&](const SchemeProperties& p) { return mark(p.conj.commutative); });
+  row("⊘ monotonic inc", [&](const SchemeProperties& p) {
+    return mark(p.conj.monotonic_increasing);
+  });
+  row("⊚ associates",
+      [&](const SchemeProperties& p) { return mark(p.disj.associative); });
+  row("⊚ commutes",
+      [&](const SchemeProperties& p) { return mark(p.disj.commutative); });
+  row("⊚ monotonic inc", [&](const SchemeProperties& p) {
+    return mark(p.disj.monotonic_increasing);
+  });
+
+  std::printf("\nEmpirical validation (2000 randomized realizable samples "
+              "per property):\n");
+  bool all_consistent = true;
+  for (const char* name : scheme_names) {
+    const ScoringScheme* scheme = SchemeRegistry::Global().Lookup(name);
+    const PropertyReport report = CheckSchemeProperties(*scheme, 2000);
+    const bool ok = report.DeclarationsConsistent();
+    all_consistent &= ok;
+    std::printf("  %-16s %s\n", name,
+                ok ? "all declarations held" : "DECLARATION VIOLATED");
+    if (!ok) {
+      std::printf("%s", report.ToString().c_str());
+    }
+  }
+  std::printf("%s\n", all_consistent
+                          ? "\nTable 2 reproduced: every declared property "
+                            "held on every sample."
+                          : "\nMISMATCH — see violations above.");
+  return all_consistent ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Table 3 reproduction: the optimizations each scheme admits, derived at
+// runtime as (Table 1 gate) × (Table 2 declarations), then compared
+// cell-for-cell with the paper's published table.
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/optimization_gate.h"
+#include "sa/scoring_scheme.h"
+
+int main() {
+  using namespace graft::core;
+  const char* scheme_names[] = {"AnySum",  "SumBest",    "Lucene",
+                                "JoinNormalized", "MeanSum", "EventModel",
+                                "BestSumMinDist"};
+
+  // The paper's Table 3 (scheme columns in the same order).
+  const std::map<Optimization, std::set<std::string>> paper = {
+      {Optimization::kSortElimination,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel", "BestSumMinDist"}},
+      {Optimization::kJoinReordering,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel", "BestSumMinDist"}},
+      {Optimization::kSelectionPushing,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel", "BestSumMinDist"}},
+      {Optimization::kZigZagJoin,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel", "BestSumMinDist"}},
+      {Optimization::kForwardScanJoin, {"AnySum"}},
+      {Optimization::kAlternateElimination, {"AnySum"}},
+      {Optimization::kEagerAggregation,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum"}},
+      {Optimization::kEagerCounting,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel", "BestSumMinDist"}},
+      {Optimization::kPreCounting,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel"}},
+      {Optimization::kRankJoin,
+       {"AnySum", "Lucene", "JoinNormalized", "MeanSum"}},
+      {Optimization::kRankUnion,
+       {"AnySum", "Lucene", "JoinNormalized", "MeanSum"}},
+  };
+
+  std::printf("Table 3 — optimizations consistently applicable per scheme\n");
+  std::printf("(derived = Table 1 gate × Table 2 declarations; compared "
+              "against the paper)\n\n");
+  std::printf("%-18s", "");
+  for (const char* name : scheme_names) {
+    std::printf(" %-8.8s", name);
+  }
+  std::printf("\n");
+
+  int mismatches = 0;
+  for (const Optimization opt : kAllOptimizations) {
+    std::printf("%-18s", OptimizationName(opt).c_str());
+    for (const char* name : scheme_names) {
+      const graft::sa::ScoringScheme* scheme =
+          graft::sa::SchemeRegistry::Global().Lookup(name);
+      const bool derived = IsOptimizationValid(opt, scheme->properties());
+      const bool expected = paper.at(opt).count(name) != 0;
+      const char* cell = derived ? "✓" : "·";
+      if (derived != expected) {
+        cell = derived ? "✓!" : "·!";
+        ++mismatches;
+      }
+      std::printf(" %-8s", cell);
+    }
+    std::printf("\n");
+  }
+  if (mismatches == 0) {
+    std::printf("\nTable 3 reproduced exactly (77/77 cells match the "
+                "paper).\n");
+  } else {
+    std::printf("\n%d cell(s) deviate from the paper (marked with !).\n",
+                mismatches);
+  }
+  return mismatches == 0 ? 0 : 1;
+}

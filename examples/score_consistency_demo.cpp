@@ -1,0 +1,124 @@
+// The paper's Section 2, as a runnable demo.
+//
+// Part 1 re-enacts the state-of-the-art failure: with scoring encapsulated
+// inside relational operators (Botev et al.'s join-normalized SJ), the
+// textbook selection-pushing rewrite changes the document's score.
+//
+// Part 2 runs the same query through GRAFT with the Join-Normalized
+// scheme under several optimizer configurations: every plan produces the
+// same score (Definition 1, score consistency).
+//
+// Build & run:  ./build/examples/score_consistency_demo
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "index/stats.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+// Document d_w from the paper (Figure 1): 'free'@3, 'software'@{4,32,180,
+// 189}, 'windows'@{27,42,144,187}, 'emulator'@64, 'foss'@179; 207 words.
+graft::index::InvertedIndex BuildWineIndex() {
+  std::vector<std::string> tokens(207);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    tokens[i] = "w" + std::to_string(i);
+  }
+  tokens[3] = "free";
+  for (const size_t p : {4, 32, 180, 189}) tokens[p] = "software";
+  for (const size_t p : {27, 42, 144, 187}) tokens[p] = "windows";
+  tokens[64] = "emulator";
+  tokens[179] = "foss";
+  graft::index::IndexBuilder builder;
+  builder.AddDocumentStrings(tokens);
+  return builder.Build();
+}
+
+// The encapsulated evaluation of Q1 over d_w, with SJ(mL, mR) =
+// mL.s/|M_R| + mR.s/|M_L| applied inside the joins. `push_selection`
+// chooses between the paper's Plan 1 and Plan 2.
+double EncapsulatedScore(bool push_selection) {
+  struct M {
+    graft::Offset free_pos, software_pos;
+    double score;
+  };
+  const graft::Offset software[] = {4, 32, 180, 189};
+  // J1: free(3) ⋈ software: free's score 1 distributes over 4 outputs,
+  // each software tuple's score 1 distributes over 1.
+  std::vector<M> j1;
+  for (const graft::Offset s : software) {
+    j1.push_back(M{3, s, 1.0 / 4 + 1.0 / 1});
+  }
+  if (push_selection) {
+    // Plan 2: σ DISTANCE=1 pushed below J2.
+    std::vector<M> selected;
+    for (const M& m : j1) {
+      if (m.software_pos - m.free_pos == 1) selected.push_back(m);
+    }
+    j1 = selected;
+  }
+  // J2: emulator(64) joins the remaining tuples.
+  double doc_score = 0.0;
+  for (const M& m : j1) {
+    const double joined =
+        1.0 / static_cast<double>(j1.size()) + m.score / 1.0;
+    if (push_selection || m.software_pos - m.free_pos == 1) {
+      doc_score += joined;  // Plan 1 applies σ here, after the join.
+    }
+  }
+  return doc_score;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Part 1 — encapsulated scoring (state of the art)\n");
+  std::printf("  query Q1: emulator ∧ 'free' immediately before "
+              "'software'\n");
+  const double plan1 = EncapsulatedScore(/*push_selection=*/false);
+  const double plan2 = EncapsulatedScore(/*push_selection=*/true);
+  std::printf("  Plan 1 (σ after joins):   score(d_w) = %.4f\n", plan1);
+  std::printf("  Plan 2 (σ pushed):        score(d_w) = %.4f\n", plan2);
+  std::printf("  => the textbook rewrite changed the score by %.4f — the\n"
+              "     optimizer must disable selection pushing for this\n"
+              "     scoring function, or give up score consistency.\n\n",
+              plan2 - plan1);
+
+  std::printf("Part 2 — GRAFT (score-isolated model)\n");
+  graft::index::InvertedIndex index = BuildWineIndex();
+  graft::core::Engine engine(&index);
+  const char* query = "emulator \"free software\"";
+
+  struct Config {
+    const char* label;
+    bool push;
+    bool eager;
+  };
+  const Config configs[] = {
+      {"canonical (no rewrites)", false, false},
+      {"selection pushing", true, false},
+      {"selection pushing + eager aggregation", true, true},
+  };
+  for (const Config& config : configs) {
+    graft::core::SearchOptions options;
+    options.optimizer.push_selections = config.push;
+    options.optimizer.eager_aggregation = config.eager;
+    options.optimizer.eager_counting = config.eager;
+    options.optimizer.pre_counting = config.eager;
+    auto result = engine.Search(query, "JoinNormalized", options);
+    if (!result.ok()) {
+      std::printf("  error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-40s score(d_w) = %.6f\n", config.label,
+                result->results.empty() ? 0.0 : result->results[0].score);
+  }
+  std::printf("  => same score under every optimizer configuration: the\n"
+              "     scoring functions are standalone aggregates over the\n"
+              "     match table, so matching rewrites cannot perturb "
+              "them.\n");
+  return 0;
+}

@@ -1,0 +1,332 @@
+#include "baseline/lucene_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "index/posting_list.h"
+#include "mcalc/parser.h"
+
+namespace graft::baseline {
+
+namespace {
+
+struct Clause {
+  enum class Kind { kTerm, kPhrase, kProximity, kDisjunction };
+  Kind kind = Kind::kTerm;
+  std::vector<std::string> words;
+  int64_t slop = 0;
+};
+
+// Recognizes the query classes Lucene supports; fills `clauses`.
+bool CompileQuery(const mcalc::Query& query, std::vector<Clause>* clauses) {
+  const auto compile_child = [clauses](const mcalc::Node& node) -> bool {
+    switch (node.kind) {
+      case mcalc::NodeKind::kKeyword: {
+        Clause clause;
+        clause.kind = Clause::Kind::kTerm;
+        clause.words.push_back(node.keyword);
+        clauses->push_back(std::move(clause));
+        return true;
+      }
+      case mcalc::NodeKind::kOr: {
+        Clause clause;
+        clause.kind = Clause::Kind::kDisjunction;
+        for (const mcalc::NodePtr& branch : node.children) {
+          if (branch->kind != mcalc::NodeKind::kKeyword) {
+            return false;
+          }
+          clause.words.push_back(branch->keyword);
+        }
+        clauses->push_back(std::move(clause));
+        return true;
+      }
+      case mcalc::NodeKind::kConstrained: {
+        const mcalc::Node& inner = *node.children[0];
+        std::vector<std::string> words;
+        std::vector<mcalc::VarId> vars;
+        if (inner.kind == mcalc::NodeKind::kKeyword) {
+          words.push_back(inner.keyword);
+          vars.push_back(inner.var);
+        } else if (inner.kind == mcalc::NodeKind::kAnd) {
+          for (const mcalc::NodePtr& kw : inner.children) {
+            if (kw->kind != mcalc::NodeKind::kKeyword) {
+              return false;
+            }
+            words.push_back(kw->keyword);
+            vars.push_back(kw->var);
+          }
+        } else {
+          return false;
+        }
+        // PHRASE: a DISTANCE(v_i, v_{i+1}, 1) chain. PROXIMITY: one call.
+        bool is_phrase = node.constraints.size() == words.size() - 1;
+        for (size_t i = 0; is_phrase && i < node.constraints.size(); ++i) {
+          const mcalc::PredicateCall& call = node.constraints[i];
+          is_phrase = call.name == "DISTANCE" && call.params.size() == 1 &&
+                      call.params[0] == 1 && call.vars.size() == 2 &&
+                      call.vars[0] == vars[i] && call.vars[1] == vars[i + 1];
+        }
+        if (is_phrase && words.size() >= 2) {
+          Clause clause;
+          clause.kind = Clause::Kind::kPhrase;
+          clause.words = std::move(words);
+          clauses->push_back(std::move(clause));
+          return true;
+        }
+        if (node.constraints.size() == 1 &&
+            node.constraints[0].name == "PROXIMITY") {
+          Clause clause;
+          clause.kind = Clause::Kind::kProximity;
+          clause.words = std::move(words);
+          clause.slop = node.constraints[0].params[0];
+          clauses->push_back(std::move(clause));
+          return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+  };
+
+  const mcalc::Node& root = *query.root;
+  if (root.kind == mcalc::NodeKind::kAnd) {
+    for (const mcalc::NodePtr& child : root.children) {
+      if (!compile_child(*child)) return false;
+    }
+    return true;
+  }
+  return compile_child(root);
+}
+
+// Lucene-classic term weight. Must stay in sync with sa::LuceneScheme.
+double Weight(const index::InvertedIndex& index, TermId term, DocId doc,
+              uint32_t tf) {
+  if (tf == 0) return 0.0;
+  const double idf =
+      1.0 + std::log(static_cast<double>(index.doc_count()) /
+                     (static_cast<double>(index.DocFreq(term)) + 1.0));
+  return std::sqrt(static_cast<double>(tf)) * idf * idf /
+         std::sqrt(static_cast<double>(index.doc_length(doc)));
+}
+
+// Exists o ∈ lists[0] with o+i ∈ lists[i] for all i.
+bool PhraseMatches(const std::vector<std::span<const Offset>>& lists) {
+  for (const Offset start : lists[0]) {
+    bool ok = true;
+    for (size_t i = 1; i < lists.size(); ++i) {
+      if (!std::binary_search(lists[i].begin(), lists[i].end(),
+                              start + static_cast<Offset>(i))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+// Minimal window containing one position from each list; true iff its
+// span is <= slop (matches GRAFT's variadic PROXIMITY semantics).
+bool ProximityMatches(const std::vector<std::span<const Offset>>& lists,
+                      int64_t slop) {
+  struct Tagged {
+    Offset offset;
+    size_t list;
+  };
+  std::vector<Tagged> all;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    for (const Offset offset : lists[i]) {
+      all.push_back(Tagged{offset, i});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    return a.offset < b.offset;
+  });
+  std::vector<size_t> in_window(lists.size(), 0);
+  size_t covered = 0;
+  size_t left = 0;
+  for (size_t right = 0; right < all.size(); ++right) {
+    if (in_window[all[right].list]++ == 0) ++covered;
+    while (covered == lists.size()) {
+      if (static_cast<int64_t>(all[right].offset) -
+              static_cast<int64_t>(all[left].offset) <=
+          slop) {
+        return true;
+      }
+      if (--in_window[all[left].list] == 0) --covered;
+      ++left;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool LuceneLikeEngine::SupportsQuery(const mcalc::Query& query) {
+  std::vector<Clause> clauses;
+  return CompileQuery(query, &clauses);
+}
+
+StatusOr<std::vector<ma::ScoredDoc>> LuceneLikeEngine::Search(
+    std::string_view query_text, size_t top_k) const {
+  GRAFT_ASSIGN_OR_RETURN(mcalc::Query query, mcalc::ParseQuery(query_text));
+  return SearchQuery(query, top_k);
+}
+
+StatusOr<std::vector<ma::ScoredDoc>> LuceneLikeEngine::SearchQuery(
+    const mcalc::Query& query, size_t top_k) const {
+  std::vector<Clause> clauses;
+  if (!CompileQuery(query, &clauses)) {
+    return Status::Unimplemented(
+        "query uses constructs beyond terms/phrases/proximity/term "
+        "disjunctions (e.g. WINDOW); Lucene-like engine does not support "
+        "it");
+  }
+
+  // Cursor per term occurrence. Required = every term of a non-disjunction
+  // clause (conjunctive semantics); optional = disjunction members.
+  struct TermSlot {
+    TermId term = kInvalidTerm;
+    std::unique_ptr<index::PostingCursor> cursor;
+    size_t clause = 0;
+  };
+  std::vector<TermSlot> required;
+  std::vector<TermSlot> optional;
+  size_t total_occurrences = 0;
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    for (const std::string& word : clauses[c].words) {
+      ++total_occurrences;
+      TermSlot slot;
+      slot.term = index_->LookupTerm(word);
+      slot.clause = c;
+      if (slot.term != kInvalidTerm) {
+        slot.cursor = std::make_unique<index::PostingCursor>(
+            &index_->postings(slot.term));
+      }
+      if (clauses[c].kind == Clause::Kind::kDisjunction) {
+        optional.push_back(std::move(slot));
+      } else {
+        if (slot.term == kInvalidTerm) {
+          return std::vector<ma::ScoredDoc>{};  // required term absent
+        }
+        required.push_back(std::move(slot));
+      }
+    }
+  }
+
+  const bool has_disjunction = std::any_of(
+      clauses.begin(), clauses.end(), [](const Clause& clause) {
+        return clause.kind == Clause::Kind::kDisjunction;
+      });
+
+  std::vector<ma::ScoredDoc> results;
+
+  const auto score_doc = [&](DocId doc) {
+    // Positional verification per clause.
+    std::map<size_t, std::vector<std::span<const Offset>>> clause_lists;
+    for (TermSlot& slot : required) {
+      const Clause& clause = clauses[slot.clause];
+      if (clause.kind != Clause::Kind::kTerm) {
+        clause_lists[slot.clause].push_back(slot.cursor->offsets());
+      }
+    }
+    for (const auto& [clause_idx, lists] : clause_lists) {
+      const Clause& clause = clauses[clause_idx];
+      if (clause.kind == Clause::Kind::kPhrase) {
+        if (!PhraseMatches(lists)) return;
+      } else if (clause.kind == Clause::Kind::kProximity) {
+        if (!ProximityMatches(lists, clause.slop)) return;
+      }
+    }
+    // Disjunction clauses: at least one member present.
+    size_t matched = required.size();
+    std::vector<bool> clause_satisfied(clauses.size(), false);
+    double optional_score = 0.0;
+    for (TermSlot& slot : optional) {
+      if (slot.cursor == nullptr) continue;
+      slot.cursor->SkipTo(doc);
+      if (!slot.cursor->AtEnd() && slot.cursor->doc() == doc) {
+        clause_satisfied[slot.clause] = true;
+        ++matched;
+        optional_score +=
+            Weight(*index_, slot.term, doc, slot.cursor->tf());
+      }
+    }
+    for (size_t c = 0; c < clauses.size(); ++c) {
+      if (clauses[c].kind == Clause::Kind::kDisjunction &&
+          !clause_satisfied[c]) {
+        return;  // conjunctive semantics: the group must match
+      }
+    }
+    double score = optional_score;
+    for (TermSlot& slot : required) {
+      score += Weight(*index_, slot.term, doc, slot.cursor->tf());
+    }
+    const double coord =
+        static_cast<double>(matched) /
+        static_cast<double>(std::max<size_t>(1, total_occurrences));
+    results.push_back(ma::ScoredDoc{doc, score * coord});
+  };
+
+  if (!required.empty()) {
+    // Document-at-a-time leapfrog intersection over required terms (the
+    // skip-pointer technique).
+    DocId target = 0;
+    while (target != kInvalidDoc) {
+      DocId doc = target;
+      bool at_end = false;
+      bool realigned = true;
+      while (realigned) {
+        realigned = false;
+        for (TermSlot& slot : required) {
+          slot.cursor->SkipTo(doc);
+          if (slot.cursor->AtEnd()) {
+            at_end = true;
+            break;
+          }
+          if (slot.cursor->doc() > doc) {
+            doc = slot.cursor->doc();
+            realigned = true;
+            break;
+          }
+        }
+        if (at_end) break;
+      }
+      if (at_end) break;
+      score_doc(doc);
+      target = doc + 1;
+    }
+  } else if (has_disjunction) {
+    // Pure disjunction: k-way doc merge over the optional cursors.
+    while (true) {
+      DocId doc = kInvalidDoc;
+      for (TermSlot& slot : optional) {
+        if (slot.cursor != nullptr && !slot.cursor->AtEnd()) {
+          doc = std::min(doc, slot.cursor->doc());
+        }
+      }
+      if (doc == kInvalidDoc) break;
+      score_doc(doc);
+      for (TermSlot& slot : optional) {
+        if (slot.cursor != nullptr && !slot.cursor->AtEnd() &&
+            slot.cursor->doc() == doc) {
+          slot.cursor->Next();
+        }
+      }
+    }
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const ma::ScoredDoc& a, const ma::ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (top_k > 0 && results.size() > top_k) {
+    results.resize(top_k);
+  }
+  return results;
+}
+
+}  // namespace graft::baseline

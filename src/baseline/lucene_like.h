@@ -1,0 +1,52 @@
+// A from-scratch "Lucene-like" rigid engine: the Figure-4 comparison
+// baseline.
+//
+// Mirrors the architecture of the 2010-era Lucene the paper compares
+// against: a rigid plan generator (one hard-coded plan shape per query
+// class), document-at-a-time evaluation with skip-based postings
+// intersection, and a single built-in scoring function (Lucene classic:
+// sqrt(tf)·idf²/√|d| per term with a coordination factor) fused directly
+// into the match loop — no algebra, no plug-in scoring, no generic
+// operators.
+//
+// Query support matches the paper's description of Lucene's expressive
+// power: conjunctions of terms, term-disjunction groups, PHRASE, and
+// PROXIMITY. WINDOW / DISTANCE / ORDER / plug-in predicates are rejected
+// (which is why the paper's Q8 and Q10 are n/a for this engine).
+//
+// On supported queries its scores coincide with GRAFT running the Lucene
+// scheme, which the integration tests assert.
+
+#ifndef GRAFT_BASELINE_LUCENE_LIKE_H_
+#define GRAFT_BASELINE_LUCENE_LIKE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "index/inverted_index.h"
+#include "ma/match_table.h"
+#include "mcalc/ast.h"
+
+namespace graft::baseline {
+
+class LuceneLikeEngine {
+ public:
+  explicit LuceneLikeEngine(const index::InvertedIndex* index)
+      : index_(index) {}
+
+  // True when the query uses only the constructs Lucene supports.
+  static bool SupportsQuery(const mcalc::Query& query);
+
+  StatusOr<std::vector<ma::ScoredDoc>> Search(std::string_view query_text,
+                                              size_t top_k = 0) const;
+  StatusOr<std::vector<ma::ScoredDoc>> SearchQuery(const mcalc::Query& query,
+                                                   size_t top_k = 0) const;
+
+ private:
+  const index::InvertedIndex* index_;
+};
+
+}  // namespace graft::baseline
+
+#endif  // GRAFT_BASELINE_LUCENE_LIKE_H_

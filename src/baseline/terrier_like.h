@@ -1,0 +1,45 @@
+// A from-scratch "Terrier-like" rigid engine: the second Figure-4
+// baseline.
+//
+// Mirrors Terrier's evaluation style: term-at-a-time scoring into an
+// accumulator array (one pass over each query term's postings, adding the
+// hard-coded BM25 weight), with a final pass that applies boolean /
+// positional filters (phrase, proximity) and ranks the accumulators. Like
+// Terrier, scoring is AnySum-shaped: the document score is the sum of
+// per-term weights, independent of how many matches the document has.
+//
+// Supports the same query classes as the Lucene-like engine (no WINDOW /
+// DISTANCE / ORDER / plug-ins).
+
+#ifndef GRAFT_BASELINE_TERRIER_LIKE_H_
+#define GRAFT_BASELINE_TERRIER_LIKE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "index/inverted_index.h"
+#include "ma/match_table.h"
+#include "mcalc/ast.h"
+
+namespace graft::baseline {
+
+class TerrierLikeEngine {
+ public:
+  explicit TerrierLikeEngine(const index::InvertedIndex* index)
+      : index_(index) {}
+
+  static bool SupportsQuery(const mcalc::Query& query);
+
+  StatusOr<std::vector<ma::ScoredDoc>> Search(std::string_view query_text,
+                                              size_t top_k = 0) const;
+  StatusOr<std::vector<ma::ScoredDoc>> SearchQuery(const mcalc::Query& query,
+                                                   size_t top_k = 0) const;
+
+ private:
+  const index::InvertedIndex* index_;
+};
+
+}  // namespace graft::baseline
+
+#endif  // GRAFT_BASELINE_TERRIER_LIKE_H_

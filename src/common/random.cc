@@ -1,0 +1,32 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graft {
+
+ZipfSampler::ZipfSampler(uint64_t n, double skew, uint64_t seed)
+    : n_(n), skew_(skew), rng_(seed) {
+  // Precompute the CDF. Vocabulary sizes in this repository are at most a
+  // few hundred thousand, so the O(n) table is fine and exact.
+  cdf_.reserve(n_);
+  double total = 0.0;
+  for (uint64_t rank = 0; rank < n_; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), skew_);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+}
+
+uint64_t ZipfSampler::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return n_ - 1;
+  }
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace graft

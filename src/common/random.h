@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation for corpus synthesis,
+// property-based tests, and benchmarks. All randomness in the repository
+// flows through Rng so runs are reproducible from a seed.
+
+#ifndef GRAFT_COMMON_RANDOM_H_
+#define GRAFT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace graft {
+
+// SplitMix64-seeded xoshiro256** generator. Small, fast, and good enough for
+// workload synthesis; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return NextUint64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  bool NextBool(double probability_true) {
+    return NextDouble() < probability_true;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+// Samples ranks from a Zipf(s) distribution over [0, n) using the rejection
+// method of Jason Crease / standard inverse-CDF approximation. Ranks near 0
+// are the most frequent, mirroring natural-language term frequencies.
+class ZipfSampler {
+ public:
+  // `skew` is the Zipf exponent (typical natural language: ~1.0-1.2).
+  ZipfSampler(uint64_t n, double skew, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double skew_;
+  Rng rng_;
+  // Precomputed cumulative mass for small n; sampled by binary search.
+  std::vector<double> cdf_;
+};
+
+}  // namespace graft
+
+#endif  // GRAFT_COMMON_RANDOM_H_

@@ -1,0 +1,176 @@
+// Status and StatusOr: exception-free error propagation for the GRAFT
+// library, in the style of absl::Status / rocksdb::Status.
+//
+// Library code never throws; every fallible operation returns a Status or a
+// StatusOr<T>. Ok statuses are cheap (no allocation beyond the message
+// string, which is empty for Ok).
+
+#ifndef GRAFT_COMMON_STATUS_H_
+#define GRAFT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace graft {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kDataLoss = 8,
+  kIOError = 9,
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Constructs an Ok status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// A union of a Status and a value of type T. Holds the value iff ok().
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  StatusOr(const T& value) : status_(), value_(value) {}          // NOLINT
+  StatusOr(T&& value) : status_(), value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {          // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from Ok status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from Ok status");
+    }
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      // Accessing the value of a failed StatusOr is a programming error.
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if not ok.
+#define GRAFT_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::graft::Status graft_status_ = (expr);    \
+    if (!graft_status_.ok()) {                 \
+      return graft_status_;                    \
+    }                                          \
+  } while (false)
+
+// Evaluates `rexpr` (a StatusOr<T> expression); on success assigns the value
+// to `lhs`, otherwise returns the error status.
+#define GRAFT_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  GRAFT_ASSIGN_OR_RETURN_IMPL_(                             \
+      GRAFT_STATUS_CONCAT_(graft_statusor_, __LINE__), lhs, rexpr)
+
+#define GRAFT_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) {                                    \
+    return var.status();                              \
+  }                                                   \
+  lhs = std::move(var).value()
+
+#define GRAFT_STATUS_CONCAT_(a, b) GRAFT_STATUS_CONCAT_IMPL_(a, b)
+#define GRAFT_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace graft
+
+#endif  // GRAFT_COMMON_STATUS_H_

@@ -1,0 +1,183 @@
+#include "core/canonical_plan.h"
+
+namespace graft::core {
+
+namespace {
+
+// Translates the boolean structure into MA. Constraints in non-negated
+// scope are collected into `top_constraints` (canonical plans place them in
+// one σ above the joins); constraints under negation stay inline in the
+// anti-join subplan (they are invisible at the top: their variables are
+// quantified away).
+StatusOr<ma::PlanNodePtr> TranslateBool(
+    const mcalc::Node& node, bool collecting,
+    std::vector<mcalc::PredicateCall>* top_constraints) {
+  switch (node.kind) {
+    case mcalc::NodeKind::kKeyword:
+      return ma::MakeAtom(node.keyword, node.var);
+    case mcalc::NodeKind::kAnd: {
+      std::vector<const mcalc::Node*> positives;
+      std::vector<const mcalc::Node*> negatives;
+      for (const mcalc::NodePtr& child : node.children) {
+        if (child->kind == mcalc::NodeKind::kNot) {
+          negatives.push_back(child->children[0].get());
+        } else {
+          positives.push_back(child.get());
+        }
+      }
+      if (positives.empty()) {
+        return Status::InvalidArgument(
+            "conjunction of only negated terms is unsafe (no positive "
+            "keyword to range over)");
+      }
+      // Right-deep join tree in keyword order (canonical).
+      ma::PlanNodePtr acc;
+      for (auto it = positives.rbegin(); it != positives.rend(); ++it) {
+        GRAFT_ASSIGN_OR_RETURN(
+            ma::PlanNodePtr plan,
+            TranslateBool(**it, collecting, top_constraints));
+        acc = acc == nullptr
+                  ? std::move(plan)
+                  : ma::MakeJoin(std::move(plan), std::move(acc));
+      }
+      // Negated subtrees become anti-joins above the positive tree.
+      for (const mcalc::Node* negative : negatives) {
+        GRAFT_ASSIGN_OR_RETURN(
+            ma::PlanNodePtr anti,
+            TranslateBool(*negative, /*collecting=*/false, nullptr));
+        acc = ma::MakeAntiJoin(std::move(acc), std::move(anti));
+      }
+      return acc;
+    }
+    case mcalc::NodeKind::kOr: {
+      std::vector<ma::PlanNodePtr> branches;
+      branches.reserve(node.children.size());
+      for (const mcalc::NodePtr& child : node.children) {
+        if (child->kind == mcalc::NodeKind::kNot) {
+          return Status::InvalidArgument(
+              "negation directly under disjunction is unsafe");
+        }
+        GRAFT_ASSIGN_OR_RETURN(
+            ma::PlanNodePtr plan,
+            TranslateBool(*child, collecting, top_constraints));
+        branches.push_back(std::move(plan));
+      }
+      return ma::MakeOuterUnion(std::move(branches));
+    }
+    case mcalc::NodeKind::kNot:
+      return Status::InvalidArgument(
+          "negation is only supported as a conjunct (a AND NOT b)");
+    case mcalc::NodeKind::kConstrained: {
+      GRAFT_ASSIGN_OR_RETURN(
+          ma::PlanNodePtr child,
+          TranslateBool(*node.children[0], collecting, top_constraints));
+      if (collecting) {
+        for (const mcalc::PredicateCall& call : node.constraints) {
+          top_constraints->push_back(call);
+        }
+        return child;
+      }
+      return ma::MakeSelect(std::move(child), node.constraints);
+    }
+  }
+  return Status::Internal("unknown AST node kind");
+}
+
+StatusOr<ma::PlanNodePtr> BuildMatching(const mcalc::Query& query,
+                                        bool with_sort) {
+  GRAFT_RETURN_IF_ERROR(mcalc::ValidateQuery(query));
+  std::vector<mcalc::PredicateCall> constraints;
+  GRAFT_ASSIGN_OR_RETURN(
+      ma::PlanNodePtr plan,
+      TranslateBool(*query.root, /*collecting=*/true, &constraints));
+  if (!constraints.empty()) {
+    plan = ma::MakeSelect(std::move(plan), std::move(constraints));
+  }
+  if (with_sort) {
+    plan = ma::MakeSort(std::move(plan));
+  }
+  return plan;
+}
+
+}  // namespace
+
+StatusOr<ma::PlanNodePtr> BuildMatchingSubplan(const mcalc::Query& query) {
+  return BuildMatching(query, /*with_sort=*/true);
+}
+
+StatusOr<ma::PlanNodePtr> BuildMatchingSubplanNoSort(
+    const mcalc::Query& query) {
+  return BuildMatching(query, /*with_sort=*/false);
+}
+
+sa::QueryContext MakeQueryContext(const mcalc::Query& query) {
+  sa::QueryContext ctx;
+  ctx.num_columns = static_cast<uint32_t>(
+      mcalc::FreeVariables(*query.root).size());
+  return ctx;
+}
+
+StatusOr<CanonicalBuild> BuildCanonicalPlan(const mcalc::Query& query,
+                                            const sa::ScoringScheme& scheme) {
+  CanonicalBuild build;
+  GRAFT_ASSIGN_OR_RETURN(build.phi, DeriveScoringPlan(query));
+  GRAFT_ASSIGN_OR_RETURN(ma::PlanNodePtr matching,
+                         BuildMatchingSubplan(query));
+
+  const std::vector<mcalc::VarId> vars =
+      mcalc::FreeVariables(*query.root);
+  const sa::Direction direction = scheme.properties().direction;
+  build.direction_used = direction == sa::Direction::kRowFirst
+                             ? sa::Direction::kRowFirst
+                             : sa::Direction::kColumnFirst;
+
+  if (build.direction_used == sa::Direction::kRowFirst) {
+    // Plan 6: π scores each row via α and Φ, γ_d aggregates rows with ⊕,
+    // π applies ω.
+    std::vector<ma::ProjectItem> row_score;
+    row_score.push_back(ma::ProjectItem::Scored(
+        "s", PhiToScoreExpr(*build.phi, [](mcalc::VarId var) {
+          return ma::ScoreExpr::InitPos("p" + std::to_string(var));
+        })));
+    ma::PlanNodePtr plan =
+        ma::MakeProject(std::move(matching), std::move(row_score));
+
+    ma::GroupSpec group;
+    group.score_aggs.push_back({"s", "s", ""});
+    plan = ma::MakeGroup(std::move(plan), std::move(group));
+
+    std::vector<ma::ProjectItem> final_items;
+    final_items.push_back(ma::ProjectItem::Scored(
+        "score", ma::ScoreExpr::ColRef("s"), /*finalize=*/true));
+    build.plan = ma::MakeProject(std::move(plan), std::move(final_items));
+  } else {
+    // Plan 5: π applies α per cell, γ_d aggregates each column with ⊕,
+    // π evaluates Φ over the column scores and applies ω.
+    std::vector<ma::ProjectItem> alpha_items;
+    for (const mcalc::VarId var : vars) {
+      alpha_items.push_back(ma::ProjectItem::Scored(
+          "s" + std::to_string(var),
+          ma::ScoreExpr::InitPos("p" + std::to_string(var))));
+    }
+    ma::PlanNodePtr plan =
+        ma::MakeProject(std::move(matching), std::move(alpha_items));
+
+    ma::GroupSpec group;
+    for (const mcalc::VarId var : vars) {
+      const std::string name = "s" + std::to_string(var);
+      group.score_aggs.push_back({name, name, ""});
+    }
+    plan = ma::MakeGroup(std::move(plan), std::move(group));
+
+    std::vector<ma::ProjectItem> final_items;
+    final_items.push_back(ma::ProjectItem::Scored(
+        "score", PhiToScoreExpr(*build.phi, [](mcalc::VarId var) {
+          return ma::ScoreExpr::ColRef("s" + std::to_string(var));
+        }),
+        /*finalize=*/true));
+    build.plan = ma::MakeProject(std::move(plan), std::move(final_items));
+  }
+  return build;
+}
+
+}  // namespace graft::core

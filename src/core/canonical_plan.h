@@ -1,0 +1,49 @@
+// Canonical score-isolated plans (Sections 2 and 4.3).
+//
+// The canonical plan is the optimizer's starting point and the *semantic
+// definition* of the query's answers and scores (Definition 1 measures
+// every optimized plan against it):
+//
+//   * the matching subplan uses a right-deep join tree in keyword order,
+//     selections above the joins, and a sort above the selections;
+//   * the scoring portion hosts α and Φ in π, ⊕ in γ_d, and ω in a final π,
+//     arranged row-first or column-first per the scheme's directionality
+//     (diagonal schemes default to column-first).
+
+#ifndef GRAFT_CORE_CANONICAL_PLAN_H_
+#define GRAFT_CORE_CANONICAL_PLAN_H_
+
+#include "common/status.h"
+#include "core/scoring_plan.h"
+#include "ma/plan.h"
+#include "mcalc/ast.h"
+#include "sa/scoring_scheme.h"
+
+namespace graft::core {
+
+// The matching subplan only: joins/unions/anti-joins at the bottom, a
+// single σ carrying every positional constraint above them, and τ on top.
+// Produces the query's match table.
+StatusOr<ma::PlanNodePtr> BuildMatchingSubplan(const mcalc::Query& query);
+
+// As above but without the final τ (used by optimized plans once sort
+// elimination applies) and, when `inline_selections` is true, with each
+// constraint already placed at its natural scope instead of a top σ.
+StatusOr<ma::PlanNodePtr> BuildMatchingSubplanNoSort(
+    const mcalc::Query& query);
+
+struct CanonicalBuild {
+  ma::PlanNodePtr plan;   // complete score-isolated plan
+  PhiNodePtr phi;         // the scoring plan it hosts
+  sa::Direction direction_used = sa::Direction::kColumnFirst;
+};
+
+StatusOr<CanonicalBuild> BuildCanonicalPlan(const mcalc::Query& query,
+                                            const sa::ScoringScheme& scheme);
+
+// The QueryContext (ω inputs) for this query.
+sa::QueryContext MakeQueryContext(const mcalc::Query& query);
+
+}  // namespace graft::core
+
+#endif  // GRAFT_CORE_CANONICAL_PLAN_H_

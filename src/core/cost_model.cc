@@ -1,0 +1,114 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graft::core {
+
+CostEstimate CostModel::Estimate(const ma::PlanNode& node) const {
+  const double collection =
+      std::max<double>(1.0, static_cast<double>(index_->doc_count()));
+
+  switch (node.kind) {
+    case ma::OpKind::kAtom: {
+      const TermId term = index_->LookupTerm(node.keyword);
+      CostEstimate estimate;
+      if (term == kInvalidTerm) {
+        return estimate;
+      }
+      estimate.docs = static_cast<double>(index_->DocFreq(term));
+      estimate.rows = static_cast<double>(index_->CollectionFreq(term));
+      estimate.cost = estimate.rows + estimate.docs;  // decode + visit
+      return estimate;
+    }
+    case ma::OpKind::kPreCountAtom: {
+      const TermId term = index_->LookupTerm(node.keyword);
+      CostEstimate estimate;
+      if (term == kInvalidTerm) {
+        return estimate;
+      }
+      estimate.docs = static_cast<double>(index_->DocFreq(term));
+      estimate.rows = estimate.docs;
+      estimate.cost = estimate.docs;  // no position decode
+      return estimate;
+    }
+    case ma::OpKind::kJoin: {
+      const CostEstimate left = Estimate(*node.children[0]);
+      const CostEstimate right = Estimate(*node.children[1]);
+      CostEstimate estimate;
+      estimate.docs = left.docs * right.docs / collection;
+      const double left_rows_per_doc =
+          left.docs > 0 ? left.rows / left.docs : 0.0;
+      const double right_rows_per_doc =
+          right.docs > 0 ? right.rows / right.docs : 0.0;
+      estimate.rows =
+          estimate.docs * left_rows_per_doc * right_rows_per_doc;
+      for (size_t i = 0; i < node.predicates.size(); ++i) {
+        estimate.rows *= kPredicateSelectivity;
+      }
+      estimate.cost = left.cost + right.cost + estimate.rows;
+      return estimate;
+    }
+    case ma::OpKind::kOuterUnion: {
+      CostEstimate estimate;
+      for (const ma::PlanNodePtr& child : node.children) {
+        const CostEstimate branch = Estimate(*child);
+        estimate.docs += branch.docs;
+        estimate.rows += branch.rows;
+        estimate.cost += branch.cost;
+      }
+      estimate.docs = std::min(estimate.docs, collection);
+      estimate.cost += estimate.rows;
+      return estimate;
+    }
+    case ma::OpKind::kSelect: {
+      CostEstimate estimate = Estimate(*node.children[0]);
+      estimate.cost += estimate.rows;
+      for (size_t i = 0; i < node.predicates.size(); ++i) {
+        estimate.rows *= kPredicateSelectivity;
+      }
+      // Selection may empty out some documents entirely.
+      estimate.docs = std::min(estimate.docs, std::max(estimate.rows, 1.0));
+      return estimate;
+    }
+    case ma::OpKind::kAntiJoin: {
+      const CostEstimate left = Estimate(*node.children[0]);
+      const CostEstimate right = Estimate(*node.children[1]);
+      CostEstimate estimate = left;
+      const double keep =
+          std::max(0.0, 1.0 - right.docs / collection);
+      estimate.docs *= keep;
+      estimate.rows *= keep;
+      estimate.cost = left.cost + right.docs + estimate.rows;
+      return estimate;
+    }
+    case ma::OpKind::kProject: {
+      CostEstimate estimate = Estimate(*node.children[0]);
+      estimate.cost += estimate.rows;
+      return estimate;
+    }
+    case ma::OpKind::kGroup: {
+      CostEstimate estimate = Estimate(*node.children[0]);
+      estimate.cost += estimate.rows;
+      estimate.rows = estimate.docs;  // one group per document (plus keys)
+      return estimate;
+    }
+    case ma::OpKind::kAltElim: {
+      CostEstimate estimate = Estimate(*node.children[0]);
+      // Emits one row per doc and signals the child to skip the rest: the
+      // child's row cost collapses toward its doc count.
+      estimate.cost = estimate.docs * 2.0;
+      estimate.rows = estimate.docs;
+      return estimate;
+    }
+    case ma::OpKind::kSort: {
+      CostEstimate estimate = Estimate(*node.children[0]);
+      const double rows = std::max(estimate.rows, 1.0);
+      estimate.cost += rows * std::log2(rows + 1.0);
+      return estimate;
+    }
+  }
+  return CostEstimate();
+}
+
+}  // namespace graft::core

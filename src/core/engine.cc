@@ -1,0 +1,91 @@
+#include "core/engine.h"
+
+#include "ma/reference_evaluator.h"
+
+namespace graft::core {
+
+StatusOr<const sa::ScoringScheme*> Engine::ResolveScheme(
+    std::string_view name) const {
+  const sa::ScoringScheme* scheme =
+      sa::SchemeRegistry::Global().Lookup(name);
+  if (scheme == nullptr) {
+    return Status::NotFound("unknown scoring scheme: " + std::string(name));
+  }
+  return scheme;
+}
+
+StatusOr<SearchResult> Engine::Search(std::string_view query_text,
+                                      std::string_view scheme_name,
+                                      const SearchOptions& options) const {
+  GRAFT_ASSIGN_OR_RETURN(mcalc::Query query, mcalc::ParseQuery(query_text));
+  GRAFT_ASSIGN_OR_RETURN(const sa::ScoringScheme* scheme,
+                         ResolveScheme(scheme_name));
+  return SearchQuery(query, *scheme, options);
+}
+
+StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
+                                           const sa::ScoringScheme& scheme,
+                                           const SearchOptions& options) const {
+  SearchResult result;
+  const sa::QueryContext query_ctx = MakeQueryContext(query);
+
+  if (options.use_canonical_reference) {
+    GRAFT_ASSIGN_OR_RETURN(CanonicalBuild canonical,
+                           BuildCanonicalPlan(query, scheme));
+    GRAFT_RETURN_IF_ERROR(ma::ResolvePlan(canonical.plan.get(), *index_));
+    ma::ReferenceEvaluator evaluator(index_, &scheme, query_ctx, overlay_);
+    GRAFT_ASSIGN_OR_RETURN(const ma::MatchTable table,
+                           evaluator.Evaluate(*canonical.plan));
+    GRAFT_ASSIGN_OR_RETURN(result.results, ma::ExtractRankedResults(table));
+    result.plan_text = ma::PlanToString(*canonical.plan);
+    result.applied_optimizations = "(canonical score-isolated plan)";
+    if (options.top_k > 0 && result.results.size() > options.top_k) {
+      result.results.resize(options.top_k);
+    }
+    return result;
+  }
+
+  // Top-k rank processing when the gate admits it.
+  if (options.top_k > 0 && options.allow_rank_processing &&
+      exec::TopKRankEngine::Supports(query, scheme)) {
+    exec::TopKRankEngine rank_engine(index_, &scheme, overlay_);
+    GRAFT_ASSIGN_OR_RETURN(result.results,
+                           rank_engine.TopK(query, options.top_k));
+    result.used_rank_processing = true;
+    result.applied_optimizations = "rank-join/rank-union (top-k)";
+    return result;
+  }
+
+  Optimizer optimizer(&scheme, options.optimizer);
+  GRAFT_ASSIGN_OR_RETURN(OptimizedPlan plan,
+                         optimizer.Optimize(query, *index_));
+  exec::Executor executor(index_, &scheme, query_ctx, overlay_);
+  GRAFT_ASSIGN_OR_RETURN(result.results, executor.ExecuteRanked(*plan.plan));
+  result.plan_text = ma::PlanToString(*plan.plan);
+  result.applied_optimizations = plan.AppliedToString();
+  result.exec_stats = executor.stats();
+  if (options.top_k > 0 && result.results.size() > options.top_k) {
+    result.results.resize(options.top_k);
+  }
+  return result;
+}
+
+StatusOr<std::string> Engine::Explain(std::string_view query_text,
+                                      std::string_view scheme_name,
+                                      const SearchOptions& options) const {
+  GRAFT_ASSIGN_OR_RETURN(mcalc::Query query, mcalc::ParseQuery(query_text));
+  GRAFT_ASSIGN_OR_RETURN(const sa::ScoringScheme* scheme,
+                         ResolveScheme(scheme_name));
+  Optimizer optimizer(scheme, options.optimizer);
+  GRAFT_ASSIGN_OR_RETURN(OptimizedPlan plan,
+                         optimizer.Optimize(query, *index_));
+  std::string out = "query: " + mcalc::ToMCalcString(query) + "\n";
+  out += "scoring plan Φ: " + plan.phi->ToString() + "\n";
+  out += "scheme: " + std::string(scheme->name()) + " (" +
+         sa::DirectionName(scheme->properties().direction) + ")\n";
+  out += "applied: " + plan.AppliedToString() + "\n";
+  out += plan.plan == nullptr ? "" : ma::PlanToString(*plan.plan);
+  return out;
+}
+
+}  // namespace graft::core

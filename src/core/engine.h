@@ -1,0 +1,95 @@
+// GRAFT's public entry point.
+//
+// Typical use:
+//
+//   graft::index::IndexBuilder builder;
+//   builder.AddDocumentStrings(graft::text::Tokenize("free software ..."));
+//   graft::index::InvertedIndex index = builder.Build();
+//
+//   graft::core::Engine engine(&index);
+//   auto result = engine.Search(
+//       "(windows emulator)WINDOW[50] (foss | \"free software\")",
+//       "MeanSum");
+//   for (const auto& hit : result->results) { ... }
+//
+// The scoring scheme is a plug-in parameter: any scheme registered in
+// sa::SchemeRegistry (the seven from the paper's Section 7 plus
+// user-defined ones) can be named, and the optimizer adapts the plan to
+// the scheme's declared properties.
+
+#ifndef GRAFT_CORE_ENGINE_H_
+#define GRAFT_CORE_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "exec/rank_join.h"
+#include "index/stats.h"
+#include "ma/match_table.h"
+#include "mcalc/parser.h"
+
+namespace graft::core {
+
+struct SearchOptions {
+  OptimizerOptions optimizer;
+
+  // 0 = return all matching documents. > 0: return the k best; when the
+  // gate admits rank-join/rank-union for the query and scheme (and
+  // `allow_rank_processing`), a threshold-based top-k execution that stops
+  // early is used instead of scoring every document.
+  size_t top_k = 0;
+  bool allow_rank_processing = true;
+
+  // Evaluate with the canonical score-isolated plan on the materializing
+  // reference evaluator instead of the optimized streaming plan. Slow;
+  // meant for oracle comparisons.
+  bool use_canonical_reference = false;
+};
+
+struct SearchResult {
+  std::vector<ma::ScoredDoc> results;
+  // The executed plan (EXPLAIN-style rendering) and the rewrites applied.
+  std::string plan_text;
+  std::string applied_optimizations;
+  exec::ExecStats exec_stats;
+  bool used_rank_processing = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(const index::InvertedIndex* index,
+                  const index::StatsOverlay* overlay = nullptr)
+      : index_(index), overlay_(overlay) {}
+
+  // Parses the Section 8 shorthand syntax and searches.
+  StatusOr<SearchResult> Search(std::string_view query_text,
+                                std::string_view scheme_name,
+                                const SearchOptions& options = {}) const;
+
+  // Pre-parsed / programmatically built queries.
+  StatusOr<SearchResult> SearchQuery(const mcalc::Query& query,
+                                     const sa::ScoringScheme& scheme,
+                                     const SearchOptions& options = {}) const;
+
+  // Renders the optimized plan for a query + scheme without executing.
+  StatusOr<std::string> Explain(std::string_view query_text,
+                                std::string_view scheme_name,
+                                const SearchOptions& options = {}) const;
+
+  const index::InvertedIndex& index() const { return *index_; }
+
+ private:
+  StatusOr<const sa::ScoringScheme*> ResolveScheme(
+      std::string_view name) const;
+
+  const index::InvertedIndex* index_;
+  const index::StatsOverlay* overlay_;
+};
+
+}  // namespace graft::core
+
+#endif  // GRAFT_CORE_ENGINE_H_

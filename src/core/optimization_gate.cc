@@ -1,0 +1,86 @@
+#include "core/optimization_gate.h"
+
+namespace graft::core {
+
+std::string OptimizationName(Optimization opt) {
+  switch (opt) {
+    case Optimization::kSortElimination: return "τ elim.";
+    case Optimization::kJoinReordering: return "⋈ reordering";
+    case Optimization::kSelectionPushing: return "σ pushing";
+    case Optimization::kZigZagJoin: return "zig-zag ⋈";
+    case Optimization::kForwardScanJoin: return "forward-scan ⋈";
+    case Optimization::kAlternateElimination: return "alt. elim.";
+    case Optimization::kEagerAggregation: return "eager agg.";
+    case Optimization::kEagerCounting: return "eager count";
+    case Optimization::kPreCounting: return "pre-count";
+    case Optimization::kRankJoin: return "rank-join";
+    case Optimization::kRankUnion: return "rank-union";
+  }
+  return "?";
+}
+
+std::string OperatorRequirement(Optimization opt) {
+  switch (opt) {
+    case Optimization::kSortElimination: return "⊕ commutes";
+    case Optimization::kJoinReordering: return "";
+    case Optimization::kSelectionPushing: return "";
+    case Optimization::kZigZagJoin: return "";
+    case Optimization::kForwardScanJoin: return "constant";
+    case Optimization::kAlternateElimination: return "constant";
+    case Optimization::kEagerAggregation: return "⊕ fully associative";
+    case Optimization::kEagerCounting: return "";
+    case Optimization::kPreCounting: return "non-positional";
+    case Optimization::kRankJoin: return "⊘ monotonic increasing";
+    case Optimization::kRankUnion: return "⊚ monotonic increasing";
+  }
+  return "";
+}
+
+std::string DirectionRequirement(Optimization opt) {
+  switch (opt) {
+    case Optimization::kEagerAggregation: return "not row-first";
+    case Optimization::kRankJoin:
+    case Optimization::kRankUnion: return "diagonal";
+    default: return "";
+  }
+}
+
+bool IsOptimizationValid(Optimization opt,
+                         const sa::SchemeProperties& props) {
+  switch (opt) {
+    case Optimization::kSortElimination:
+      return props.alt.commutative;
+    case Optimization::kJoinReordering:
+    case Optimization::kSelectionPushing:
+    case Optimization::kZigZagJoin:
+    case Optimization::kEagerCounting:
+      // No restrictions: score aggregation is decoupled from join and
+      // selection operators (the central point of Section 5.2.4).
+      return true;
+    case Optimization::kForwardScanJoin:
+    case Optimization::kAlternateElimination:
+      return props.constant;
+    case Optimization::kEagerAggregation:
+      return props.alt.associative && !props.row_first();
+    case Optimization::kPreCounting:
+      return !props.positional;
+    case Optimization::kRankJoin:
+      return props.conj.monotonic_increasing && props.diagonal();
+    case Optimization::kRankUnion:
+      return props.disj.monotonic_increasing && props.diagonal();
+  }
+  return false;
+}
+
+std::vector<Optimization> ValidOptimizations(
+    const sa::SchemeProperties& props) {
+  std::vector<Optimization> valid;
+  for (const Optimization opt : kAllOptimizations) {
+    if (IsOptimizationValid(opt, props)) {
+      valid.push_back(opt);
+    }
+  }
+  return valid;
+}
+
+}  // namespace graft::core

@@ -1,0 +1,58 @@
+// The optimization gate: Table 1 of the paper as executable logic.
+//
+// Each optimization lists the scheme properties required for it to be
+// score-consistent. The optimizer consults the gate before applying any
+// rewrite; benches print the gate (Table 1) and its product with the scheme
+// declarations (Table 3).
+
+#ifndef GRAFT_CORE_OPTIMIZATION_GATE_H_
+#define GRAFT_CORE_OPTIMIZATION_GATE_H_
+
+#include <string>
+#include <vector>
+
+#include "sa/properties.h"
+
+namespace graft::core {
+
+enum class Optimization {
+  kSortElimination,
+  kJoinReordering,
+  kSelectionPushing,
+  kZigZagJoin,
+  kForwardScanJoin,
+  kAlternateElimination,
+  kEagerAggregation,
+  kEagerCounting,
+  kPreCounting,
+  kRankJoin,
+  kRankUnion,
+};
+
+inline constexpr Optimization kAllOptimizations[] = {
+    Optimization::kSortElimination,     Optimization::kJoinReordering,
+    Optimization::kSelectionPushing,    Optimization::kZigZagJoin,
+    Optimization::kForwardScanJoin,     Optimization::kAlternateElimination,
+    Optimization::kEagerAggregation,    Optimization::kEagerCounting,
+    Optimization::kPreCounting,         Optimization::kRankJoin,
+    Optimization::kRankUnion,
+};
+
+std::string OptimizationName(Optimization opt);
+
+// The paper's Table 1 rows: human-readable operator and direction
+// requirements for documentation output.
+std::string OperatorRequirement(Optimization opt);
+std::string DirectionRequirement(Optimization opt);
+
+// True iff the optimization preserves score consistency for a scheme with
+// these properties (Table 1's decision logic).
+bool IsOptimizationValid(Optimization opt, const sa::SchemeProperties& props);
+
+// All optimizations valid for the scheme (one Table 3 column).
+std::vector<Optimization> ValidOptimizations(
+    const sa::SchemeProperties& props);
+
+}  // namespace graft::core
+
+#endif  // GRAFT_CORE_OPTIMIZATION_GATE_H_

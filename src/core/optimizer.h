@@ -1,0 +1,79 @@
+// The score-consistent optimizer (Section 5).
+//
+// Starting from the canonical score-isolated plan, the optimizer applies
+// the rewrite catalog of Section 5.2, consulting the optimization gate
+// (Table 1) against the selected scheme's declared properties (Table 2) so
+// that only score-preserving rewrites fire. The same query therefore
+// optimizes into very different plans under different schemes:
+//
+//   AnySum           pre-counted leaves + alternate elimination (δ_A),
+//                    no grouping at all (Plan-8 flavour for constants);
+//   SumBest/Lucene/  eager aggregation: per-keyword ⊕ pushed below the
+//   JoinNorm/Event   joins with count bookkeeping (⊗ scaling);
+//   MeanSum          eager counting with row-first scoring preserved;
+//   BestSumMinDist   positional and row-first: only the always-valid
+//                    rewrites (join reordering, selection pushing,
+//                    zig-zag joins, sort elimination) apply.
+//
+// Every rewrite here is differential-tested against the canonical plan's
+// reference evaluation (Definition 1) in tests/core/score_consistency_test.
+
+#ifndef GRAFT_CORE_OPTIMIZER_H_
+#define GRAFT_CORE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/canonical_plan.h"
+#include "core/optimization_gate.h"
+#include "index/inverted_index.h"
+#include "ma/plan.h"
+#include "mcalc/ast.h"
+#include "sa/scoring_scheme.h"
+
+namespace graft::core {
+
+// Per-rewrite toggles. All default on; the optimizer still only applies a
+// rewrite when the gate validates it for the scheme. Benches toggle these
+// to isolate individual optimizations (Figure 3).
+struct OptimizerOptions {
+  bool push_selections = true;
+  bool reorder_joins = true;
+  // Order join inputs with the cost model (estimated document counts)
+  // instead of the paper's heuristic (positions-scanned ascending). The
+  // default matches the paper; bench_join_order_ablation compares the two.
+  bool cost_based_join_order = false;
+  bool eliminate_sort = true;
+  bool eager_aggregation = true;
+  bool eager_counting = true;
+  bool pre_counting = true;
+  bool alternate_elimination = true;
+};
+
+struct OptimizedPlan {
+  ma::PlanNodePtr plan;  // resolved against the index
+  PhiNodePtr phi;
+  std::vector<Optimization> applied;
+
+  std::string AppliedToString() const;
+};
+
+class Optimizer {
+ public:
+  Optimizer(const sa::ScoringScheme* scheme, OptimizerOptions options = {})
+      : scheme_(scheme), options_(options) {}
+
+  // Builds the optimized plan for `query`. The index supplies cost
+  // estimates (posting lengths) and term resolution.
+  StatusOr<OptimizedPlan> Optimize(const mcalc::Query& query,
+                                   const index::InvertedIndex& index) const;
+
+ private:
+  const sa::ScoringScheme* scheme_;
+  OptimizerOptions options_;
+};
+
+}  // namespace graft::core
+
+#endif  // GRAFT_CORE_OPTIMIZER_H_

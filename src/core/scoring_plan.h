@@ -1,0 +1,57 @@
+// Scoring plans Φ (Section 4.2.1).
+//
+// A scoring plan is the syntactic skeleton of the query that tells the
+// scorer how column scores combine: erase all non-HAS predicates, erase
+// negations, erase dangling connectives, replace each HAS with its position
+// variable, and replace ∧/∨ with ⊘/⊚. For the paper's Q3:
+//
+//   Φ = (p0 ⊘ p1) ⊘ ((p2 ⊘ p3) ⊚ p4)      (Example 4)
+//
+// The matching plan and the scoring plan are derived from *independent*
+// syntax trees: the optimizer may reorder joins freely (FO equivalence)
+// while Φ keeps the aggregation order demanded by a rigid scheme.
+
+#ifndef GRAFT_CORE_SCORING_PLAN_H_
+#define GRAFT_CORE_SCORING_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "ma/score_expr.h"
+#include "mcalc/ast.h"
+
+namespace graft::core {
+
+struct PhiNode;
+using PhiNodePtr = std::unique_ptr<PhiNode>;
+
+struct PhiNode {
+  enum class Kind { kVar, kConj, kDisj };
+
+  Kind kind = Kind::kVar;
+  mcalc::VarId var = -1;
+  PhiNodePtr left;
+  PhiNodePtr right;
+
+  PhiNodePtr Clone() const;
+  // Paper rendering, e.g. "(p0 ⊘ p1) ⊘ ((p2 ⊘ p3) ⊚ p4)".
+  std::string ToString() const;
+};
+
+// Derives Φ from the query. Fails only if the query scores nothing (e.g.
+// every keyword is negated).
+StatusOr<PhiNodePtr> DeriveScoringPlan(const mcalc::Query& query);
+
+// Lowers Φ to a hosted score expression; `leaf` supplies the expression for
+// each variable (α over its position column for row-first plans, a
+// reference to its aggregated column score for column-first plans, a unit
+// α over its count column for pre-counted keywords, ...).
+ma::ScoreExprPtr PhiToScoreExpr(
+    const PhiNode& phi,
+    const std::function<ma::ScoreExprPtr(mcalc::VarId)>& leaf);
+
+}  // namespace graft::core
+
+#endif  // GRAFT_CORE_SCORING_PLAN_H_

@@ -1,0 +1,87 @@
+// Streaming physical operators.
+//
+// Execution is document-at-a-time: every operator exposes a document
+// cursor (AdvanceDoc) and a lazy row iterator for the current document
+// (NextRow). This shape gives the paper's physical techniques directly:
+//
+//   * AdvanceDoc(min_doc) propagates skip targets down to the index scans,
+//     which gallop — this is the zig-zag join / skip-pointer machinery
+//     (Section 5.2.1): a join aligns its inputs by leapfrogging doc ids.
+//   * Rows are produced lazily, so an alternate-elimination operator that
+//     takes one row per document implicitly signals every operator below
+//     it to skip the rest of the document's tuples (Section 5.2.3) — and a
+//     join that produces only one row per doc behaves as the stateless
+//     forward-scan join (Section 5.2.2).
+//   * EagerCountScanOp iterates the term-position postings to count
+//     (classical eager counting); PreCountScanOp reads the term-document
+//     arrays and never touches position memory (pre-counting).
+//
+// Operators are built from resolved logical plans by BuildOperator.
+
+#ifndef GRAFT_EXEC_OPERATORS_H_
+#define GRAFT_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "index/stats.h"
+#include "ma/plan.h"
+#include "sa/scoring_scheme.h"
+
+namespace graft::exec {
+
+// Execution counters for benches and tests (e.g. verifying that
+// pre-counting touches no position entries).
+struct ExecStats {
+  uint64_t positions_scanned = 0;
+  uint64_t count_entries_scanned = 0;
+  uint64_t rows_built = 0;
+  uint64_t docs_visited = 0;
+};
+
+// Shared evaluation environment.
+struct EvalEnv {
+  index::StatsView stats;
+  const sa::ScoringScheme* scheme = nullptr;  // may be null (no scoring ops)
+  sa::QueryContext query_ctx;
+  ExecStats* counters = nullptr;
+
+  EvalEnv(const index::InvertedIndex* index, const sa::ScoringScheme* s,
+          sa::QueryContext qctx, const index::StatsOverlay* overlay,
+          ExecStats* c)
+      : stats(index, overlay), scheme(s), query_ctx(qctx), counters(c) {}
+};
+
+class DocOperator {
+ public:
+  virtual ~DocOperator() = default;
+
+  // Positions the operator at the first document with at least one output
+  // row whose id is >= min_doc. If the current document already satisfies
+  // that, stays (without disturbing row iteration). Returns false when no
+  // such document exists.
+  virtual bool AdvanceDoc(DocId min_doc) = 0;
+
+  // Valid after AdvanceDoc returned true.
+  DocId doc() const { return current_doc_; }
+
+  // Produces the next row of the current document, or returns false.
+  // Moving to a new document resets iteration.
+  virtual bool NextRow(ma::Tuple* out) = 0;
+
+ protected:
+  DocId current_doc_ = kInvalidDoc;
+  bool started_ = false;
+};
+
+using DocOperatorPtr = std::unique_ptr<DocOperator>;
+
+// Builds the operator tree for a resolved plan. The plan must outlive the
+// returned operator (operators reference its schemas and expressions).
+StatusOr<DocOperatorPtr> BuildOperator(const ma::PlanNode& node,
+                                       EvalEnv* env);
+
+}  // namespace graft::exec
+
+#endif  // GRAFT_EXEC_OPERATORS_H_

@@ -1,0 +1,167 @@
+#include "index/index_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace graft::index {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'R', 'F', 'T', 'I', 'D', 'X', '2'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t size) {
+  if (size != 0 && std::fwrite(data, 1, size, f) != size) {
+    return Status::IOError("short write");
+  }
+  return Status::Ok();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t size) {
+  if (size != 0 && std::fread(data, 1, size, f) != size) {
+    return Status::DataLoss("short read or truncated index file");
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+Status WriteScalar(std::FILE* f, T value) {
+  return WriteBytes(f, &value, sizeof(T));
+}
+
+template <typename T>
+Status ReadScalar(std::FILE* f, T* value) {
+  return ReadBytes(f, value, sizeof(T));
+}
+
+template <typename T>
+Status WriteVector(std::FILE* f, const std::vector<T>& v) {
+  GRAFT_RETURN_IF_ERROR(WriteScalar<uint64_t>(f, v.size()));
+  return WriteBytes(f, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+Status ReadVector(std::FILE* f, std::vector<T>* v, uint64_t sanity_cap) {
+  uint64_t size = 0;
+  GRAFT_RETURN_IF_ERROR(ReadScalar(f, &size));
+  if (size > sanity_cap) {
+    return Status::DataLoss("implausible vector size in index file");
+  }
+  v->resize(size);
+  return ReadBytes(f, v->data(), size * sizeof(T));
+}
+
+// Upper bound used to reject corrupt files before allocating.
+constexpr uint64_t kSanityCap = uint64_t{1} << 36;
+
+}  // namespace
+
+Status SaveIndex(const InvertedIndex& index, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  std::FILE* f = file.get();
+
+  GRAFT_RETURN_IF_ERROR(WriteBytes(f, kMagic, sizeof(kMagic)));
+  GRAFT_RETURN_IF_ERROR(WriteScalar<uint64_t>(f, index.doc_count()));
+  GRAFT_RETURN_IF_ERROR(WriteScalar<uint64_t>(f, index.total_words()));
+  GRAFT_RETURN_IF_ERROR(WriteVector(f, index.doc_lengths()));
+
+  GRAFT_RETURN_IF_ERROR(WriteScalar<uint64_t>(f, index.term_count()));
+  for (TermId term = 0; term < index.term_count(); ++term) {
+    const std::string& text = index.TermText(term);
+    GRAFT_RETURN_IF_ERROR(WriteScalar<uint32_t>(
+        f, static_cast<uint32_t>(text.size())));
+    GRAFT_RETURN_IF_ERROR(WriteBytes(f, text.data(), text.size()));
+    const PostingList& list = index.postings(term);
+    GRAFT_RETURN_IF_ERROR(WriteVector(f, list.raw_docs()));
+    GRAFT_RETURN_IF_ERROR(WriteVector(f, list.raw_tfs()));
+    GRAFT_RETURN_IF_ERROR(WriteVector(f, list.raw_offset_starts()));
+    GRAFT_RETURN_IF_ERROR(WriteVector(f, list.raw_encoded_offsets()));
+    GRAFT_RETURN_IF_ERROR(
+        WriteScalar<uint64_t>(f, list.collection_frequency()));
+  }
+  if (std::fflush(f) != 0) {
+    return Status::IOError("flush failed: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  std::FILE* f = file.get();
+
+  char magic[8];
+  GRAFT_RETURN_IF_ERROR(ReadBytes(f, magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("bad magic; not a GRAFT index file: " + path);
+  }
+
+  InvertedIndex index;
+  uint64_t doc_count = 0;
+  uint64_t total_words = 0;
+  GRAFT_RETURN_IF_ERROR(ReadScalar(f, &doc_count));
+  GRAFT_RETURN_IF_ERROR(ReadScalar(f, &total_words));
+  std::vector<uint32_t> doc_lengths;
+  GRAFT_RETURN_IF_ERROR(ReadVector(f, &doc_lengths, kSanityCap));
+  if (doc_lengths.size() != doc_count) {
+    return Status::DataLoss("doc length array does not match doc count");
+  }
+  index.SetDocLengths(std::move(doc_lengths), total_words);
+
+  uint64_t term_count = 0;
+  GRAFT_RETURN_IF_ERROR(ReadScalar(f, &term_count));
+  if (term_count > kSanityCap) {
+    return Status::DataLoss("implausible term count");
+  }
+  for (uint64_t i = 0; i < term_count; ++i) {
+    uint32_t text_len = 0;
+    GRAFT_RETURN_IF_ERROR(ReadScalar(f, &text_len));
+    if (text_len > (1u << 20)) {
+      return Status::DataLoss("implausible term length");
+    }
+    std::string text(text_len, '\0');
+    GRAFT_RETURN_IF_ERROR(ReadBytes(f, text.data(), text_len));
+    const TermId term = index.InternTerm(text);
+    if (term != i) {
+      return Status::DataLoss("duplicate term in index file: " + text);
+    }
+
+    std::vector<DocId> docs;
+    std::vector<uint32_t> tfs;
+    std::vector<uint64_t> starts;
+    std::vector<uint8_t> encoded;
+    uint64_t total_positions = 0;
+    GRAFT_RETURN_IF_ERROR(ReadVector(f, &docs, kSanityCap));
+    GRAFT_RETURN_IF_ERROR(ReadVector(f, &tfs, kSanityCap));
+    GRAFT_RETURN_IF_ERROR(ReadVector(f, &starts, kSanityCap));
+    GRAFT_RETURN_IF_ERROR(ReadVector(f, &encoded, kSanityCap));
+    GRAFT_RETURN_IF_ERROR(ReadScalar(f, &total_positions));
+    if (tfs.size() != docs.size()) {
+      return Status::DataLoss("tf array does not match doc array");
+    }
+    if (starts.size() != docs.size() + 1 ||
+        (!starts.empty() && starts.back() != encoded.size())) {
+      return Status::DataLoss("offset index does not match encoded bytes");
+    }
+    index.mutable_postings(term)->RestoreFrom(
+        std::move(docs), std::move(tfs), std::move(starts),
+        std::move(encoded), total_positions);
+  }
+  return index;
+}
+
+}  // namespace graft::index

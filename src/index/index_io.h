@@ -1,0 +1,28 @@
+// Binary persistence for the inverted index.
+//
+// Format (little-endian, version-tagged):
+//   magic "GRFTIDX1" | u64 doc_count | u64 total_words
+//   | u32[] doc_lengths
+//   | u64 term_count, then per term:
+//       u32 text_len | bytes text
+//       u64 posting_count | u32[] docs | u32[] tfs
+//       u64 offset_count | u32[] offsets
+//
+// offset_start arrays are reconstructed from tfs on load.
+
+#ifndef GRAFT_INDEX_INDEX_IO_H_
+#define GRAFT_INDEX_INDEX_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "index/inverted_index.h"
+
+namespace graft::index {
+
+Status SaveIndex(const InvertedIndex& index, const std::string& path);
+StatusOr<InvertedIndex> LoadIndex(const std::string& path);
+
+}  // namespace graft::index
+
+#endif  // GRAFT_INDEX_INDEX_IO_H_

@@ -1,0 +1,95 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace graft::index {
+
+TermId InvertedIndex::LookupTerm(std::string_view term) const {
+  // C++20 heterogeneous lookup on unordered_map needs a transparent hash;
+  // the dictionary is small relative to postings so the temporary string is
+  // acceptable and keeps the container simple.
+  const auto it = dictionary_.find(std::string(term));
+  return it == dictionary_.end() ? kInvalidTerm : it->second;
+}
+
+TermId InvertedIndex::InternTerm(std::string_view term) {
+  const auto [it, inserted] =
+      dictionary_.try_emplace(std::string(term), 0);
+  if (inserted) {
+    it->second = static_cast<TermId>(terms_.size());
+    terms_.push_back(it->first);
+    postings_.emplace_back();
+  }
+  return it->second;
+}
+
+uint32_t InvertedIndex::TermFreqInDoc(TermId term, DocId doc) const {
+  const PostingList& list = postings_[term];
+  const std::span<const DocId> docs = list.docs();
+  const auto it = std::lower_bound(docs.begin(), docs.end(), doc);
+  if (it == docs.end() || *it != doc) {
+    return 0;
+  }
+  return list.tf_at(static_cast<size_t>(it - docs.begin()));
+}
+
+IndexBuilder::IndexBuilder() = default;
+
+DocId IndexBuilder::AddDocument(std::span<const std::string_view> tokens) {
+  const DocId doc = next_doc_++;
+  doc_terms_.clear();
+  for (size_t offset = 0; offset < tokens.size(); ++offset) {
+    const TermId term = index_.InternTerm(tokens[offset]);
+    auto [it, inserted] = doc_offsets_.try_emplace(term);
+    if (inserted) {
+      doc_terms_.push_back(term);
+    }
+    it->second.push_back(static_cast<Offset>(offset));
+  }
+  // Flush per-term offsets into posting lists. Term order within the doc
+  // does not matter; offsets are already increasing.
+  for (const TermId term : doc_terms_) {
+    auto it = doc_offsets_.find(term);
+    index_.mutable_postings(term)->AddDocument(doc, it->second);
+    it->second.clear();
+  }
+  doc_offsets_.clear();
+  index_.AppendDocLength(static_cast<uint32_t>(tokens.size()));
+  return doc;
+}
+
+DocId IndexBuilder::AddDocumentPositioned(
+    std::span<const std::string_view> tokens,
+    std::span<const Offset> offsets) {
+  const DocId doc = next_doc_++;
+  doc_terms_.clear();
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const TermId term = index_.InternTerm(tokens[i]);
+    auto [it, inserted] = doc_offsets_.try_emplace(term);
+    if (inserted) {
+      doc_terms_.push_back(term);
+    }
+    it->second.push_back(offsets[i]);
+  }
+  for (const TermId term : doc_terms_) {
+    auto it = doc_offsets_.find(term);
+    index_.mutable_postings(term)->AddDocument(doc, it->second);
+    it->second.clear();
+  }
+  doc_offsets_.clear();
+  index_.AppendDocLength(static_cast<uint32_t>(tokens.size()));
+  return doc;
+}
+
+DocId IndexBuilder::AddDocumentStrings(const std::vector<std::string>& tokens) {
+  std::vector<std::string_view> views;
+  views.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    views.emplace_back(token);
+  }
+  return AddDocument(views);
+}
+
+InvertedIndex IndexBuilder::Build() { return std::move(index_); }
+
+}  // namespace graft::index

@@ -1,0 +1,70 @@
+#include "index/posting_list.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace graft::index {
+
+void PostingList::AddDocument(DocId doc, std::span<const Offset> offsets) {
+  assert(!offsets.empty());
+  assert(docs_.empty() || doc > docs_.back());
+  docs_.push_back(doc);
+  tfs_.push_back(static_cast<uint32_t>(offsets.size()));
+  // Delta-encode: first position absolute, then gaps.
+  Offset previous = 0;
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    assert(i == 0 || offsets[i] > previous);
+    PutVarint32(&encoded_offsets_, offsets[i] - previous);
+    previous = offsets[i];
+  }
+  offset_start_.push_back(encoded_offsets_.size());
+  total_positions_ += offsets.size();
+}
+
+void PostingList::DecodeOffsets(size_t i, std::vector<Offset>* out) const {
+  out->clear();
+  const uint32_t tf = tfs_[i];
+  out->reserve(tf);
+  const uint8_t* p = encoded_offsets_.data() + offset_start_[i];
+  Offset running = 0;
+  for (uint32_t k = 0; k < tf; ++k) {
+    running += GetVarint32(&p);
+    out->push_back(running);
+  }
+}
+
+size_t PostingList::GallopTo(size_t from, DocId target) const {
+  const size_t n = docs_.size();
+  if (from >= n || docs_[from] >= target) {
+    return from;
+  }
+  // Gallop: double the step until we overshoot, then binary search inside
+  // the final bracket. O(log distance) per skip.
+  size_t step = 1;
+  size_t lo = from;
+  size_t hi = from + step;
+  while (hi < n && docs_[hi] < target) {
+    lo = hi;
+    step <<= 1;
+    hi = from + step;
+  }
+  hi = std::min(hi, n);
+  const auto it = std::lower_bound(docs_.begin() + lo, docs_.begin() + hi,
+                                   target);
+  return static_cast<size_t>(it - docs_.begin());
+}
+
+void PostingList::RestoreFrom(std::vector<DocId> docs,
+                              std::vector<uint32_t> tfs,
+                              std::vector<uint64_t> offset_starts,
+                              std::vector<uint8_t> encoded_offsets,
+                              uint64_t total_positions) {
+  docs_ = std::move(docs);
+  tfs_ = std::move(tfs);
+  offset_start_ = std::move(offset_starts);
+  encoded_offsets_ = std::move(encoded_offsets);
+  total_positions_ = total_positions;
+  assert(offset_start_.size() == docs_.size() + 1);
+}
+
+}  // namespace graft::index

@@ -1,0 +1,136 @@
+// Posting lists for the term-position index.
+//
+// Layout is columnar per term with *compressed positions* (the idiom of
+// production engines such as Lucene):
+//
+//   * the document id array and the per-document occurrence counts (tf)
+//     are raw arrays — directly addressable, cheap to scan and skip;
+//   * the position lists are delta-encoded varints — compact, but reading
+//     them costs a decode pass.
+//
+// This asymmetry gives the paper's two physical scan granularities:
+//
+//   * the term-POSITION scan (Atomic Match Factory A) walks docs and
+//     decodes offsets;
+//   * the term-DOCUMENT scan (Pre-Counting factory CA, Section 5.2.3)
+//     walks only the docs/tf arrays and never touches (or decodes)
+//     position bytes — "a much smaller term-document index".
+//
+// Document-level skipping (SkipTo) uses galloping search over the document
+// array; this is the skip-pointer / zig-zag-join primitive of Section 5.2.1.
+
+#ifndef GRAFT_INDEX_POSTING_LIST_H_
+#define GRAFT_INDEX_POSTING_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/types.h"
+#include "index/varint.h"
+
+namespace graft::index {
+
+class PostingList {
+ public:
+  PostingList() = default;
+
+  // Appends one document's occurrences. Documents must be appended in
+  // strictly increasing doc order; offsets must be strictly increasing.
+  void AddDocument(DocId doc, std::span<const Offset> offsets);
+
+  size_t doc_count() const { return docs_.size(); }
+  // Total occurrences across all documents (collection frequency).
+  uint64_t collection_frequency() const { return total_positions_; }
+
+  std::span<const DocId> docs() const { return docs_; }
+  std::span<const uint32_t> tfs() const { return tfs_; }
+
+  DocId doc_at(size_t i) const { return docs_[i]; }
+  uint32_t tf_at(size_t i) const { return tfs_[i]; }
+
+  // Decodes doc i's positions into `out` (cleared first). The decode cost
+  // is the point: position access is not free.
+  void DecodeOffsets(size_t i, std::vector<Offset>* out) const;
+  std::vector<Offset> OffsetsAt(size_t i) const {
+    std::vector<Offset> out;
+    DecodeOffsets(i, &out);
+    return out;
+  }
+
+  // Index of the first posting with doc >= target, starting the gallop from
+  // `from`. Returns doc_count() if none.
+  size_t GallopTo(size_t from, DocId target) const;
+
+  // Serialization hooks used by index_io.
+  const std::vector<DocId>& raw_docs() const { return docs_; }
+  const std::vector<uint32_t>& raw_tfs() const { return tfs_; }
+  const std::vector<uint64_t>& raw_offset_starts() const {
+    return offset_start_;
+  }
+  const std::vector<uint8_t>& raw_encoded_offsets() const {
+    return encoded_offsets_;
+  }
+  void RestoreFrom(std::vector<DocId> docs, std::vector<uint32_t> tfs,
+                   std::vector<uint64_t> offset_starts,
+                   std::vector<uint8_t> encoded_offsets,
+                   uint64_t total_positions);
+
+ private:
+  std::vector<DocId> docs_;
+  std::vector<uint32_t> tfs_;
+  // offset_start_[i] is the byte offset into encoded_offsets_ of doc i's
+  // first varint; has doc_count()+1 entries.
+  std::vector<uint64_t> offset_start_{0};
+  std::vector<uint8_t> encoded_offsets_;
+  uint64_t total_positions_ = 0;
+};
+
+// Document-granular cursor over a posting list (the A scan). offsets()
+// decodes the current document's positions into an internal scratch buffer
+// whose contents stay valid until the next offsets() call (Next/SkipTo do
+// not touch it).
+class PostingCursor {
+ public:
+  explicit PostingCursor(const PostingList* list) : list_(list) {}
+
+  bool AtEnd() const { return pos_ >= list_->doc_count(); }
+  DocId doc() const { return list_->doc_at(pos_); }
+  uint32_t tf() const { return list_->tf_at(pos_); }
+  std::span<const Offset> offsets() {
+    list_->DecodeOffsets(pos_, &scratch_);
+    return scratch_;
+  }
+
+  void Next() { ++pos_; }
+  // Advances to the first posting with doc >= target (galloping skip).
+  void SkipTo(DocId target) { pos_ = list_->GallopTo(pos_, target); }
+
+ private:
+  const PostingList* list_;
+  size_t pos_ = 0;
+  std::vector<Offset> scratch_;
+};
+
+// Document-granular cursor that touches only the doc/tf arrays (the CA
+// scan). Same navigation interface as PostingCursor minus offsets().
+class CountCursor {
+ public:
+  explicit CountCursor(const PostingList* list) : list_(list) {}
+
+  bool AtEnd() const { return pos_ >= list_->doc_count(); }
+  DocId doc() const { return list_->doc_at(pos_); }
+  uint32_t tf() const { return list_->tf_at(pos_); }
+
+  void Next() { ++pos_; }
+  void SkipTo(DocId target) { pos_ = list_->GallopTo(pos_, target); }
+
+ private:
+  const PostingList* list_;
+  size_t pos_ = 0;
+};
+
+}  // namespace graft::index
+
+#endif  // GRAFT_INDEX_POSTING_LIST_H_

@@ -1,0 +1,24 @@
+// Basic identifier types shared across the index, algebra, and executor.
+
+#ifndef GRAFT_INDEX_TYPES_H_
+#define GRAFT_INDEX_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace graft {
+
+using DocId = uint32_t;
+using TermId = uint32_t;
+// A term position within a document (the paper's "offset").
+using Offset = uint32_t;
+
+inline constexpr TermId kInvalidTerm = std::numeric_limits<TermId>::max();
+inline constexpr DocId kInvalidDoc = std::numeric_limits<DocId>::max();
+// The "empty position" symbol ∅ of MCalc: the keyword's presence is
+// inconsequential to the match. Sorts after every real offset.
+inline constexpr Offset kEmptyOffset = std::numeric_limits<Offset>::max();
+
+}  // namespace graft
+
+#endif  // GRAFT_INDEX_TYPES_H_

@@ -1,0 +1,39 @@
+// LEB128-style varint coding for compressed posting storage, as used by
+// production engines (Lucene, RocksDB): term positions are stored as
+// delta-encoded varints, so position scans pay a real decode cost while
+// the term-document arrays stay directly addressable — the physical
+// asymmetry behind the pre-counting optimization.
+
+#ifndef GRAFT_INDEX_VARINT_H_
+#define GRAFT_INDEX_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace graft::index {
+
+inline void PutVarint32(std::vector<uint8_t>* out, uint32_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+// Decodes one varint starting at `p`; advances and returns the value.
+inline uint32_t GetVarint32(const uint8_t** p) {
+  uint32_t value = 0;
+  int shift = 0;
+  while (true) {
+    const uint8_t byte = *(*p)++;
+    value |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+}
+
+}  // namespace graft::index
+
+#endif  // GRAFT_INDEX_VARINT_H_

@@ -1,0 +1,88 @@
+// Plan-node output schemas. The document column is implicit; every other
+// column is named and typed. Position columns remember which query variable
+// and keyword they materialize, which is what lets hosted α calls recover
+// the paper's "column" argument (the keyword's statistics).
+
+#ifndef GRAFT_MA_SCHEMA_H_
+#define GRAFT_MA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "index/types.h"
+#include "mcalc/predicates.h"
+
+namespace graft::ma {
+
+struct Column {
+  enum class Kind { kPos, kScore, kCount };
+
+  Kind kind = Kind::kPos;
+  std::string name;
+
+  // kPos: the bound query variable and its keyword.
+  mcalc::VarId var = -1;
+  // kPos and kCount: the keyword whose statistics α consults.
+  TermId term = kInvalidTerm;
+  std::string keyword;
+
+  static Column Pos(std::string name, mcalc::VarId var, TermId term,
+                    std::string keyword) {
+    Column c;
+    c.kind = Kind::kPos;
+    c.name = std::move(name);
+    c.var = var;
+    c.term = term;
+    c.keyword = std::move(keyword);
+    return c;
+  }
+  static Column Score(std::string name) {
+    Column c;
+    c.kind = Kind::kScore;
+    c.name = std::move(name);
+    return c;
+  }
+  static Column CountCol(std::string name, TermId term, std::string keyword) {
+    Column c;
+    c.kind = Kind::kCount;
+    c.name = std::move(name);
+    c.term = term;
+    c.keyword = std::move(keyword);
+    return c;
+  }
+};
+
+struct Schema {
+  std::vector<Column> columns;
+
+  // Index of the named column, or -1.
+  int Find(const std::string& name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  // Index of the position column bound to `var`, or -1.
+  int FindVar(mcalc::VarId var) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].kind == Column::Kind::kPos && columns[i].var == var) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  std::string ToString() const {
+    std::string out = "(d";
+    for (const Column& c : columns) {
+      out += ", " + c.name;
+    }
+    out += ")";
+    return out;
+  }
+};
+
+}  // namespace graft::ma
+
+#endif  // GRAFT_MA_SCHEMA_H_

@@ -1,0 +1,203 @@
+#include "ma/score_expr.h"
+
+#include <algorithm>
+
+namespace graft::ma {
+
+ScoreExprPtr ScoreExpr::Clone() const {
+  auto copy = std::make_unique<ScoreExpr>();
+  copy->kind = kind;
+  copy->column = column;
+  if (left != nullptr) copy->left = left->Clone();
+  if (right != nullptr) copy->right = right->Clone();
+  return copy;
+}
+
+std::string ScoreExpr::ToString() const {
+  switch (kind) {
+    case Kind::kInitPos:
+      return "α(" + column + ")";
+    case Kind::kInitFromCount:
+      return "α⊗(" + column + ")";
+    case Kind::kColRef:
+      return column;
+    case Kind::kConj:
+      return "(" + left->ToString() + " ⊘ " + right->ToString() + ")";
+    case Kind::kDisj:
+      return "(" + left->ToString() + " ⊚ " + right->ToString() + ")";
+    case Kind::kScaleByCount:
+      return "(" + left->ToString() + " ⊗ " + column + ")";
+  }
+  return "?";
+}
+
+ScoreExprPtr ScoreExpr::InitPos(std::string pos_column) {
+  auto e = std::make_unique<ScoreExpr>();
+  e->kind = Kind::kInitPos;
+  e->column = std::move(pos_column);
+  return e;
+}
+ScoreExprPtr ScoreExpr::InitFromCount(std::string count_column) {
+  auto e = std::make_unique<ScoreExpr>();
+  e->kind = Kind::kInitFromCount;
+  e->column = std::move(count_column);
+  return e;
+}
+ScoreExprPtr ScoreExpr::ColRef(std::string score_column) {
+  auto e = std::make_unique<ScoreExpr>();
+  e->kind = Kind::kColRef;
+  e->column = std::move(score_column);
+  return e;
+}
+ScoreExprPtr ScoreExpr::Conj(ScoreExprPtr l, ScoreExprPtr r) {
+  auto e = std::make_unique<ScoreExpr>();
+  e->kind = Kind::kConj;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+ScoreExprPtr ScoreExpr::Disj(ScoreExprPtr l, ScoreExprPtr r) {
+  auto e = std::make_unique<ScoreExpr>();
+  e->kind = Kind::kDisj;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+ScoreExprPtr ScoreExpr::ScaleByCount(ScoreExprPtr l,
+                                     std::string count_column) {
+  auto e = std::make_unique<ScoreExpr>();
+  e->kind = Kind::kScaleByCount;
+  e->left = std::move(l);
+  e->column = std::move(count_column);
+  return e;
+}
+
+StatusOr<CompiledScoreExpr> CompiledScoreExpr::Compile(const ScoreExpr& expr,
+                                                       const Schema& input) {
+  CompiledScoreExpr compiled;
+  auto root = CompileNode(expr, input, &compiled.steps_);
+  if (!root.ok()) return root.status();
+  return compiled;
+}
+
+StatusOr<int> CompiledScoreExpr::CompileNode(const ScoreExpr& expr,
+                                             const Schema& input,
+                                             std::vector<Step>* steps) {
+  Step step;
+  step.kind = expr.kind;
+  switch (expr.kind) {
+    case ScoreExpr::Kind::kInitPos: {
+      const int idx = input.Find(expr.column);
+      if (idx < 0 || input.columns[idx].kind != Column::Kind::kPos) {
+        return Status::InvalidArgument("α over unknown position column: " +
+                                       expr.column);
+      }
+      step.column_index = idx;
+      break;
+    }
+    case ScoreExpr::Kind::kInitFromCount: {
+      const int idx = input.Find(expr.column);
+      if (idx < 0 || input.columns[idx].kind != Column::Kind::kCount) {
+        return Status::InvalidArgument("α⊗ over unknown count column: " +
+                                       expr.column);
+      }
+      step.column_index = idx;
+      break;
+    }
+    case ScoreExpr::Kind::kColRef: {
+      const int idx = input.Find(expr.column);
+      if (idx < 0 || input.columns[idx].kind != Column::Kind::kScore) {
+        return Status::InvalidArgument("unknown score column: " +
+                                       expr.column);
+      }
+      step.column_index = idx;
+      break;
+    }
+    case ScoreExpr::Kind::kConj:
+    case ScoreExpr::Kind::kDisj: {
+      GRAFT_ASSIGN_OR_RETURN(step.left,
+                             CompileNode(*expr.left, input, steps));
+      GRAFT_ASSIGN_OR_RETURN(step.right,
+                             CompileNode(*expr.right, input, steps));
+      break;
+    }
+    case ScoreExpr::Kind::kScaleByCount: {
+      GRAFT_ASSIGN_OR_RETURN(step.left,
+                             CompileNode(*expr.left, input, steps));
+      const int idx = input.Find(expr.column);
+      if (idx < 0 || input.columns[idx].kind != Column::Kind::kCount) {
+        return Status::InvalidArgument("⊗ over unknown count column: " +
+                                       expr.column);
+      }
+      step.column_index = idx;
+      break;
+    }
+  }
+  steps->push_back(step);
+  return static_cast<int>(steps->size() - 1);
+}
+
+sa::InternalScore CompiledScoreExpr::Evaluate(
+    const sa::ScoringScheme& scheme, const sa::DocContext& doc_ctx,
+    const std::vector<sa::ColumnContext>& col_ctx, const Tuple& row) const {
+  std::vector<sa::InternalScore> scratch;
+  return Evaluate(scheme, doc_ctx, col_ctx, row, &scratch);
+}
+
+sa::InternalScore CompiledScoreExpr::Evaluate(
+    const sa::ScoringScheme& scheme, const sa::DocContext& doc_ctx,
+    const std::vector<sa::ColumnContext>& col_ctx, const Tuple& row,
+    std::vector<sa::InternalScore>* scratch) const {
+  // Evaluate postorder steps into a scratch stack indexed by step id.
+  std::vector<sa::InternalScore>& results = *scratch;
+  results.resize(steps_.size());
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const Step& step = steps_[i];
+    switch (step.kind) {
+      case ScoreExpr::Kind::kInitPos:
+        results[i] = scheme.Init(doc_ctx, col_ctx[step.column_index],
+                                 row.values[step.column_index].pos);
+        break;
+      case ScoreExpr::Kind::kInitFromCount: {
+        // Unit α over a pre-counted keyword. A count of 0 encodes ∅ (the
+        // keyword column was padded by an outer union); otherwise
+        // non-positional schemes never read the offset, so a representative
+        // real offset of 0 stands in for "some occurrence". Any needed
+        // multiplicity is expressed explicitly with kScaleByCount.
+        const uint64_t count = row.values[step.column_index].count;
+        if (count == 0) {
+          results[i] =
+              scheme.Init(doc_ctx, col_ctx[step.column_index], kEmptyOffset);
+        } else {
+          // The count IS the keyword's tf in this document; using it
+          // directly spares a per-document statistics lookup.
+          sa::ColumnContext ctx = col_ctx[step.column_index];
+          ctx.tf_in_doc = static_cast<uint32_t>(count);
+          results[i] = scheme.Init(doc_ctx, ctx, /*offset=*/0);
+        }
+        break;
+      }
+      case ScoreExpr::Kind::kColRef:
+        results[i] = row.values[step.column_index].score;
+        break;
+      case ScoreExpr::Kind::kConj:
+        results[i] = scheme.Conj(results[step.left], results[step.right]);
+        break;
+      case ScoreExpr::Kind::kDisj:
+        results[i] = scheme.Disj(results[step.left], results[step.right]);
+        break;
+      case ScoreExpr::Kind::kScaleByCount: {
+        // A count of 0 encodes ∅ (padded column): the row stands for
+        // exactly one match row, so the scale factor is 1.
+        const uint64_t count =
+            std::max<uint64_t>(1, row.values[step.column_index].count);
+        results[i] = count == 1 ? results[step.left]
+                                : scheme.Scale(results[step.left], count);
+        break;
+      }
+    }
+  }
+  return results.empty() ? sa::InternalScore() : std::move(results.back());
+}
+
+}  // namespace graft::ma

@@ -1,0 +1,90 @@
+// Hosted Scoring-Algebra expressions (Section 4.3).
+//
+// In GRAFT, SA operators are hosted by MA's π and γ: ⊘, ⊚, α and ω live in
+// generalized-projection expressions; ⊕ lives in group-by aggregation.
+// ScoreExpr is the expression language of the π host.
+
+#ifndef GRAFT_MA_SCORE_EXPR_H_
+#define GRAFT_MA_SCORE_EXPR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "ma/schema.h"
+#include "ma/value.h"
+#include "sa/scoring_scheme.h"
+
+namespace graft::ma {
+
+struct ScoreExpr;
+using ScoreExprPtr = std::unique_ptr<ScoreExpr>;
+
+struct ScoreExpr {
+  enum class Kind {
+    kInitPos,       // α(doc, column, cell) over a position column (∅-aware)
+    kInitFromCount, // α over a pre-counted keyword, scaled by the count
+                    // column via ⊗ (the count stands for that many equal
+                    // alternate cells; valid for non-positional schemes)
+    kColRef,        // reference to an existing score column
+    kConj,          // ⊘(left, right)
+    kDisj,          // ⊚(left, right)
+    kScaleByCount,  // ⊗(left, value of a count column)
+  };
+
+  Kind kind;
+  // kInitPos / kColRef / kScaleByCount / kInitFromCount: the referenced
+  // column name (position, score, or count respectively).
+  std::string column;
+  ScoreExprPtr left;
+  ScoreExprPtr right;
+
+  ScoreExprPtr Clone() const;
+  std::string ToString() const;
+
+  static ScoreExprPtr InitPos(std::string pos_column);
+  static ScoreExprPtr InitFromCount(std::string count_column);
+  static ScoreExprPtr ColRef(std::string score_column);
+  static ScoreExprPtr Conj(ScoreExprPtr l, ScoreExprPtr r);
+  static ScoreExprPtr Disj(ScoreExprPtr l, ScoreExprPtr r);
+  static ScoreExprPtr ScaleByCount(ScoreExprPtr l, std::string count_column);
+};
+
+// Compiled form: column names resolved to input indexes for fast
+// evaluation. Build once per (expr, input schema); evaluate per row.
+class CompiledScoreExpr {
+ public:
+  static StatusOr<CompiledScoreExpr> Compile(const ScoreExpr& expr,
+                                             const Schema& input);
+
+  // Evaluates over one tuple. `doc_ctx` is the current document's context;
+  // `col_ctx` maps input column index -> per-document ColumnContext
+  // (precomputed by the evaluator for each doc). The overload taking
+  // `scratch` lets hot paths reuse the step buffer across rows.
+  sa::InternalScore Evaluate(const sa::ScoringScheme& scheme,
+                             const sa::DocContext& doc_ctx,
+                             const std::vector<sa::ColumnContext>& col_ctx,
+                             const Tuple& row) const;
+  sa::InternalScore Evaluate(const sa::ScoringScheme& scheme,
+                             const sa::DocContext& doc_ctx,
+                             const std::vector<sa::ColumnContext>& col_ctx,
+                             const Tuple& row,
+                             std::vector<sa::InternalScore>* scratch) const;
+
+ private:
+  struct Step {
+    ScoreExpr::Kind kind;
+    int column_index = -1;  // input column for leaf/scale kinds
+    int left = -1;          // step indexes for kConj/kDisj/kScaleByCount
+    int right = -1;
+  };
+
+  static StatusOr<int> CompileNode(const ScoreExpr& expr, const Schema& input,
+                                   std::vector<Step>* steps);
+
+  std::vector<Step> steps_;  // postorder; last step is the root
+};
+
+}  // namespace graft::ma
+
+#endif  // GRAFT_MA_SCORE_EXPR_H_

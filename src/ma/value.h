@@ -1,0 +1,63 @@
+// Tuple values flowing through GRAFT plans.
+//
+// Match tables proper contain only positions (§3.2), but optimized plans
+// interleave matching and scoring (§4.3), so intermediate tuples may also
+// carry internal scores (hosted SA state) and counts (eager counting /
+// pre-counting). Value is a small tagged union of the three.
+
+#ifndef GRAFT_MA_VALUE_H_
+#define GRAFT_MA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/types.h"
+#include "sa/internal_score.h"
+
+namespace graft::ma {
+
+struct Value {
+  enum class Kind : uint8_t { kPos, kScore, kCount };
+
+  Kind kind = Kind::kPos;
+  Offset pos = kEmptyOffset;   // kPos (kEmptyOffset encodes ∅)
+  uint64_t count = 0;          // kCount
+  sa::InternalScore score;     // kScore
+
+  static Value Pos(Offset offset) {
+    Value v;
+    v.kind = Kind::kPos;
+    v.pos = offset;
+    return v;
+  }
+  static Value EmptyPos() { return Pos(kEmptyOffset); }
+  static Value Count(uint64_t count) {
+    Value v;
+    v.kind = Kind::kCount;
+    v.count = count;
+    return v;
+  }
+  static Value Score(sa::InternalScore score) {
+    Value v;
+    v.kind = Kind::kScore;
+    v.score = std::move(score);
+    return v;
+  }
+
+  bool is_empty_pos() const {
+    return kind == Kind::kPos && pos == kEmptyOffset;
+  }
+
+  std::string ToString() const;
+};
+
+// A plan tuple: the implicit document column plus the schema's values.
+struct Tuple {
+  DocId doc = kInvalidDoc;
+  std::vector<Value> values;
+};
+
+}  // namespace graft::ma
+
+#endif  // GRAFT_MA_VALUE_H_

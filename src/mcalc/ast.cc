@@ -1,0 +1,255 @@
+#include "mcalc/ast.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace graft::mcalc {
+
+Node Node::Clone() const {
+  Node copy;
+  copy.kind = kind;
+  copy.keyword = keyword;
+  copy.var = var;
+  copy.constraints = constraints;
+  copy.children.reserve(children.size());
+  for (const NodePtr& child : children) {
+    copy.children.push_back(child->ClonePtr());
+  }
+  return copy;
+}
+
+NodePtr Node::ClonePtr() const { return std::make_unique<Node>(Clone()); }
+
+Query Query::Clone() const {
+  Query copy;
+  copy.root = root == nullptr ? nullptr : root->ClonePtr();
+  copy.variables = variables;
+  return copy;
+}
+
+NodePtr MakeKeyword(std::string keyword, VarId var) {
+  auto node = std::make_unique<Node>();
+  node->kind = NodeKind::kKeyword;
+  node->keyword = std::move(keyword);
+  node->var = var;
+  return node;
+}
+
+NodePtr MakeAnd(std::vector<NodePtr> children) {
+  auto node = std::make_unique<Node>();
+  node->kind = NodeKind::kAnd;
+  node->children = std::move(children);
+  return node;
+}
+
+NodePtr MakeOr(std::vector<NodePtr> children) {
+  auto node = std::make_unique<Node>();
+  node->kind = NodeKind::kOr;
+  node->children = std::move(children);
+  return node;
+}
+
+NodePtr MakeNot(NodePtr child) {
+  auto node = std::make_unique<Node>();
+  node->kind = NodeKind::kNot;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+NodePtr MakeConstrained(NodePtr child,
+                        std::vector<PredicateCall> constraints) {
+  auto node = std::make_unique<Node>();
+  node->kind = NodeKind::kConstrained;
+  node->children.push_back(std::move(child));
+  node->constraints = std::move(constraints);
+  return node;
+}
+
+namespace {
+
+void CollectFreeVariables(const Node& node, std::vector<VarId>* out) {
+  switch (node.kind) {
+    case NodeKind::kKeyword:
+      out->push_back(node.var);
+      return;
+    case NodeKind::kNot:
+      return;  // Quantified away.
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+    case NodeKind::kConstrained:
+      for (const NodePtr& child : node.children) {
+        CollectFreeVariables(*child, out);
+      }
+      return;
+  }
+}
+
+void CollectConstraints(const Node& node,
+                        std::vector<const PredicateCall*>* out) {
+  if (node.kind == NodeKind::kConstrained) {
+    for (const PredicateCall& call : node.constraints) {
+      out->push_back(&call);
+    }
+  }
+  for (const NodePtr& child : node.children) {
+    CollectConstraints(*child, out);
+  }
+}
+
+std::string NodeToMCalc(const Node& node) {
+  switch (node.kind) {
+    case NodeKind::kKeyword:
+      return "HAS(d,p" + std::to_string(node.var) + ",'" + node.keyword +
+             "')";
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      const char* connective = node.kind == NodeKind::kAnd ? " ∧ " : " ∨ ";
+      std::string out = "(";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out += connective;
+        out += NodeToMCalc(*node.children[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case NodeKind::kNot:
+      return "¬" + NodeToMCalc(*node.children[0]);
+    case NodeKind::kConstrained: {
+      std::string out = "(" + NodeToMCalc(*node.children[0]);
+      for (const PredicateCall& call : node.constraints) {
+        out += " ∧ " + call.ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<VarId> FreeVariables(const Node& node) {
+  std::vector<VarId> vars;
+  CollectFreeVariables(node, &vars);
+  return vars;
+}
+
+std::vector<const PredicateCall*> AllConstraints(const Node& node) {
+  std::vector<const PredicateCall*> calls;
+  CollectConstraints(node, &calls);
+  return calls;
+}
+
+std::string ToMCalcString(const Query& query) {
+  if (query.root == nullptr) {
+    return "{}";
+  }
+  std::string head = "{⟨d";
+  for (const Variable& var : query.variables) {
+    head += ",p" + std::to_string(var.id);
+  }
+  head += "⟩ | ";
+  return head + NodeToMCalc(*query.root) + "}";
+}
+
+namespace {
+
+Status ValidateNode(const Node& node, const Query& query,
+                    std::set<VarId>* seen_bindings) {
+  switch (node.kind) {
+    case NodeKind::kKeyword: {
+      if (node.var < 0 ||
+          node.var >= static_cast<VarId>(query.variables.size())) {
+        return Status::InvalidArgument("variable id out of range");
+      }
+      if (!seen_bindings->insert(node.var).second) {
+        return Status::InvalidArgument(
+            "variable p" + std::to_string(node.var) +
+            " bound by more than one keyword occurrence");
+      }
+      if (query.variables[node.var].keyword != node.keyword) {
+        return Status::InvalidArgument(
+            "variable table keyword mismatch for p" +
+            std::to_string(node.var));
+      }
+      if (node.keyword.empty()) {
+        return Status::InvalidArgument("empty keyword");
+      }
+      return Status::Ok();
+    }
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      if (node.children.size() < 2) {
+        return Status::InvalidArgument(
+            "And/Or must have at least two children");
+      }
+      for (const NodePtr& child : node.children) {
+        GRAFT_RETURN_IF_ERROR(ValidateNode(*child, query, seen_bindings));
+      }
+      return Status::Ok();
+    }
+    case NodeKind::kNot: {
+      if (node.children.size() != 1) {
+        return Status::InvalidArgument("Not must have exactly one child");
+      }
+      return ValidateNode(*node.children[0], query, seen_bindings);
+    }
+    case NodeKind::kConstrained: {
+      if (node.children.size() != 1) {
+        return Status::InvalidArgument(
+            "Constrained must have exactly one child");
+      }
+      GRAFT_RETURN_IF_ERROR(
+          ValidateNode(*node.children[0], query, seen_bindings));
+      const std::vector<VarId> scope = FreeVariables(*node.children[0]);
+      const std::set<VarId> scope_set(scope.begin(), scope.end());
+      for (const PredicateCall& call : node.constraints) {
+        GRAFT_RETURN_IF_ERROR(ValidatePredicateCall(call));
+        for (const VarId var : call.vars) {
+          if (scope_set.count(var) == 0) {
+            return Status::InvalidArgument(
+                "predicate " + call.name + " references p" +
+                std::to_string(var) + " outside its scope (safe-range "
+                "violation)");
+          }
+        }
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown node kind");
+}
+
+}  // namespace
+
+Status ValidateQuery(const Query& query) {
+  if (query.root == nullptr) {
+    return Status::InvalidArgument("query has no root");
+  }
+  for (size_t i = 0; i < query.variables.size(); ++i) {
+    if (query.variables[i].id != static_cast<VarId>(i)) {
+      return Status::InvalidArgument("variable table ids must be dense");
+    }
+  }
+  std::set<VarId> bindings;
+  GRAFT_RETURN_IF_ERROR(ValidateNode(*query.root, query, &bindings));
+  // Every variable in the table must be bound somewhere (possibly under
+  // negation; negated bindings are still bindings for table purposes).
+  if (bindings.size() != query.variables.size()) {
+    // Recount including negated subtrees.
+    std::vector<VarId> all;
+    std::function<void(const Node&)> collect = [&](const Node& node) {
+      if (node.kind == NodeKind::kKeyword) all.push_back(node.var);
+      for (const NodePtr& child : node.children) collect(*child);
+    };
+    collect(*query.root);
+    if (all.size() != query.variables.size()) {
+      return Status::InvalidArgument(
+          "variable table size does not match keyword occurrences");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace graft::mcalc

@@ -1,0 +1,103 @@
+// The Matching Calculus (MCalc) query representation (Section 3.1).
+//
+// A query is a boolean structure over HAS atoms plus positional predicate
+// constraints. Each keyword occurrence in the query binds a fresh position
+// variable p_i (appearance order). A match is a tuple ⟨d, p0..pn⟩ of
+// positions in d (or ∅) satisfying the formula; variables not bound by the
+// disjunct that produced a match are ∅ (the EMPTY predicate of the paper —
+// this is what makes disjunctive queries safe).
+//
+// The tree shapes produced here correspond 1:1 to the paper's examples:
+// query Q3 is And( Pred(And(windows, emulator), WINDOW[50])?, ... ) — see
+// parser_test.cc for the exact shape.
+
+#ifndef GRAFT_MCALC_AST_H_
+#define GRAFT_MCALC_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mcalc/predicates.h"
+
+namespace graft::mcalc {
+
+enum class NodeKind {
+  kKeyword,      // HAS(d, p_var, keyword)
+  kAnd,          // conjunction of children
+  kOr,           // disjunction of children
+  kNot,          // negation (child's variables are quantified away)
+  kConstrained,  // child ∧ predicate constraints over child's variables
+};
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  NodeKind kind;
+
+  // kKeyword:
+  std::string keyword;
+  VarId var = -1;
+
+  // kAnd / kOr: 2+ children. kNot / kConstrained: exactly 1 child.
+  std::vector<NodePtr> children;
+
+  // kConstrained:
+  std::vector<PredicateCall> constraints;
+
+  Node Clone() const;
+  NodePtr ClonePtr() const;
+};
+
+// Variable metadata: which keyword each position variable ranges over.
+struct Variable {
+  VarId id;
+  std::string keyword;
+};
+
+// A complete MCalc query.
+struct Query {
+  NodePtr root;
+  std::vector<Variable> variables;  // indexed by VarId
+
+  Query() = default;
+  Query(Query&&) = default;
+  Query& operator=(Query&&) = default;
+
+  Query Clone() const;
+
+  size_t num_variables() const { return variables.size(); }
+};
+
+// ---- Construction helpers (used by the parser, tests, and examples) ----
+
+NodePtr MakeKeyword(std::string keyword, VarId var);
+NodePtr MakeAnd(std::vector<NodePtr> children);
+NodePtr MakeOr(std::vector<NodePtr> children);
+NodePtr MakeNot(NodePtr child);
+NodePtr MakeConstrained(NodePtr child, std::vector<PredicateCall> constraints);
+
+// Variables bound by the subtree, in appearance order, excluding variables
+// under kNot (those are quantified, not free).
+std::vector<VarId> FreeVariables(const Node& node);
+
+// Collects every predicate call in the tree.
+std::vector<const PredicateCall*> AllConstraints(const Node& node);
+
+// Renders the query as an MCalc first-order formula over HAS / EMPTY /
+// predicates, in the style of the paper's Example 1 and 2.
+std::string ToMCalcString(const Query& query);
+
+// Safety / well-formedness validation (the paper's safe-range condition):
+//  * variable ids are dense, unique per keyword occurrence, in range;
+//  * predicate constraints reference only variables free in their scope;
+//  * predicate names/arities validate against the registry;
+//  * negation does not contain the only binding of a variable used outside;
+//  * And/Or have >= 2 children, Not/Constrained exactly 1.
+Status ValidateQuery(const Query& query);
+
+}  // namespace graft::mcalc
+
+#endif  // GRAFT_MCALC_AST_H_

@@ -1,0 +1,322 @@
+#include "mcalc/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace graft::mcalc {
+
+namespace {
+
+enum class TokenKind {
+  kWord,       // bare word (keyword or predicate name)
+  kQuoted,     // quoted phrase content (already split into words)
+  kPipe,       // |
+  kLParen,     // (
+  kRParen,     // )
+  kLBracket,   // [
+  kRBracket,   // ]
+  kComma,      // ,
+  kBang,       // !
+  kInt,        // integer literal inside predicate brackets
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;                  // kWord: original case preserved
+  std::vector<std::string> words;    // kQuoted
+  int64_t value = 0;                 // kInt
+  size_t pos = 0;                    // byte offset, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Lex() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    const size_t n = text_.size();
+    while (i < n) {
+      const char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token token;
+      token.pos = i;
+      switch (c) {
+        case '|': token.kind = TokenKind::kPipe; ++i; break;
+        case '(': token.kind = TokenKind::kLParen; ++i; break;
+        case ')': token.kind = TokenKind::kRParen; ++i; break;
+        case '[': token.kind = TokenKind::kLBracket; ++i; break;
+        case ']': token.kind = TokenKind::kRBracket; ++i; break;
+        case ',': token.kind = TokenKind::kComma; ++i; break;
+        case '!': token.kind = TokenKind::kBang; ++i; break;
+        case '"': {
+          ++i;
+          const size_t start = i;
+          while (i < n && text_[i] != '"') ++i;
+          if (i >= n) {
+            return Status::InvalidArgument(
+                "unterminated quote at offset " + std::to_string(token.pos));
+          }
+          token.kind = TokenKind::kQuoted;
+          token.words = SplitWords(text_.substr(start, i - start));
+          if (token.words.empty()) {
+            return Status::InvalidArgument("empty phrase");
+          }
+          ++i;  // closing quote
+          break;
+        }
+        default: {
+          if (std::isdigit(static_cast<unsigned char>(c))) {
+            // Integers only appear inside predicate brackets; in keyword
+            // position digit-led tokens are treated as words, so we decide
+            // by context in the parser. Lex as word; parser re-reads ints.
+          }
+          if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+              c != '-') {
+            return Status::InvalidArgument(
+                std::string("unexpected character '") + c + "' at offset " +
+                std::to_string(i));
+          }
+          const size_t start = i;
+          while (i < n && (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                           text_[i] == '_' || text_[i] == '-')) {
+            ++i;
+          }
+          token.kind = TokenKind::kWord;
+          token.text = std::string(text_.substr(start, i - start));
+          break;
+        }
+      }
+      tokens.push_back(std::move(token));
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.pos = n;
+    tokens.push_back(std::move(end));
+    return tokens;
+  }
+
+ private:
+  static std::vector<std::string> SplitWords(std::string_view s) {
+    std::vector<std::string> words;
+    std::string current;
+    for (const char c : s) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        current.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      } else if (!current.empty()) {
+        words.push_back(std::move(current));
+        current.clear();
+      }
+    }
+    if (!current.empty()) words.push_back(std::move(current));
+    return words;
+  }
+
+  std::string_view text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Query> Parse() {
+    Query query;
+    auto root = ParseDisjunct(&query);
+    if (!root.ok()) return root.status();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(Peek().pos));
+    }
+    query.root = std::move(root).value();
+    GRAFT_RETURN_IF_ERROR(ValidateQuery(query));
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  VarId BindVariable(Query* query, const std::string& keyword) {
+    const VarId id = static_cast<VarId>(query->variables.size());
+    query->variables.push_back(Variable{id, keyword});
+    return id;
+  }
+
+  static std::string Lowercase(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+  }
+
+  static bool IsAllUpper(const std::string& s) {
+    bool has_alpha = false;
+    for (const char c : s) {
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        has_alpha = true;
+        if (std::islower(static_cast<unsigned char>(c))) return false;
+      }
+    }
+    return has_alpha;
+  }
+
+  StatusOr<NodePtr> ParseDisjunct(Query* query) {
+    std::vector<NodePtr> branches;
+    auto first = ParseConjunct(query);
+    if (!first.ok()) return first.status();
+    branches.push_back(std::move(first).value());
+    while (Accept(TokenKind::kPipe)) {
+      auto next = ParseConjunct(query);
+      if (!next.ok()) return next.status();
+      branches.push_back(std::move(next).value());
+    }
+    if (branches.size() == 1) {
+      return std::move(branches[0]);
+    }
+    return MakeOr(std::move(branches));
+  }
+
+  StatusOr<NodePtr> ParseConjunct(Query* query) {
+    std::vector<NodePtr> factors;
+    while (true) {
+      const TokenKind kind = Peek().kind;
+      if (kind != TokenKind::kWord && kind != TokenKind::kQuoted &&
+          kind != TokenKind::kLParen && kind != TokenKind::kBang) {
+        break;
+      }
+      auto factor = ParseFactor(query);
+      if (!factor.ok()) return factor.status();
+      factors.push_back(std::move(factor).value());
+    }
+    if (factors.empty()) {
+      return Status::InvalidArgument("expected a keyword, phrase, or group "
+                                     "at offset " +
+                                     std::to_string(Peek().pos));
+    }
+    if (factors.size() == 1) {
+      return std::move(factors[0]);
+    }
+    return MakeAnd(std::move(factors));
+  }
+
+  StatusOr<NodePtr> ParseFactor(Query* query) {
+    if (Accept(TokenKind::kBang)) {
+      auto child = ParseFactor(query);
+      if (!child.ok()) return child.status();
+      return MakeNot(std::move(child).value());
+    }
+    return ParsePrimary(query);
+  }
+
+  StatusOr<NodePtr> ParsePrimary(Query* query) {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kWord: {
+        const std::string keyword = Lowercase(Take().text);
+        const VarId var = BindVariable(query, keyword);
+        return MakeKeyword(keyword, var);
+      }
+      case TokenKind::kQuoted: {
+        const Token phrase = Take();
+        std::vector<NodePtr> words;
+        std::vector<VarId> vars;
+        for (const std::string& word : phrase.words) {
+          const VarId var = BindVariable(query, word);
+          vars.push_back(var);
+          words.push_back(MakeKeyword(word, var));
+        }
+        if (words.size() == 1) {
+          return std::move(words[0]);
+        }
+        std::vector<PredicateCall> constraints;
+        for (size_t i = 1; i < vars.size(); ++i) {
+          constraints.push_back(
+              PredicateCall{"DISTANCE", {vars[i - 1], vars[i]}, {1}});
+        }
+        return MakeConstrained(MakeAnd(std::move(words)),
+                               std::move(constraints));
+      }
+      case TokenKind::kLParen: {
+        Take();
+        auto inner = ParseDisjunct(query);
+        if (!inner.ok()) return inner.status();
+        if (!Accept(TokenKind::kRParen)) {
+          return Status::InvalidArgument("expected ')' at offset " +
+                                         std::to_string(Peek().pos));
+        }
+        // Optional trailing predicate: PRED '[' INT (',' INT)* ']'.
+        if (Peek().kind == TokenKind::kWord && IsAllUpper(Peek().text) &&
+            (Peek(1).kind == TokenKind::kLBracket ||
+             PredicateTakesNoParams(Peek().text))) {
+          const std::string pred_name = Take().text;
+          std::vector<int64_t> params;
+          if (Accept(TokenKind::kLBracket)) {
+            while (true) {
+              const Token& p = Peek();
+              if (p.kind != TokenKind::kWord || p.text.empty() ||
+                  !std::isdigit(static_cast<unsigned char>(p.text[0]))) {
+                return Status::InvalidArgument(
+                    "expected integer parameter for " + pred_name);
+              }
+              params.push_back(std::stoll(Take().text));
+              if (!Accept(TokenKind::kComma)) break;
+            }
+            if (!Accept(TokenKind::kRBracket)) {
+              return Status::InvalidArgument("expected ']' after " +
+                                             pred_name + " parameters");
+            }
+          }
+          NodePtr child = std::move(inner).value();
+          const std::vector<VarId> vars = FreeVariables(*child);
+          PredicateCall call{pred_name, vars, std::move(params)};
+          GRAFT_RETURN_IF_ERROR(ValidatePredicateCall(call));
+          return MakeConstrained(std::move(child), {std::move(call)});
+        }
+        return inner;
+      }
+      default:
+        return Status::InvalidArgument("unexpected token at offset " +
+                                       std::to_string(token.pos));
+    }
+  }
+
+  static bool PredicateTakesNoParams(const std::string& name) {
+    const PredicateDef* def = PredicateRegistry::Global().Lookup(name);
+    return def != nullptr && def->num_params == 0;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Lex();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace graft::mcalc

@@ -1,0 +1,38 @@
+// Parser for the paper's Section 8 shorthand query syntax.
+//
+//   query    := disjunct
+//   disjunct := conjunct ('|' conjunct)*
+//   conjunct := factor+                       (juxtaposition is AND)
+//   factor   := '!' factor | primary
+//   primary  := WORD
+//             | '"' WORD+ '"'                 (PHRASE: DISTANCE(p_i,p_i+1,1))
+//             | '(' disjunct ')' [PRED '[' INT (',' INT)* ']']
+//
+// PRED is an upper-case predicate name registered in PredicateRegistry
+// (DISTANCE, PROXIMITY, WINDOW, ORDER, or user-defined). A predicate
+// attached to a group applies to all keyword variables bound inside the
+// group, in appearance order. Examples (the paper's evaluation queries):
+//
+//   Q8:  (windows emulator)WINDOW[50] (foss | "free software")
+//   Q10: arizona ((fishing | hunting) (rules | regulations))WINDOW[20]
+//   Q11: "rick warren" (obama inauguration)PROXIMITY[4]
+//          (controversy invocation)PROXIMITY[15]
+//
+// Keywords are lowercased. Each keyword occurrence binds a fresh position
+// variable in appearance order (p0, p1, ...).
+
+#ifndef GRAFT_MCALC_PARSER_H_
+#define GRAFT_MCALC_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "mcalc/ast.h"
+
+namespace graft::mcalc {
+
+StatusOr<Query> ParseQuery(std::string_view text);
+
+}  // namespace graft::mcalc
+
+#endif  // GRAFT_MCALC_PARSER_H_

@@ -1,0 +1,143 @@
+#include "mcalc/predicates.h"
+
+#include <algorithm>
+
+namespace graft::mcalc {
+
+namespace {
+
+bool SpanAtMost(std::span<const Offset> positions,
+                std::span<const int64_t> params) {
+  if (positions.size() < 2) {
+    return true;
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(positions.begin(), positions.end());
+  return static_cast<int64_t>(*max_it) - static_cast<int64_t>(*min_it) <=
+         params[0];
+}
+
+bool ExactDistance(std::span<const Offset> positions,
+                   std::span<const int64_t> params) {
+  if (positions.size() < 2) {
+    return true;
+  }
+  return static_cast<int64_t>(positions[1]) -
+             static_cast<int64_t>(positions[0]) ==
+         params[0];
+}
+
+bool StrictOrder(std::span<const Offset> positions,
+                 std::span<const int64_t> /*params*/) {
+  for (size_t i = 1; i < positions.size(); ++i) {
+    if (positions[i - 1] >= positions[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PredicateRegistry::PredicateRegistry() {
+  defs_["DISTANCE"] = PredicateDef{"DISTANCE", 2, 2, 1, ExactDistance};
+  defs_["PROXIMITY"] = PredicateDef{"PROXIMITY", 2, -1, 1, SpanAtMost};
+  defs_["WINDOW"] = PredicateDef{"WINDOW", 2, -1, 1, SpanAtMost};
+  defs_["ORDER"] = PredicateDef{"ORDER", 2, -1, 0, StrictOrder};
+}
+
+PredicateRegistry& PredicateRegistry::Global() {
+  // Function-local static reference: intentionally leaked to avoid static
+  // destruction ordering issues (Google style).
+  static PredicateRegistry& registry = *new PredicateRegistry();
+  return registry;
+}
+
+Status PredicateRegistry::Register(PredicateDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("predicate name must be non-empty");
+  }
+  if (!def.evaluator) {
+    return Status::InvalidArgument("predicate evaluator must be set");
+  }
+  const auto [it, inserted] = defs_.try_emplace(def.name, std::move(def));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("predicate already registered: " +
+                                 it->second.name);
+  }
+  return Status::Ok();
+}
+
+const PredicateDef* PredicateRegistry::Lookup(std::string_view name) const {
+  const auto it = defs_.find(std::string(name));
+  return it == defs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> PredicateRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(defs_.size());
+  for (const auto& [name, def] : defs_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string PredicateCall::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "p" + std::to_string(vars[i]);
+  }
+  for (const int64_t param : params) {
+    out += "," + std::to_string(param);
+  }
+  out += ")";
+  return out;
+}
+
+Status ValidatePredicateCall(const PredicateCall& call) {
+  const PredicateDef* def = PredicateRegistry::Global().Lookup(call.name);
+  if (def == nullptr) {
+    return Status::NotFound("unknown predicate: " + call.name);
+  }
+  const int nvars = static_cast<int>(call.vars.size());
+  if (nvars < def->min_vars ||
+      (def->max_vars >= 0 && nvars > def->max_vars)) {
+    return Status::InvalidArgument("predicate " + call.name +
+                                   " variable-arity violation");
+  }
+  if (static_cast<int>(call.params.size()) != def->num_params) {
+    return Status::InvalidArgument("predicate " + call.name +
+                                   " expects " +
+                                   std::to_string(def->num_params) +
+                                   " constant parameter(s)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<bool> EvaluatePredicate(
+    const PredicateCall& call,
+    const std::function<Offset(VarId)>& position_of) {
+  const PredicateDef* def = PredicateRegistry::Global().Lookup(call.name);
+  if (def == nullptr) {
+    return Status::NotFound("unknown predicate: " + call.name);
+  }
+  // Collect non-∅ positions in variable order.
+  Offset positions[64];
+  size_t count = 0;
+  for (const VarId var : call.vars) {
+    const Offset offset = position_of(var);
+    if (offset != kEmptyOffset) {
+      if (count >= 64) {
+        return Status::OutOfRange("predicate over more than 64 variables");
+      }
+      positions[count++] = offset;
+    }
+  }
+  return def->evaluator(std::span<const Offset>(positions, count),
+                        call.params);
+}
+
+}  // namespace graft::mcalc

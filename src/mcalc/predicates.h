@@ -1,0 +1,101 @@
+// Full-text positional predicates (Section 3.1).
+//
+// MCalc supports predicates of the form PRED(p̄, c̄): constraints over
+// position variables p̄ parameterized by constants c̄. Built-ins:
+//
+//   DISTANCE(p1, p2, n)   exact distance: p2 - p1 == n
+//   PROXIMITY(p..., n)    span of the positions <= n
+//   WINDOW(p..., n)       span of the positions <= n
+//   ORDER(p...)           positions strictly increasing
+//
+// PHRASE is syntactic sugar (a chain of DISTANCE(p_i, p_{i+1}, 1)) expanded
+// by the parser. PROXIMITY and WINDOW are defined only for pairs in the
+// paper but used over 3+ keywords in its evaluation queries (Q9, Q10); we
+// generalize both to the span (max - min) of the bound positions.
+//
+// Empty-position semantics: a position bound to ∅ is "inconsequential to
+// the match" (Section 3.1), so predicates are evaluated over the non-∅
+// arguments only; with fewer than two real positions every built-in is
+// satisfied. This matches the paper's Figure 2 match table, where the
+// foss-branch rows carry ∅ for 'free'/'software' yet pass DISTANCE.
+//
+// User-defined predicates (the paper's "plug-in" predicates such as
+// SAMESENTENCE) register an evaluator in PredicateRegistry.
+
+#ifndef GRAFT_MCALC_PREDICATES_H_
+#define GRAFT_MCALC_PREDICATES_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "index/types.h"
+
+namespace graft::mcalc {
+
+// Query position-variable id (index into the query's variable table).
+using VarId = int32_t;
+
+// Evaluates a predicate over the non-∅ positions (in variable order) and
+// the constant parameters. Must be a pure function.
+using PredicateEvaluator = std::function<bool(
+    std::span<const Offset> positions, std::span<const int64_t> params)>;
+
+struct PredicateDef {
+  std::string name;
+  // Accepted variable-argument counts (inclusive). max_vars < 0 = unbounded.
+  int min_vars = 2;
+  int max_vars = -1;
+  // Exact number of constant parameters.
+  int num_params = 1;
+  PredicateEvaluator evaluator;
+};
+
+class PredicateRegistry {
+ public:
+  // The process-wide registry, pre-populated with the built-ins.
+  static PredicateRegistry& Global();
+
+  // Registers a user-defined predicate. Fails if the name is taken.
+  Status Register(PredicateDef def);
+
+  // Returns nullptr if unknown.
+  const PredicateDef* Lookup(std::string_view name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  PredicateRegistry();
+
+  std::unordered_map<std::string, PredicateDef> defs_;
+};
+
+// One predicate application within a query: PRED(vars..., params...).
+struct PredicateCall {
+  std::string name;
+  std::vector<VarId> vars;
+  std::vector<int64_t> params;
+
+  bool operator==(const PredicateCall& other) const = default;
+
+  std::string ToString() const;
+};
+
+// Evaluates `call` given a positions accessor mapping VarId -> Offset
+// (kEmptyOffset for ∅). Returns InvalidArgument for unknown predicates or
+// arity violations; those are normally rejected at query-validation time.
+StatusOr<bool> EvaluatePredicate(
+    const PredicateCall& call,
+    const std::function<Offset(VarId)>& position_of);
+
+// Validates name/arity against the registry.
+Status ValidatePredicateCall(const PredicateCall& call);
+
+}  // namespace graft::mcalc
+
+#endif  // GRAFT_MCALC_PREDICATES_H_

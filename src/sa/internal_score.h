@@ -1,0 +1,53 @@
+// Internal scores (Section 4.1, Step 3).
+//
+// Score aggregation is defined with binary operators, so schemes whose
+// aggregate is not naturally binary-composable (mean, min-distance) carry a
+// structured "internal score" through aggregation and only collapse it to a
+// float in the finalizer ω. InternalScore provides two generic numeric
+// slots plus an offset list used only by positional schemes:
+//
+//   scheme            a            b          positions
+//   AnySum/SumBest    score        (coord)    -
+//   Lucene            score        matched    -
+//   MeanSum           sum          count      -
+//   Join-Normalized   scr          size       -
+//   Event Model       probability  -          -
+//   BestSum+MinDist   scr          min dist   match offsets
+
+#ifndef GRAFT_SA_INTERNAL_SCORE_H_
+#define GRAFT_SA_INTERNAL_SCORE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "index/types.h"
+
+namespace graft::sa {
+
+struct InternalScore {
+  double a = 0.0;
+  double b = 0.0;
+  std::vector<Offset> positions;
+
+  InternalScore() = default;
+  explicit InternalScore(double a_in, double b_in = 0.0) : a(a_in), b(b_in) {}
+
+  // Structural equality with tolerance on the numeric slots, for tests and
+  // the empirical property checker.
+  bool ApproxEquals(const InternalScore& other, double tolerance = 1e-9) const {
+    auto close = [tolerance](double x, double y) {
+      if (std::isinf(x) || std::isinf(y)) return x == y;
+      const double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
+      return std::fabs(x - y) <= tolerance * scale;
+    };
+    return close(a, other.a) && close(b, other.b);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace graft::sa
+
+#endif  // GRAFT_SA_INTERNAL_SCORE_H_

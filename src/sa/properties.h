@@ -1,0 +1,59 @@
+// Optimization-relevant scoring-scheme properties (Section 5.1).
+//
+// These are the *only* facts the optimizer knows about a scheme. A scoring
+// scheme developer declares them once; the optimizer derives which rewrites
+// preserve score consistency (Table 1 → Table 3). The developer never needs
+// to know the rewrite catalog.
+
+#ifndef GRAFT_SA_PROPERTIES_H_
+#define GRAFT_SA_PROPERTIES_H_
+
+#include <string>
+
+namespace graft::sa {
+
+// Scoring directionality (Section 4.2.2). Diagonal schemes compute the same
+// score row-first, column-first, or interleaved (Definition 3) and give the
+// optimizer the most freedom.
+enum class Direction {
+  kDiagonal,
+  kRowFirst,
+  kColumnFirst,
+};
+
+std::string DirectionName(Direction direction);
+
+// Basic algebraic properties of one binary combinator (⊘, ⊚, or ⊕).
+struct CombinatorProps {
+  bool associative = false;
+  bool commutative = false;
+  bool monotonic_increasing = false;
+  bool idempotent = false;
+};
+
+struct SchemeProperties {
+  Direction direction = Direction::kDiagonal;
+
+  // Positional (Section 5.1): term positions factor into α. Non-positional
+  // schemes admit pre-counting (the offset is never read).
+  bool positional = false;
+
+  // Constant (Section 5.1): all matches of a document have the same score
+  // and ⊕ is idempotent — one match suffices to score the document.
+  bool constant = false;
+
+  // ⊕ multiplies (Section 5.1): a run of k equal scores aggregates in O(1)
+  // via ScoringScheme::Scale (the paper's ⊗ operator).
+  bool alt_multiplies = false;
+
+  CombinatorProps alt;   // ⊕, the alternate combinator.
+  CombinatorProps conj;  // ⊘, the conjunctive combinator.
+  CombinatorProps disj;  // ⊚, the disjunctive combinator.
+
+  bool diagonal() const { return direction == Direction::kDiagonal; }
+  bool row_first() const { return direction == Direction::kRowFirst; }
+};
+
+}  // namespace graft::sa
+
+#endif  // GRAFT_SA_PROPERTIES_H_

@@ -1,0 +1,299 @@
+#include "sa/property_checker.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace graft::sa {
+
+namespace {
+
+constexpr double kTolerance = 1e-7;
+
+// Sampling machinery: realizable internal scores are those reachable
+// through the scheme's own operators from α outputs. One trial fixes a
+// document context and two column contexts, then folds random α outputs.
+class Sampler {
+ public:
+  Sampler(const ScoringScheme& scheme, uint64_t seed)
+      : scheme_(scheme), rng_(seed) {
+    NewTrial();
+  }
+
+  void NewTrial() {
+    doc_.doc = static_cast<DocId>(rng_.NextBounded(100000));
+    doc_.length = static_cast<uint32_t>(rng_.NextInRange(40, 600));
+    doc_.collection_size = rng_.NextInRange(50000, 5000000);
+    doc_.avg_doc_length = 250.0;
+    for (ColumnContext& col : cols_) {
+      col.term = static_cast<TermId>(rng_.NextBounded(1000));
+      // A term's document frequency cannot exceed the collection size.
+      col.doc_freq = rng_.NextInRange(10, doc_.collection_size / 2);
+      col.tf_in_doc = static_cast<uint32_t>(rng_.NextInRange(1, 8));
+    }
+  }
+
+  // α output for column `c`; ∅ with the given probability.
+  InternalScore Cell(int c, double empty_probability = 0.3) {
+    const Offset offset =
+        rng_.NextBool(empty_probability)
+            ? kEmptyOffset
+            : static_cast<Offset>(rng_.NextBounded(doc_.length));
+    return scheme_.Init(doc_, cols_[c], offset);
+  }
+
+  // A realizable alternate score of column `c`: an ⊕-fold of `folds` cells
+  // (random 1..3 when folds == 0).
+  InternalScore AltScore(int c, double empty_probability = 0.3,
+                         uint64_t folds = 0) {
+    if (folds == 0) {
+      folds = 1 + rng_.NextBounded(3);
+    }
+    InternalScore acc = Cell(c, empty_probability);
+    for (uint64_t i = 1; i < folds; ++i) {
+      acc = scheme_.Alt(acc, Cell(c, empty_probability));
+    }
+    return acc;
+  }
+
+  const DocContext& doc() const { return doc_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  const ScoringScheme& scheme_;
+  Rng rng_;
+  DocContext doc_;
+  ColumnContext cols_[2];
+};
+
+std::string Violation(const InternalScore& left, const InternalScore& right) {
+  return left.ToString() + " != " + right.ToString();
+}
+
+using Combine = InternalScore (ScoringScheme::*)(const InternalScore&,
+                                                 const InternalScore&) const;
+
+void CheckCombinator(const ScoringScheme& scheme, const std::string& symbol,
+                     Combine op, const CombinatorProps& declared,
+                     bool operands_same_column, int samples, uint64_t seed,
+                     PropertyReport* report) {
+  // Conjuncted/disjuncted scores refer to the *same* set of matches
+  // (Section 4.1), so for ⊘/⊚ all operands in a trial are folds of the
+  // same length; alternate (⊕) operands may be folds of any length.
+  uint64_t trial_folds = 1;
+  const auto operand = [&](Sampler& sampler, int preferred) {
+    return operands_same_column
+               ? sampler.AltScore(0)
+               : sampler.AltScore(preferred, 0.3, trial_folds);
+  };
+
+  PropertyCheckResult commutative{symbol + " commutative",
+                                  declared.commutative, true, ""};
+  PropertyCheckResult associative{symbol + " associative",
+                                  declared.associative, true, ""};
+  PropertyCheckResult idempotent{symbol + " idempotent", declared.idempotent,
+                                 true, ""};
+  PropertyCheckResult monotonic{symbol + " monotonic increasing",
+                                declared.monotonic_increasing, true, ""};
+
+  Sampler sampler(scheme, seed);
+  for (int i = 0; i < samples; ++i) {
+    sampler.NewTrial();
+    trial_folds = 1 + sampler.rng().NextBounded(3);
+    const InternalScore a = operand(sampler, 0);
+    const InternalScore b = operand(sampler, 1);
+    const InternalScore c = operand(sampler, operands_same_column ? 0 : 1);
+
+    if (commutative.held_on_samples) {
+      const InternalScore ab = (scheme.*op)(a, b);
+      const InternalScore ba = (scheme.*op)(b, a);
+      if (!ab.ApproxEquals(ba, kTolerance)) {
+        commutative.held_on_samples = false;
+        commutative.counterexample = Violation(ab, ba);
+      }
+    }
+    if (associative.held_on_samples) {
+      const InternalScore left = (scheme.*op)((scheme.*op)(a, b), c);
+      const InternalScore right = (scheme.*op)(a, (scheme.*op)(b, c));
+      if (!left.ApproxEquals(right, kTolerance)) {
+        associative.held_on_samples = false;
+        associative.counterexample = Violation(left, right);
+      }
+    }
+    if (idempotent.held_on_samples) {
+      const InternalScore aa = (scheme.*op)(a, a);
+      if (!aa.ApproxEquals(a, kTolerance)) {
+        idempotent.held_on_samples = false;
+        idempotent.counterexample = Violation(aa, a);
+      }
+    }
+    if (monotonic.held_on_samples && a.a > 0 && b.a > 0) {
+      // Operationalization: growing one operand (by ⊕-absorbing another
+      // alternate of the same column) must not shrink the combination's
+      // primary slot. Probed over strictly positive scores — the domain
+      // where rank-join thresholds operate (schemes like Join-Normalized
+      // switch formulas at score 0 for ∅ handling).
+      const InternalScore bigger = scheme.Alt(a, sampler.Cell(0, 0.0));
+      if (bigger.a >= a.a - kTolerance) {
+        const InternalScore small = (scheme.*op)(a, b);
+        const InternalScore large = (scheme.*op)(bigger, b);
+        if (large.a < small.a - kTolerance * std::max(1.0, std::fabs(small.a))) {
+          monotonic.held_on_samples = false;
+          monotonic.counterexample = Violation(small, large);
+        }
+      }
+    }
+  }
+  report->results.push_back(std::move(commutative));
+  report->results.push_back(std::move(associative));
+  report->results.push_back(std::move(idempotent));
+  report->results.push_back(std::move(monotonic));
+}
+
+}  // namespace
+
+bool PropertyReport::DeclarationsConsistent() const {
+  for (const PropertyCheckResult& result : results) {
+    if (result.declared && !result.held_on_samples) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string PropertyReport::ToString() const {
+  std::string out = "scheme " + scheme + ":\n";
+  for (const PropertyCheckResult& result : results) {
+    out += "  " + result.property + ": declared=" +
+           (result.declared ? "yes" : "no ") + " held=" +
+           (result.held_on_samples ? "yes" : "NO ");
+    if (!result.counterexample.empty()) {
+      out += "  [" + result.counterexample + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+PropertyReport CheckSchemeProperties(const ScoringScheme& scheme,
+                                     int samples, uint64_t seed) {
+  PropertyReport report;
+  report.scheme = std::string(scheme.name());
+  const SchemeProperties& props = scheme.properties();
+
+  CheckCombinator(scheme, "⊕", &ScoringScheme::Alt, props.alt,
+                  /*operands_same_column=*/true, samples, seed, &report);
+  CheckCombinator(scheme, "⊘", &ScoringScheme::Conj, props.conj,
+                  /*operands_same_column=*/false, samples, seed + 1,
+                  &report);
+  CheckCombinator(scheme, "⊚", &ScoringScheme::Disj, props.disj,
+                  /*operands_same_column=*/false, samples, seed + 2,
+                  &report);
+
+  // ⊕ multiplies: Scale(s, k) must equal the explicit k-fold ⊕.
+  {
+    PropertyCheckResult multiplies{"⊕ multiplies (⊗)", props.alt_multiplies,
+                                   true, ""};
+    Sampler sampler(scheme, seed + 3);
+    for (int i = 0; i < samples && multiplies.held_on_samples; ++i) {
+      sampler.NewTrial();
+      const InternalScore s = sampler.AltScore(0);
+      const uint64_t k = 1 + sampler.rng().NextBounded(6);
+      InternalScore folded = s;
+      for (uint64_t j = 1; j < k; ++j) {
+        folded = scheme.Alt(folded, s);
+      }
+      const InternalScore scaled = scheme.Scale(s, k);
+      if (!scaled.ApproxEquals(folded, kTolerance)) {
+        multiplies.held_on_samples = false;
+        multiplies.counterexample = Violation(scaled, folded);
+      }
+    }
+    report.results.push_back(std::move(multiplies));
+  }
+
+  // Positional: declared non-positional schemes must ignore the offset.
+  {
+    PropertyCheckResult positional{"positional", props.positional, true, ""};
+    Sampler sampler(scheme, seed + 4);
+    bool any_offset_dependence = false;
+    for (int i = 0; i < samples; ++i) {
+      sampler.NewTrial();
+      const InternalScore near = sampler.Cell(0, 0.0);
+      const InternalScore far = sampler.Cell(0, 0.0);
+      if (!near.ApproxEquals(far, kTolerance) ||
+          near.positions != far.positions) {
+        any_offset_dependence = true;
+        if (!props.positional) {
+          positional.held_on_samples = false;
+          positional.counterexample = Violation(near, far);
+          break;
+        }
+      }
+    }
+    if (props.positional && !any_offset_dependence) {
+      positional.held_on_samples = false;
+      positional.counterexample = "declared positional but α never "
+                                  "depended on the offset";
+    }
+    report.results.push_back(std::move(positional));
+  }
+
+  // Constant: every match scores the document identically and ⊕ is
+  // idempotent (one match suffices).
+  {
+    PropertyCheckResult constant{"constant", props.constant, true, ""};
+    if (props.constant) {
+      Sampler sampler(scheme, seed + 5);
+      for (int i = 0; i < samples && constant.held_on_samples; ++i) {
+        sampler.NewTrial();
+        const InternalScore m1 = sampler.Cell(0);
+        const InternalScore m2 = sampler.Cell(0);
+        const InternalScore folded = scheme.Alt(m1, m2);
+        if (!m1.ApproxEquals(m2, kTolerance) ||
+            !folded.ApproxEquals(m1, kTolerance)) {
+          constant.held_on_samples = false;
+          constant.counterexample = Violation(m1, m2);
+        }
+      }
+    }
+    report.results.push_back(std::move(constant));
+  }
+
+  // Diagonal (Definition 3), on conjunctive-realizable samples (no ∅ —
+  // the query classes rigid engines like Lucene declare diagonality for).
+  {
+    PropertyCheckResult diagonal{"diagonal (Definition 3)",
+                                 props.diagonal(), true, ""};
+    if (props.diagonal()) {
+      Sampler sampler(scheme, seed + 6);
+      for (int i = 0; i < samples && diagonal.held_on_samples; ++i) {
+        sampler.NewTrial();
+        const InternalScore w = sampler.Cell(0, 0.0);
+        const InternalScore y = sampler.Cell(0, 0.0);
+        const InternalScore x = sampler.Cell(1, 0.0);
+        const InternalScore z = sampler.Cell(1, 0.0);
+        const InternalScore conj_left =
+            scheme.Alt(scheme.Conj(w, x), scheme.Conj(y, z));
+        const InternalScore conj_right =
+            scheme.Conj(scheme.Alt(w, y), scheme.Alt(x, z));
+        const InternalScore disj_left =
+            scheme.Alt(scheme.Disj(w, x), scheme.Disj(y, z));
+        const InternalScore disj_right =
+            scheme.Disj(scheme.Alt(w, y), scheme.Alt(x, z));
+        if (!conj_left.ApproxEquals(conj_right, kTolerance)) {
+          diagonal.held_on_samples = false;
+          diagonal.counterexample = Violation(conj_left, conj_right);
+        } else if (!disj_left.ApproxEquals(disj_right, kTolerance)) {
+          diagonal.held_on_samples = false;
+          diagonal.counterexample = Violation(disj_left, disj_right);
+        }
+      }
+    }
+    report.results.push_back(std::move(diagonal));
+  }
+
+  return report;
+}
+
+}  // namespace graft::sa

@@ -1,0 +1,42 @@
+// Empirical validation of declared scheme properties (supports the Table 2
+// reproduction): samples realizable internal scores through the scheme's
+// own α/⊕/⊘/⊚ and checks each *declared* algebraic property on random
+// triples. A property that is declared but fails on a sample is a scheme
+// implementation bug; declared-false properties are reported but not
+// required to fail (declarations may be conservative — e.g. MeanSum is
+// declared row-first even though its sums are direction-insensitive).
+
+#ifndef GRAFT_SA_PROPERTY_CHECKER_H_
+#define GRAFT_SA_PROPERTY_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "sa/scoring_scheme.h"
+
+namespace graft::sa {
+
+struct PropertyCheckResult {
+  std::string property;  // e.g. "⊕ commutative"
+  bool declared = false;
+  bool held_on_samples = false;
+  std::string counterexample;  // first violation when !held_on_samples
+};
+
+struct PropertyReport {
+  std::string scheme;
+  std::vector<PropertyCheckResult> results;
+
+  // True iff every declared-true property held on all samples.
+  bool DeclarationsConsistent() const;
+  std::string ToString() const;
+};
+
+// Runs `samples` random trials per property with the given seed.
+PropertyReport CheckSchemeProperties(const ScoringScheme& scheme,
+                                     int samples = 200,
+                                     uint64_t seed = 20110612);
+
+}  // namespace graft::sa
+
+#endif  // GRAFT_SA_PROPERTY_CHECKER_H_

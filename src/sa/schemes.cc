@@ -1,0 +1,523 @@
+#include "sa/schemes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sa/weighting.h"
+
+namespace graft::sa {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------- AnySum --
+//
+// Section 7: "typical of keyword-search systems that find a single match
+// per document". α ignores the offset entirely (including ∅ — the paper:
+// "all positions (including ∅) for a keyword have the same term weight"),
+// ⊕ keeps the left input, so every match scores the document identically.
+// This is the only scheme with the `constant` property, enabling the
+// forward-scan join and alternate elimination.
+class AnySumScheme final : public ScoringScheme {
+ public:
+  AnySumScheme() {
+    props_.direction = Direction::kDiagonal;
+    props_.positional = false;
+    props_.constant = true;
+    props_.alt_multiplies = true;
+    props_.alt = {/*associative=*/true, /*commutative=*/true,
+                  /*monotonic_increasing=*/false, /*idempotent=*/true};
+    props_.conj = {true, true, true, false};
+    props_.disj = {true, true, true, false};
+  }
+
+  std::string_view name() const override { return "AnySum"; }
+  const SchemeProperties& properties() const override { return props_; }
+
+  InternalScore Init(const DocContext& doc, const ColumnContext& col,
+                     Offset /*offset*/) const override {
+    return InternalScore(Bm25(doc, col));
+  }
+  InternalScore Conj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a + r.a);
+  }
+  InternalScore Disj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a + r.a);
+  }
+  InternalScore Alt(const InternalScore& l,
+                    const InternalScore& /*r*/) const override {
+    return l;
+  }
+  InternalScore Scale(const InternalScore& s, uint64_t /*k*/) const override {
+    return s;
+  }
+  double Finalize(const DocContext& /*doc*/, const QueryContext& /*query*/,
+                  const InternalScore& s) const override {
+    return s.a;
+  }
+
+ private:
+  SchemeProperties props_;
+};
+
+// --------------------------------------------------------------- AnyProd --
+//
+// Terrier's language-model flavour of AnySum (Section 7: "the score of a
+// match is the product (vs sum) of the term position scores"). Weights are
+// squashed into (0, 1] via 1 − e^(−bm25), floored away from zero so an
+// absent term does not annihilate the product. Shares AnySum's property
+// profile: constant, diagonal, ⊕ idempotent.
+class AnyProdScheme final : public ScoringScheme {
+ public:
+  AnyProdScheme() {
+    props_.direction = Direction::kDiagonal;
+    props_.positional = false;
+    props_.constant = true;
+    props_.alt_multiplies = true;
+    props_.alt = {true, true, false, true};
+    props_.conj = {true, true, true, false};
+    props_.disj = {true, true, true, false};
+  }
+
+  std::string_view name() const override { return "AnyProd"; }
+  const SchemeProperties& properties() const override { return props_; }
+
+  InternalScore Init(const DocContext& doc, const ColumnContext& col,
+                     Offset /*offset*/) const override {
+    // Probability-like weight in (0, 1]; absent terms contribute a small
+    // floor rather than zeroing the product.
+    const double w = 1.0 - std::exp(-Bm25(doc, col));
+    return InternalScore(std::max(w, 1e-6));
+  }
+  InternalScore Conj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a * r.a);
+  }
+  InternalScore Disj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a * r.a);
+  }
+  InternalScore Alt(const InternalScore& l,
+                    const InternalScore& /*r*/) const override {
+    return l;
+  }
+  InternalScore Scale(const InternalScore& s, uint64_t /*k*/) const override {
+    return s;
+  }
+  double Finalize(const DocContext& /*doc*/, const QueryContext& /*query*/,
+                  const InternalScore& s) const override {
+    return s.a;
+  }
+
+ private:
+  SchemeProperties props_;
+};
+
+// --------------------------------------------------------------- SumBest --
+//
+// Section 7: "column-first, initializes the score of non-∅ positions to
+// BM25 and the score of ∅ to 0. Column score is the maximum score in the
+// column; document score is the sum of the column scores."
+class SumBestScheme final : public ScoringScheme {
+ public:
+  SumBestScheme() {
+    props_.direction = Direction::kColumnFirst;
+    props_.positional = false;
+    props_.constant = false;
+    props_.alt_multiplies = true;
+    props_.alt = {true, true, true, true};
+    props_.conj = {true, true, true, false};
+    props_.disj = {true, true, true, false};
+  }
+
+  std::string_view name() const override { return "SumBest"; }
+  const SchemeProperties& properties() const override { return props_; }
+
+  InternalScore Init(const DocContext& doc, const ColumnContext& col,
+                     Offset offset) const override {
+    if (offset == kEmptyOffset) {
+      return InternalScore(0.0);
+    }
+    return InternalScore(Bm25(doc, col));
+  }
+  InternalScore Conj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a + r.a);
+  }
+  InternalScore Disj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a + r.a);
+  }
+  InternalScore Alt(const InternalScore& l,
+                    const InternalScore& r) const override {
+    return InternalScore(std::max(l.a, r.a));
+  }
+  InternalScore Scale(const InternalScore& s, uint64_t /*k*/) const override {
+    return s;  // max of k equal scores.
+  }
+  double Finalize(const DocContext& /*doc*/, const QueryContext& /*query*/,
+                  const InternalScore& s) const override {
+    return s.a;
+  }
+
+ private:
+  SchemeProperties props_;
+};
+
+// ---------------------------------------------------------------- Lucene --
+//
+// Lucene-classic similarity expressed in SA: per-cell weight is
+// sqrt(tf) · idf² / sqrt(|d|) (position-independent — Lucene weighs a term
+// once per document), ⊕ is max (idempotent over the equal alternates),
+// ⊘/⊚ sum, and ω applies the coord factor matched/|query|.
+//
+// The paper's Lucene scheme additionally scores *imperfect* proximity
+// matches; the authors omit that extension ("an ad-hoc solution to fuzzy
+// matching... beyond the scope of this paper") and so do we. Declared
+// diagonal and non-positional for free keywords (footnote 2 of Table 2:
+// positional only under phrase/proximity predicates); on the conjunctive /
+// phrase queries Lucene supports, row-first and column-first aggregation
+// coincide because all alternates within a column carry equal weights.
+class LuceneScheme final : public ScoringScheme {
+ public:
+  LuceneScheme() {
+    props_.direction = Direction::kDiagonal;
+    props_.positional = false;
+    props_.constant = false;
+    props_.alt_multiplies = true;
+    props_.alt = {true, true, true, true};
+    props_.conj = {true, true, true, false};
+    props_.disj = {true, true, true, false};
+  }
+
+  std::string_view name() const override { return "Lucene"; }
+  const SchemeProperties& properties() const override { return props_; }
+
+  InternalScore Init(const DocContext& doc, const ColumnContext& col,
+                     Offset offset) const override {
+    if (offset == kEmptyOffset || col.tf_in_doc == 0 || doc.length == 0) {
+      return InternalScore(0.0, 0.0);
+    }
+    const double idf =
+        1.0 + std::log(static_cast<double>(doc.collection_size) /
+                       (static_cast<double>(col.doc_freq) + 1.0));
+    const double weight = std::sqrt(static_cast<double>(col.tf_in_doc)) *
+                          idf * idf /
+                          std::sqrt(static_cast<double>(doc.length));
+    return InternalScore(weight, 1.0);
+  }
+  InternalScore Conj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a + r.a, l.b + r.b);
+  }
+  InternalScore Disj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a + r.a, l.b + r.b);
+  }
+  InternalScore Alt(const InternalScore& l,
+                    const InternalScore& r) const override {
+    return InternalScore(std::max(l.a, r.a), std::max(l.b, r.b));
+  }
+  InternalScore Scale(const InternalScore& s, uint64_t /*k*/) const override {
+    return s;
+  }
+  double Finalize(const DocContext& /*doc*/, const QueryContext& query,
+                  const InternalScore& s) const override {
+    const double denom = std::max<uint32_t>(1, query.num_columns);
+    return s.a * (s.b / denom);
+  }
+
+ private:
+  SchemeProperties props_;
+};
+
+// ------------------------------------------------------- JoinNormalized --
+//
+// The scheme of Botev et al. [7] / Mihajlovic et al. [20] that Section 2
+// uses to demonstrate score inconsistency under encapsulated evaluation:
+// a join distributes each input's score value over the tuples it joins
+// with. In GRAFT the scheme has no access to intermediate-result sizes, so
+// it tracks the *canonical* subtable sizes in the internal score's `size`
+// field (the paper does exactly this).
+class JoinNormalizedScheme final : public ScoringScheme {
+ public:
+  JoinNormalizedScheme() {
+    props_.direction = Direction::kDiagonal;
+    props_.positional = false;
+    props_.constant = false;
+    props_.alt_multiplies = true;
+    props_.alt = {true, true, true, false};
+    props_.conj = {false, true, true, false};
+    props_.disj = {false, true, true, false};
+  }
+
+  std::string_view name() const override { return "JoinNormalized"; }
+  const SchemeProperties& properties() const override { return props_; }
+
+  InternalScore Init(const DocContext& doc, const ColumnContext& col,
+                     Offset offset) const override {
+    // size is the paper's p.countInDoc (d.occurrences(a) for ∅), clamped to
+    // >= 1 so the ⊘ normalization is well defined when the keyword is
+    // absent from the document.
+    const double size = std::max<uint32_t>(1, col.tf_in_doc);
+    if (offset == kEmptyOffset) {
+      return InternalScore(0.0, size);
+    }
+    return InternalScore(TfIdf(doc, col), size);
+  }
+  InternalScore Conj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a / r.b + r.a / l.b, l.b * r.b);
+  }
+  InternalScore Disj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    const double size = l.b * r.b + l.b + r.b;
+    double scr = 0.0;
+    if (r.a == 0.0) {
+      scr = l.a / 2.0;
+    } else if (l.a == 0.0) {
+      scr = r.a / 2.0;
+    } else {
+      scr = l.a / (2.0 * r.b) + r.a / (2.0 * l.b);
+    }
+    return InternalScore(scr, size);
+  }
+  InternalScore Alt(const InternalScore& l,
+                    const InternalScore& r) const override {
+    return InternalScore(l.a + r.a, r.b);
+  }
+  InternalScore Scale(const InternalScore& s, uint64_t k) const override {
+    return InternalScore(s.a * static_cast<double>(k), s.b);
+  }
+  double Finalize(const DocContext& /*doc*/, const QueryContext& /*query*/,
+                  const InternalScore& s) const override {
+    return s.a;
+  }
+
+ private:
+  SchemeProperties props_;
+};
+
+// ------------------------------------------------------------ EventModel --
+//
+// The probabilistic event model of XIRQL [13] / TopX [29]: term weights are
+// treated as independent events; ∧ is event conjunction (product), ∨ and
+// alternate aggregation are event disjunction (inclusion-exclusion). BM25
+// weights are squashed through 1 − e^(−bm25) so they are probabilities in
+// [0,1) (the paper is silent on normalization; inclusion-exclusion requires
+// it — recorded as a deviation in DESIGN.md).
+//
+// Row-first directional: the document score is the disjunction of its
+// *match* scores, and probabilistic AND/OR do not distribute (Definition 3
+// fails), so row and column aggregation give different scores.
+class EventModelScheme final : public ScoringScheme {
+ public:
+  EventModelScheme() {
+    props_.direction = Direction::kRowFirst;
+    props_.positional = false;
+    props_.constant = false;
+    props_.alt_multiplies = true;
+    props_.alt = {true, true, true, false};
+    props_.conj = {true, true, true, false};
+    props_.disj = {true, true, true, false};
+  }
+
+  std::string_view name() const override { return "EventModel"; }
+  const SchemeProperties& properties() const override { return props_; }
+
+  InternalScore Init(const DocContext& doc, const ColumnContext& col,
+                     Offset offset) const override {
+    if (offset == kEmptyOffset) {
+      return InternalScore(0.0);
+    }
+    return InternalScore(1.0 - std::exp(-Bm25(doc, col)));
+  }
+  InternalScore Conj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a * r.a);
+  }
+  InternalScore Disj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a + r.a - l.a * r.a);
+  }
+  InternalScore Alt(const InternalScore& l,
+                    const InternalScore& r) const override {
+    return InternalScore(l.a + r.a - l.a * r.a);
+  }
+  InternalScore Scale(const InternalScore& s, uint64_t k) const override {
+    return InternalScore(1.0 - std::pow(1.0 - s.a, static_cast<double>(k)));
+  }
+  double Finalize(const DocContext& /*doc*/, const QueryContext& /*query*/,
+                  const InternalScore& s) const override {
+    return s.a;
+  }
+
+ private:
+  SchemeProperties props_;
+};
+
+// --------------------------------------------------------------- MeanSum --
+//
+// The paper's Example 3, verbatim: internal score is ⟨sum, count⟩; the
+// score of a match is the total tfidf of its positions, the score of a
+// document is the mean over its alternate matches, normalized into [0,1]
+// by ω(s) = 1 − 1/ln(mean + e). Diagonal: sums distribute and ⊘/⊚ preserve
+// the count of an ⊕-fold, so Definition 3 holds — which is why the paper's
+// Example 5 can walk the table column-wise even though MEANSUM is phrased
+// per match.
+class MeanSumScheme final : public ScoringScheme {
+ public:
+  MeanSumScheme() {
+    props_.direction = Direction::kDiagonal;
+    props_.positional = false;
+    props_.constant = false;
+    props_.alt_multiplies = true;
+    props_.alt = {true, true, true, false};
+    props_.conj = {true, true, true, false};
+    props_.disj = {true, true, true, false};
+  }
+
+  std::string_view name() const override { return "MeanSum"; }
+  const SchemeProperties& properties() const override { return props_; }
+
+  InternalScore Init(const DocContext& doc, const ColumnContext& col,
+                     Offset offset) const override {
+    if (offset == kEmptyOffset) {
+      return InternalScore(0.0, 1.0);
+    }
+    return InternalScore(TfIdf(doc, col), 1.0);
+  }
+  InternalScore Conj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a + r.a, l.b);
+  }
+  InternalScore Disj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return InternalScore(l.a + r.a, l.b);
+  }
+  InternalScore Alt(const InternalScore& l,
+                    const InternalScore& r) const override {
+    return InternalScore(l.a + r.a, l.b + r.b);
+  }
+  InternalScore Scale(const InternalScore& s, uint64_t k) const override {
+    return InternalScore(s.a * static_cast<double>(k),
+                         s.b * static_cast<double>(k));
+  }
+  double Finalize(const DocContext& /*doc*/, const QueryContext& /*query*/,
+                  const InternalScore& s) const override {
+    const double mean = s.b == 0.0 ? 0.0 : s.a / s.b;
+    return 1.0 - 1.0 / std::log(mean + std::exp(1.0));
+  }
+
+ private:
+  SchemeProperties props_;
+};
+
+// -------------------------------------------------------- BestSumMinDist --
+//
+// Section 7's BestSum+MinDist: the score of a match is the sum of BM25
+// weights of its positions plus a proximity boost from the MinDist measure
+// of Tao & Zhai [25] (smallest pairwise distance among the match's
+// positions); the document score is its best match. Positional (α output
+// depends on the actual offset) and row-first (MinDist is per-match).
+class BestSumMinDistScheme final : public ScoringScheme {
+ public:
+  BestSumMinDistScheme() {
+    props_.direction = Direction::kRowFirst;
+    props_.positional = true;
+    props_.constant = false;
+    props_.alt_multiplies = true;
+    props_.alt = {true, true, true, true};
+    props_.conj = {true, true, true, false};
+    props_.disj = {true, true, true, false};
+  }
+
+  std::string_view name() const override { return "BestSumMinDist"; }
+  const SchemeProperties& properties() const override { return props_; }
+
+  InternalScore Init(const DocContext& doc, const ColumnContext& col,
+                     Offset offset) const override {
+    InternalScore score;
+    if (offset == kEmptyOffset) {
+      score.a = 0.0;
+      score.b = kInf;
+      return score;
+    }
+    score.a = Bm25(doc, col);
+    score.b = kInf;  // MinDist of a singleton is undefined (∞).
+    score.positions.push_back(offset);
+    return score;
+  }
+  InternalScore Conj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    InternalScore out;
+    out.a = l.a + r.a;
+    out.positions.reserve(l.positions.size() + r.positions.size());
+    std::merge(l.positions.begin(), l.positions.end(), r.positions.begin(),
+               r.positions.end(), std::back_inserter(out.positions));
+    out.b = MinDist(out.positions);
+    return out;
+  }
+  InternalScore Disj(const InternalScore& l,
+                     const InternalScore& r) const override {
+    return Conj(l, r);
+  }
+  InternalScore Alt(const InternalScore& l,
+                    const InternalScore& r) const override {
+    return InternalScore(std::max(l.a, r.a), std::min(l.b, r.b));
+  }
+  InternalScore Scale(const InternalScore& s, uint64_t /*k*/) const override {
+    return InternalScore(s.a, s.b);
+  }
+  double Finalize(const DocContext& /*doc*/, const QueryContext& /*query*/,
+                  const InternalScore& s) const override {
+    // dist = ∞ ⟹ no proximity evidence ⟹ boost log(1+0) = 0.
+    return s.a + std::log(1.0 + std::exp(-s.b));
+  }
+
+ private:
+  // Smallest distance between two distinct positions; positions is sorted.
+  static double MinDist(const std::vector<Offset>& positions) {
+    double best = kInf;
+    for (size_t i = 1; i < positions.size(); ++i) {
+      best = std::min(best, static_cast<double>(positions[i]) -
+                                static_cast<double>(positions[i - 1]));
+    }
+    return best;
+  }
+
+  SchemeProperties props_;
+};
+
+}  // namespace
+
+std::unique_ptr<ScoringScheme> MakeAnySumScheme() {
+  return std::make_unique<AnySumScheme>();
+}
+std::unique_ptr<ScoringScheme> MakeAnyProdScheme() {
+  return std::make_unique<AnyProdScheme>();
+}
+std::unique_ptr<ScoringScheme> MakeSumBestScheme() {
+  return std::make_unique<SumBestScheme>();
+}
+std::unique_ptr<ScoringScheme> MakeLuceneScheme() {
+  return std::make_unique<LuceneScheme>();
+}
+std::unique_ptr<ScoringScheme> MakeJoinNormalizedScheme() {
+  return std::make_unique<JoinNormalizedScheme>();
+}
+std::unique_ptr<ScoringScheme> MakeEventModelScheme() {
+  return std::make_unique<EventModelScheme>();
+}
+std::unique_ptr<ScoringScheme> MakeMeanSumScheme() {
+  return std::make_unique<MeanSumScheme>();
+}
+std::unique_ptr<ScoringScheme> MakeBestSumMinDistScheme() {
+  return std::make_unique<BestSumMinDistScheme>();
+}
+
+}  // namespace graft::sa

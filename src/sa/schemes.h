@@ -1,0 +1,42 @@
+// The seven scoring schemes studied in Section 7, as factory functions.
+// Each returns a freshly constructed scheme; the pre-registered singletons
+// live in SchemeRegistry::Global().
+//
+//   AnySum          keyword-search scoring (Terrier DFR models, Timber):
+//                   constant per document, one match suffices.
+//   SumBest         column-first: best alternate per column, summed.
+//   Lucene          SumBest-like with Lucene-classic term weights and a
+//                   coord factor; declared diagonal (see scheme comments).
+//   JoinNormalized  the score-distribution scheme of Botev et al. [7] that
+//                   motivates Section 2 (selection pushing changes scores
+//                   under encapsulated evaluation).
+//   EventModel      probabilistic inclusion-exclusion (XIRQL, TopX).
+//   MeanSum         the paper's Example 3 running example: document score
+//                   is the mean over matches of the match's tfidf total.
+//   BestSumMinDist  BM25 sum boosted by the MinDist proximity measure of
+//                   Tao & Zhai; positional and row-first.
+
+#ifndef GRAFT_SA_SCHEMES_H_
+#define GRAFT_SA_SCHEMES_H_
+
+#include <memory>
+
+#include "sa/scoring_scheme.h"
+
+namespace graft::sa {
+
+std::unique_ptr<ScoringScheme> MakeAnySumScheme();
+// Terrier's language-model variant (Section 7: "the score of a match is
+// the product (vs sum) of the term position scores"). Constant, like
+// AnySum; weights are squashed into (0,1] so products stay meaningful.
+std::unique_ptr<ScoringScheme> MakeAnyProdScheme();
+std::unique_ptr<ScoringScheme> MakeSumBestScheme();
+std::unique_ptr<ScoringScheme> MakeLuceneScheme();
+std::unique_ptr<ScoringScheme> MakeJoinNormalizedScheme();
+std::unique_ptr<ScoringScheme> MakeEventModelScheme();
+std::unique_ptr<ScoringScheme> MakeMeanSumScheme();
+std::unique_ptr<ScoringScheme> MakeBestSumMinDistScheme();
+
+}  // namespace graft::sa
+
+#endif  // GRAFT_SA_SCHEMES_H_

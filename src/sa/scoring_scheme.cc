@@ -1,0 +1,86 @@
+#include "sa/scoring_scheme.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sa/schemes.h"
+
+namespace graft::sa {
+
+std::string DirectionName(Direction direction) {
+  switch (direction) {
+    case Direction::kDiagonal:
+      return "diagonal";
+    case Direction::kRowFirst:
+      return "row-first";
+    case Direction::kColumnFirst:
+      return "column-first";
+  }
+  return "?";
+}
+
+std::string InternalScore::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "<%.6g,%.6g,|pos|=%zu>", a, b,
+                positions.size());
+  return buf;
+}
+
+InternalScore ScoringScheme::Scale(const InternalScore& score,
+                                   uint64_t k) const {
+  // Correct-by-construction default: fold ⊕ k-1 times. Schemes declaring
+  // alt_multiplies override with an O(1) implementation.
+  InternalScore acc = score;
+  for (uint64_t i = 1; i < k; ++i) {
+    acc = Alt(acc, score);
+  }
+  return acc;
+}
+
+SchemeRegistry::SchemeRegistry() {
+  schemes_.push_back(MakeAnySumScheme());
+  schemes_.push_back(MakeAnyProdScheme());
+  schemes_.push_back(MakeSumBestScheme());
+  schemes_.push_back(MakeLuceneScheme());
+  schemes_.push_back(MakeJoinNormalizedScheme());
+  schemes_.push_back(MakeEventModelScheme());
+  schemes_.push_back(MakeMeanSumScheme());
+  schemes_.push_back(MakeBestSumMinDistScheme());
+}
+
+SchemeRegistry& SchemeRegistry::Global() {
+  static SchemeRegistry& registry = *new SchemeRegistry();
+  return registry;
+}
+
+Status SchemeRegistry::Register(std::unique_ptr<ScoringScheme> scheme) {
+  if (scheme == nullptr) {
+    return Status::InvalidArgument("null scheme");
+  }
+  if (Lookup(scheme->name()) != nullptr) {
+    return Status::AlreadyExists("scheme already registered: " +
+                                 std::string(scheme->name()));
+  }
+  schemes_.push_back(std::move(scheme));
+  return Status::Ok();
+}
+
+const ScoringScheme* SchemeRegistry::Lookup(std::string_view name) const {
+  for (const auto& scheme : schemes_) {
+    if (scheme->name() == name) {
+      return scheme.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const ScoringScheme*> SchemeRegistry::All() const {
+  std::vector<const ScoringScheme*> all;
+  all.reserve(schemes_.size());
+  for (const auto& scheme : schemes_) {
+    all.push_back(scheme.get());
+  }
+  return all;
+}
+
+}  // namespace graft::sa

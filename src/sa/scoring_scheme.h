@@ -1,0 +1,107 @@
+// The Scoring Algebra operator interface (Section 4.1).
+//
+// A scoring scheme implements the six SA operators:
+//   α (Init)      scores one match-table cell (a term position or ∅),
+//   ⊘ (Conj)      combines conjuncted scores (same row, ∧ subexpression),
+//   ⊚ (Disj)      combines disjuncted scores (same row, ∨ subexpression),
+//   ⊕ (Alt)       combines alternate scores (same column),
+//   ⊗ (Scale)     folds k equal scores in O(1) (only meaningful when the
+//                 scheme declares alt_multiplies),
+//   ω (Finalize)  collapses the internal score to the document's float.
+//
+// Schemes are stateless and thread-compatible; all statistics arrive
+// through the context structs, which the engine populates from the index
+// (optionally through a StatsOverlay).
+
+#ifndef GRAFT_SA_SCORING_SCHEME_H_
+#define GRAFT_SA_SCORING_SCHEME_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "index/stats.h"
+#include "index/types.h"
+#include "sa/internal_score.h"
+#include "sa/properties.h"
+
+namespace graft::sa {
+
+// Per-document statistics available to α and ω (the paper's d argument).
+struct DocContext {
+  DocId doc = kInvalidDoc;
+  uint32_t length = 0;           // d.length
+  uint64_t collection_size = 0;  // d.collectionSize
+  double avg_doc_length = 0.0;
+};
+
+// Per-column statistics available to α (the paper's c and p arguments:
+// the column's keyword and the position's index record).
+struct ColumnContext {
+  TermId term = kInvalidTerm;
+  uint64_t doc_freq = 0;   // #Docs: documents containing the keyword
+  uint32_t tf_in_doc = 0;  // #InDoc: occurrences of the keyword in doc
+};
+
+// Query-level facts available to ω (e.g. Lucene's coord denominator).
+struct QueryContext {
+  uint32_t num_columns = 0;  // number of position variables in the query
+};
+
+class ScoringScheme {
+ public:
+  virtual ~ScoringScheme() = default;
+
+  ScoringScheme(const ScoringScheme&) = delete;
+  ScoringScheme& operator=(const ScoringScheme&) = delete;
+
+  virtual std::string_view name() const = 0;
+  virtual const SchemeProperties& properties() const = 0;
+
+  // α. `offset` is kEmptyOffset for ∅ cells. Note: per Section 3.1, an ∅
+  // cell does not imply the keyword is absent — col.tf_in_doc may be > 0.
+  virtual InternalScore Init(const DocContext& doc, const ColumnContext& col,
+                             Offset offset) const = 0;
+
+  virtual InternalScore Conj(const InternalScore& left,
+                             const InternalScore& right) const = 0;
+  virtual InternalScore Disj(const InternalScore& left,
+                             const InternalScore& right) const = 0;
+  virtual InternalScore Alt(const InternalScore& left,
+                            const InternalScore& right) const = 0;
+
+  // ⊗: s ⊕ s ⊕ ... ⊕ s (k copies) in O(1). The default folds ⊕ k-1 times,
+  // which is always correct; schemes declaring alt_multiplies override it.
+  virtual InternalScore Scale(const InternalScore& score, uint64_t k) const;
+
+  // ω.
+  virtual double Finalize(const DocContext& doc, const QueryContext& query,
+                          const InternalScore& score) const = 0;
+
+ protected:
+  ScoringScheme() = default;
+};
+
+// Registry of scoring schemes by name. The seven schemes of Section 7 are
+// pre-registered; user-defined schemes may be added (the paper's plug-in
+// ranking story).
+class SchemeRegistry {
+ public:
+  static SchemeRegistry& Global();
+
+  Status Register(std::unique_ptr<ScoringScheme> scheme);
+  // Returns nullptr if unknown.
+  const ScoringScheme* Lookup(std::string_view name) const;
+  std::vector<const ScoringScheme*> All() const;
+
+ private:
+  SchemeRegistry();
+
+  std::vector<std::unique_ptr<ScoringScheme>> schemes_;
+};
+
+}  // namespace graft::sa
+
+#endif  // GRAFT_SA_SCORING_SCHEME_H_

@@ -1,0 +1,36 @@
+#include "sa/weighting.h"
+
+#include <cmath>
+
+namespace graft::sa {
+
+double TfIdf(const DocContext& doc, const ColumnContext& col) {
+  if (col.tf_in_doc == 0 || doc.length == 0 || col.doc_freq == 0) {
+    return 0.0;
+  }
+  return (static_cast<double>(col.tf_in_doc) /
+          static_cast<double>(doc.length)) *
+         (static_cast<double>(doc.collection_size) /
+          static_cast<double>(col.doc_freq));
+}
+
+double Bm25(const DocContext& doc, const ColumnContext& col) {
+  if (col.tf_in_doc == 0 || doc.length == 0 || col.doc_freq == 0) {
+    return 0.0;
+  }
+  constexpr double k1 = 1.2;
+  constexpr double b = 0.75;
+  const double n = static_cast<double>(doc.collection_size);
+  const double df = static_cast<double>(col.doc_freq);
+  const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+  const double tf = static_cast<double>(col.tf_in_doc);
+  const double avg = doc.avg_doc_length > 0.0
+                         ? doc.avg_doc_length
+                         : static_cast<double>(doc.length);
+  const double norm =
+      tf * (k1 + 1.0) /
+      (tf + k1 * (1.0 - b + b * static_cast<double>(doc.length) / avg));
+  return idf * norm;
+}
+
+}  // namespace graft::sa

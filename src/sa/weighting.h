@@ -1,0 +1,25 @@
+// Term-weighting functions used as α building blocks (Section 4.1, Step 1:
+// "typically implements a term weighting function such as TF-IDF, BM25").
+
+#ifndef GRAFT_SA_WEIGHTING_H_
+#define GRAFT_SA_WEIGHTING_H_
+
+#include "sa/scoring_scheme.h"
+
+namespace graft::sa {
+
+// The paper's Example 3/5 tfidf:
+//   (#InDoc / d.length) * (d.collectionSize / #Docs)
+// Returns 0 when the term does not occur in the document or statistics are
+// degenerate.
+double TfIdf(const DocContext& doc, const ColumnContext& col);
+
+// Okapi BM25 with k1 = 1.2, b = 0.75 and the standard "plus one" idf
+// (always positive). Position-independent: depends on tf-in-doc, not on the
+// specific offset — exactly the property the paper leans on for AnySum-like
+// schemes.
+double Bm25(const DocContext& doc, const ColumnContext& col);
+
+}  // namespace graft::sa
+
+#endif  // GRAFT_SA_WEIGHTING_H_

@@ -1,0 +1,211 @@
+#include "text/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace graft::text {
+
+namespace {
+
+// Sixty-ish short word shapes so filler tokens look like words rather than
+// "w123" (useful when eyeballing example output); combined with a rank
+// suffix for uniqueness.
+std::string FillerWord(uint64_t rank) {
+  static constexpr const char* kStems[] = {
+      "the",  "of",    "and",   "in",    "to",    "a",     "is",   "was",
+      "for",  "as",    "on",    "with",  "by",    "that",  "it",   "from",
+      "his",  "at",    "are",   "were",  "be",    "an",    "this", "which",
+      "or",   "first", "new",   "one",   "has",   "their", "city", "state",
+      "year", "time",  "world", "used",  "its",   "also",  "may",  "other",
+      "more", "most",  "some",  "can",   "had",   "been",  "two",  "when",
+      "who",  "after", "known", "made",  "over",  "where", "many", "years",
+      "into", "about", "such",  "under", "these", "early", "part", "during"};
+  constexpr uint64_t kNumStems = sizeof(kStems) / sizeof(kStems[0]);
+  if (rank < kNumStems) {
+    return kStems[rank];
+  }
+  return std::string(kStems[rank % kNumStems]) + std::to_string(rank);
+}
+
+}  // namespace
+
+CorpusConfig WikipediaLikeConfig(uint64_t num_docs, uint64_t seed) {
+  CorpusConfig config;
+  config.num_docs = num_docs;
+  config.seed = seed;
+
+  // Independent keyword plants. Fractions chosen to mirror the qualitative
+  // frequency classes in the paper's Figure 1 (e.g. 'free' is ~120x more
+  // common than 'foss' or 'emulator'; 'software' and 'windows' are
+  // mid-frequency).
+  // Mean within-document occurrence counts mirror Wikipedia's behaviour:
+  // frequent words repeat several times in the documents that contain them
+  // (Figure 1's d_w has 'software' and 'windows' four times each in a
+  // 207-word abstract).
+  config.terms = {
+      {"free", 0.065, 4.0},        {"software", 0.016, 3.6},
+      {"windows", 0.009, 3.8},     {"emulator", 0.0006, 1.4},
+      {"foss", 0.0005, 1.1},       {"service", 0.030, 2.8},
+      {"internet", 0.012, 2.4},    {"wireless", 0.004, 1.8},
+      {"san", 0.012, 2.8},         {"francisco", 0.007, 2.4},
+      {"fault", 0.0035, 2.0},      {"line", 0.020, 2.6},
+      {"dinosaur", 0.0012, 2.2},   {"species", 0.011, 3.2},
+      {"list", 0.025, 2.2},        {"image", 0.018, 2.8},
+      {"picture", 0.009, 1.8},     {"drawing", 0.004, 1.4},
+      {"illustration", 0.002, 1.3},{"orange", 0.004, 1.6},
+      {"county", 0.016, 2.4},      {"convention", 0.003, 1.6},
+      {"center", 0.014, 2.0},      {"orlando", 0.0015, 1.8},
+      {"arizona", 0.003, 2.0},     {"fishing", 0.0025, 1.8},
+      {"hunting", 0.0022, 1.8},    {"rules", 0.007, 2.0},
+      {"regulations", 0.003, 1.6}, {"rick", 0.0015, 1.4},
+      {"warren", 0.0015, 1.4},     {"obama", 0.0025, 2.4},
+      {"inauguration", 0.0006, 1.5}, {"controversy", 0.0035, 1.6},
+      {"invocation", 0.0004, 1.2},
+  };
+
+  // Phrase plants give the PHRASE/DISTANCE predicates real matches.
+  config.phrases = {
+      {{"san", "francisco"}, 0.005},
+      {{"fault", "line"}, 0.0012},
+      {{"free", "software"}, 0.0035},
+      {{"orange", "county", "convention", "center"}, 0.0004},
+      {{"rick", "warren"}, 0.0008},
+  };
+
+  // Topic bundles guarantee conjunctive and windowed matches.
+  config.bundles = {
+      // Q4/Q7: bay-area geology articles.
+      {{"san", "francisco", "fault", "line"},
+       {{"san", "francisco"}, {"fault", "line"}},
+       0.0012,
+       60},
+      // Q5: paleontology list pages with figure markup words.
+      {{"dinosaur", "species", "list", "image", "picture"}, {}, 0.0008, 80},
+      // Q6: Orlando venue pages.
+      {{"orlando"}, {{"orange", "county", "convention", "center"}}, 0.0003, 50},
+      // Q8: software emulation articles (the Wine-article shape).
+      {{"windows", "emulator", "foss"}, {{"free", "software"}}, 0.0005, 45},
+      // Q9: municipal broadband articles.
+      {{"free", "wireless", "internet", "service"}, {}, 0.0010, 12},
+      // Q10: state game-and-fish regulation pages.
+      {{"arizona", "fishing", "hunting", "rules", "regulations"}, {}, 0.0006, 18},
+      // Q11: 2009 inauguration coverage.
+      {{"obama", "inauguration", "controversy", "invocation"},
+       {{"rick", "warren"}},
+       0.0004,
+       30},
+  };
+
+  return config;
+}
+
+CorpusGenerator::CorpusGenerator(CorpusConfig config)
+    : config_(std::move(config)) {
+  filler_words_.reserve(config_.filler_vocab);
+  for (uint64_t rank = 0; rank < config_.filler_vocab; ++rank) {
+    filler_words_.push_back(FillerWord(rank));
+  }
+}
+
+void CorpusGenerator::Place(std::vector<std::string_view>* doc,
+                            uint32_t offset, std::string_view word) {
+  if (offset < doc->size()) {
+    (*doc)[offset] = word;
+  }
+}
+
+void CorpusGenerator::Generate(const Sink& sink) {
+  Rng rng(config_.seed);
+  ZipfSampler zipf(config_.filler_vocab, config_.zipf_skew,
+                   config_.seed ^ 0x5eedf00dULL);
+  total_words_ = 0;
+
+  std::vector<std::string_view> doc;
+  for (uint64_t doc_id = 0; doc_id < config_.num_docs; ++doc_id) {
+    const uint32_t len = static_cast<uint32_t>(
+        rng.NextInRange(config_.min_doc_len, config_.max_doc_len));
+    doc.clear();
+    doc.reserve(len);
+    for (uint32_t i = 0; i < len; ++i) {
+      doc.push_back(filler_words_[zipf.Next()]);
+    }
+
+    // Independent keyword plants.
+    for (const PlantedTerm& term : config_.terms) {
+      if (!rng.NextBool(term.doc_fraction)) {
+        continue;
+      }
+      // Geometric-ish occurrence count with the configured mean.
+      uint32_t occurrences = 1;
+      const double p_more = 1.0 - 1.0 / std::max(1.0, term.mean_occurrences);
+      while (occurrences < 64 && rng.NextBool(p_more)) {
+        ++occurrences;
+      }
+      for (uint32_t i = 0; i < occurrences; ++i) {
+        Place(&doc, static_cast<uint32_t>(rng.NextBounded(len)), term.word);
+      }
+    }
+
+    // Phrase plants: consecutive words.
+    for (const PlantedPhrase& phrase : config_.phrases) {
+      if (!rng.NextBool(phrase.doc_fraction)) {
+        continue;
+      }
+      if (phrase.words.size() > len) {
+        continue;
+      }
+      const uint32_t start = static_cast<uint32_t>(
+          rng.NextBounded(len - phrase.words.size() + 1));
+      for (size_t i = 0; i < phrase.words.size(); ++i) {
+        Place(&doc, start + static_cast<uint32_t>(i), phrase.words[i]);
+      }
+    }
+
+    // Topic bundles: all elements within a span.
+    for (const TopicBundle& bundle : config_.bundles) {
+      if (!rng.NextBool(bundle.doc_fraction)) {
+        continue;
+      }
+      const uint32_t span = std::min<uint32_t>(bundle.span, len);
+      const uint32_t base =
+          span < len ? static_cast<uint32_t>(rng.NextBounded(len - span)) : 0;
+      for (const std::string& term : bundle.terms) {
+        Place(&doc, base + static_cast<uint32_t>(rng.NextBounded(span)), term);
+      }
+      for (const std::vector<std::string>& phrase : bundle.phrases) {
+        if (phrase.size() > span) {
+          continue;
+        }
+        const uint32_t start =
+            base + static_cast<uint32_t>(
+                       rng.NextBounded(span - phrase.size() + 1));
+        for (size_t i = 0; i < phrase.size(); ++i) {
+          Place(&doc, start + static_cast<uint32_t>(i), phrase[i]);
+        }
+      }
+    }
+
+    total_words_ += doc.size();
+    sink(doc_id, doc);
+  }
+}
+
+InMemoryCorpus GenerateInMemory(const CorpusConfig& config) {
+  InMemoryCorpus corpus;
+  corpus.docs.reserve(config.num_docs);
+  CorpusGenerator generator(config);
+  generator.Generate([&corpus](uint64_t doc_id,
+                               const std::vector<std::string_view>& tokens) {
+    (void)doc_id;
+    std::vector<std::string> copy;
+    copy.reserve(tokens.size());
+    for (std::string_view token : tokens) {
+      copy.emplace_back(token);
+    }
+    corpus.docs.push_back(std::move(copy));
+  });
+  return corpus;
+}
+
+}  // namespace graft::text

@@ -1,0 +1,120 @@
+#include "text/structure.h"
+
+#include <cctype>
+
+#include "mcalc/predicates.h"
+
+namespace graft::text {
+
+StructuredDocument TokenizeStructured(std::string_view text) {
+  StructuredDocument doc;
+  Offset paragraph = 0;
+  Offset sentence = 0;
+  Offset word = 0;
+  bool sentence_used = false;
+  bool paragraph_used = false;
+  std::string current;
+
+  const auto end_sentence = [&] {
+    if (sentence_used) {
+      ++sentence;
+      ++doc.sentence_count;
+      word = 0;
+      sentence_used = false;
+      if (sentence >= kSentencesPerParagraph) {
+        // Paragraph overflow: split.
+        ++paragraph;
+        sentence = 0;
+      }
+    }
+  };
+  const auto end_paragraph = [&] {
+    end_sentence();
+    if (paragraph_used) {
+      ++paragraph;
+      ++doc.paragraph_count;
+      sentence = 0;
+      paragraph_used = false;
+    }
+  };
+  const auto flush_token = [&] {
+    if (current.empty()) return;
+    if (word >= kSentenceStride) {
+      end_sentence();  // sentence overflow: split
+      sentence_used = true;
+    }
+    doc.tokens.push_back(PositionedToken{
+        std::move(current),
+        paragraph * kParagraphStride + sentence * kSentenceStride + word});
+    current.clear();
+    ++word;
+    sentence_used = true;
+    paragraph_used = true;
+  };
+
+  int newline_run = 0;
+  for (const char c : text) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+      newline_run = 0;
+      continue;
+    }
+    flush_token();
+    if (c == '.' || c == '!' || c == '?') {
+      end_sentence();
+    } else if (c == '\n') {
+      if (++newline_run >= 2) {
+        end_paragraph();
+        newline_run = 0;
+      }
+    }
+    if (c != '\n') {
+      newline_run = 0;
+    }
+  }
+  flush_token();
+  if (sentence_used) ++doc.sentence_count;
+  if (paragraph_used) ++doc.paragraph_count;
+  return doc;
+}
+
+Status RegisterStructuralPredicates() {
+  auto& registry = mcalc::PredicateRegistry::Global();
+  if (registry.Lookup("SAMESENTENCE") != nullptr) {
+    return Status::Ok();
+  }
+  mcalc::PredicateDef same_sentence;
+  same_sentence.name = "SAMESENTENCE";
+  same_sentence.min_vars = 2;
+  same_sentence.max_vars = -1;
+  same_sentence.num_params = 0;
+  same_sentence.evaluator = [](std::span<const Offset> positions,
+                               std::span<const int64_t>) {
+    for (size_t i = 1; i < positions.size(); ++i) {
+      if (SentenceOf(positions[i]) != SentenceOf(positions[0])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  GRAFT_RETURN_IF_ERROR(registry.Register(same_sentence));
+
+  mcalc::PredicateDef same_paragraph;
+  same_paragraph.name = "SAMEPARAGRAPH";
+  same_paragraph.min_vars = 2;
+  same_paragraph.max_vars = -1;
+  same_paragraph.num_params = 0;
+  same_paragraph.evaluator = [](std::span<const Offset> positions,
+                                std::span<const int64_t>) {
+    for (size_t i = 1; i < positions.size(); ++i) {
+      if (ParagraphOf(positions[i]) != ParagraphOf(positions[0])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return registry.Register(same_paragraph);
+}
+
+}  // namespace graft::text

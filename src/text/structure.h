@@ -1,0 +1,70 @@
+// Structured tokenization: sentence- and paragraph-aware term positions.
+//
+// The paper (Section 8): GRAFT "can be easily extended to support such
+// predicates as SAMESENTENCE or SAMEPARAGRAPH, assuming the index supports
+// sentence and paragraph offsets." This module provides those offsets
+// without changing the index format: positions are composite,
+//
+//   offset = paragraph · kParagraphStride + sentence · kSentenceStride + i
+//
+// where i is the word's index within its sentence. Properties:
+//
+//   * adjacency within a sentence is still distance 1, so PHRASE /
+//     DISTANCE work unchanged — and phrases can no longer falsely match
+//     across a sentence boundary (crossing a boundary jumps the offset);
+//   * SAMESENTENCE(p̄) ⇔ ⌊p/kSentenceStride⌋ equal for all p̄;
+//   * SAMEPARAGRAPH(p̄) ⇔ ⌊p/kParagraphStride⌋ equal.
+//
+// This is the positional-gap idiom production engines use (Lucene's
+// position-increment gaps), made exact by fixed strides. Limits: at most
+// kSentenceStride words per sentence and kParagraphStride/kSentenceStride
+// sentences per paragraph; longer ones are split.
+//
+// The SAMESENTENCE and SAMEPARAGRAPH predicates are registered by
+// RegisterStructuralPredicates() (idempotent).
+
+#ifndef GRAFT_TEXT_STRUCTURE_H_
+#define GRAFT_TEXT_STRUCTURE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "index/types.h"
+
+namespace graft::text {
+
+inline constexpr Offset kSentenceStride = 128;
+inline constexpr Offset kSentencesPerParagraph = 256;
+inline constexpr Offset kParagraphStride =
+    kSentenceStride * kSentencesPerParagraph;
+
+struct PositionedToken {
+  std::string text;
+  Offset offset;
+};
+
+struct StructuredDocument {
+  std::vector<PositionedToken> tokens;
+  uint32_t sentence_count = 0;
+  uint32_t paragraph_count = 0;
+};
+
+// Splits `text` into paragraphs (blank lines), sentences ('.', '!', '?'),
+// and lowercase alphanumeric tokens with composite offsets.
+StructuredDocument TokenizeStructured(std::string_view text);
+
+// Registers SAMESENTENCE and SAMEPARAGRAPH in the global predicate
+// registry. Safe to call repeatedly.
+Status RegisterStructuralPredicates();
+
+// Sentence / paragraph ids of a composite offset.
+inline Offset SentenceOf(Offset offset) { return offset / kSentenceStride; }
+inline Offset ParagraphOf(Offset offset) {
+  return offset / kParagraphStride;
+}
+
+}  // namespace graft::text
+
+#endif  // GRAFT_TEXT_STRUCTURE_H_

@@ -1,0 +1,22 @@
+// Tokenization of raw text into the word sequences that the full-text index
+// stores. The document model for full-text search is a *sequence* of words
+// (offsets matter), so tokenization fixes the offsets once and for all.
+
+#ifndef GRAFT_TEXT_TOKENIZER_H_
+#define GRAFT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graft::text {
+
+// Splits `text` into lowercase alphanumeric tokens. Any run of characters
+// that are not ASCII letters or digits separates tokens. Offsets in the
+// returned vector are the term positions used throughout GRAFT: token i has
+// offset i.
+std::vector<std::string> Tokenize(std::string_view text);
+
+}  // namespace graft::text
+
+#endif  // GRAFT_TEXT_TOKENIZER_H_

@@ -1,0 +1,171 @@
+// The rigid baseline engines: query-class gating, agreement with GRAFT
+// where the scoring coincides, and internal consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "baseline/lucene_like.h"
+#include "baseline/terrier_like.h"
+#include "core/engine.h"
+#include "mcalc/parser.h"
+#include "text/corpus.h"
+
+namespace graft::baseline {
+namespace {
+
+const index::InvertedIndex& CorpusIndex() {
+  static const index::InvertedIndex& index = *[] {
+    text::CorpusConfig config = text::WikipediaLikeConfig(1200, /*seed=*/21);
+    for (auto& bundle : config.bundles) {
+      bundle.doc_fraction = std::min(1.0, bundle.doc_fraction * 30);
+    }
+    for (auto& phrase : config.phrases) {
+      phrase.doc_fraction = std::min(1.0, phrase.doc_fraction * 15);
+    }
+    index::IndexBuilder builder;
+    text::CorpusGenerator generator(config);
+    generator.Generate(
+        [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
+          builder.AddDocument(tokens);
+        });
+    return new index::InvertedIndex(builder.Build());
+  }();
+  return index;
+}
+
+TEST(LuceneLikeTest, QueryClassGate) {
+  const auto supports = [](const char* text) {
+    auto query = mcalc::ParseQuery(text);
+    EXPECT_TRUE(query.ok());
+    return LuceneLikeEngine::SupportsQuery(*query);
+  };
+  EXPECT_TRUE(supports("san francisco fault line"));
+  EXPECT_TRUE(supports("\"san francisco\" \"fault line\""));
+  EXPECT_TRUE(supports("a b (c | d)"));
+  EXPECT_TRUE(supports("(free wireless internet)PROXIMITY[10] service"));
+  // WINDOW and nested groups are beyond Lucene's expressive power (the
+  // paper: Lucene and Terrier do not support Q8 or Q10).
+  EXPECT_FALSE(
+      supports("(windows emulator)WINDOW[50] (foss | \"free software\")"));
+  EXPECT_FALSE(
+      supports("arizona ((fishing | hunting) (rules | regulations))WINDOW[20]"));
+}
+
+// On every query Lucene supports, the Lucene-like engine's scores coincide
+// with GRAFT running the Lucene scheme (the Figure-4 comparison is
+// apples-to-apples).
+class LuceneAgreementTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LuceneAgreementTest, ScoresMatchGraftLuceneScheme) {
+  auto query = mcalc::ParseQuery(GetParam());
+  ASSERT_TRUE(query.ok());
+
+  LuceneLikeEngine lucene(&CorpusIndex());
+  auto baseline_results = lucene.SearchQuery(*query);
+  ASSERT_TRUE(baseline_results.ok()) << baseline_results.status().ToString();
+
+  core::Engine engine(&CorpusIndex());
+  const sa::ScoringScheme* scheme =
+      sa::SchemeRegistry::Global().Lookup("Lucene");
+  auto graft_results = engine.SearchQuery(*query, *scheme);
+  ASSERT_TRUE(graft_results.ok()) << graft_results.status().ToString();
+
+  std::map<DocId, double> graft_map;
+  for (const ma::ScoredDoc& r : graft_results->results) {
+    graft_map[r.doc] = r.score;
+  }
+  ASSERT_EQ(baseline_results->size(), graft_map.size());
+  for (const ma::ScoredDoc& r : *baseline_results) {
+    const auto it = graft_map.find(r.doc);
+    ASSERT_NE(it, graft_map.end()) << "doc " << r.doc;
+    EXPECT_NEAR(r.score, it->second,
+                1e-7 * std::max(1.0, std::fabs(r.score)))
+        << "doc " << r.doc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SupportedQueries, LuceneAgreementTest,
+    ::testing::Values("san francisco fault line",
+                      "\"san francisco\" \"fault line\"",
+                      "\"orange county convention center\" orlando",
+                      "(free wireless internet)PROXIMITY[10] service",
+                      "dinosaur species list (image | picture | drawing | "
+                      "illustration)",
+                      "software", "free (software | service)"));
+
+TEST(TerrierLikeTest, ConjunctiveAgreesWithGraftAnySum) {
+  auto query = mcalc::ParseQuery("san francisco fault line");
+  ASSERT_TRUE(query.ok());
+  TerrierLikeEngine terrier(&CorpusIndex());
+  auto baseline_results = terrier.SearchQuery(*query);
+  ASSERT_TRUE(baseline_results.ok());
+
+  core::Engine engine(&CorpusIndex());
+  const sa::ScoringScheme* scheme =
+      sa::SchemeRegistry::Global().Lookup("AnySum");
+  auto graft_results = engine.SearchQuery(*query, *scheme);
+  ASSERT_TRUE(graft_results.ok());
+
+  std::map<DocId, double> graft_map;
+  for (const ma::ScoredDoc& r : graft_results->results) {
+    graft_map[r.doc] = r.score;
+  }
+  ASSERT_EQ(baseline_results->size(), graft_map.size());
+  for (const ma::ScoredDoc& r : *baseline_results) {
+    const auto it = graft_map.find(r.doc);
+    ASSERT_NE(it, graft_map.end());
+    EXPECT_NEAR(r.score, it->second,
+                1e-7 * std::max(1.0, std::fabs(r.score)));
+  }
+}
+
+TEST(TerrierLikeTest, PhraseFiltering) {
+  auto with_phrase = mcalc::ParseQuery("\"san francisco\"");
+  auto loose = mcalc::ParseQuery("san francisco");
+  ASSERT_TRUE(with_phrase.ok());
+  ASSERT_TRUE(loose.ok());
+  TerrierLikeEngine terrier(&CorpusIndex());
+  auto phrase_results = terrier.SearchQuery(*with_phrase);
+  auto loose_results = terrier.SearchQuery(*loose);
+  ASSERT_TRUE(phrase_results.ok());
+  ASSERT_TRUE(loose_results.ok());
+  // The phrase is strictly more selective.
+  EXPECT_LE(phrase_results->size(), loose_results->size());
+  EXPECT_GT(phrase_results->size(), 0u);
+}
+
+TEST(TerrierLikeTest, RejectsWindow) {
+  TerrierLikeEngine terrier(&CorpusIndex());
+  auto result = terrier.Search("(a b)WINDOW[5]");
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(BaselineTest, TopKTrims) {
+  LuceneLikeEngine lucene(&CorpusIndex());
+  auto all = lucene.Search("free");
+  ASSERT_TRUE(all.ok());
+  ASSERT_GT(all->size(), 5u);
+  auto top = lucene.Search("free", 5);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*top)[i].doc, (*all)[i].doc);
+  }
+}
+
+TEST(BaselineTest, MissingRequiredTermEmpties) {
+  LuceneLikeEngine lucene(&CorpusIndex());
+  auto results = lucene.Search("free neverheardofit");
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+  TerrierLikeEngine terrier(&CorpusIndex());
+  auto terrier_results = terrier.Search("free neverheardofit");
+  ASSERT_TRUE(terrier_results.ok());
+  EXPECT_TRUE(terrier_results->empty());
+}
+
+}  // namespace
+}  // namespace graft::baseline

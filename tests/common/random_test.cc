@@ -1,0 +1,71 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace graft {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const uint64_t v = rng.NextInRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfSamplerTest, RankZeroDominates) {
+  ZipfSampler zipf(1000, 1.1, 42);
+  std::map<uint64_t, int> histogram;
+  for (int i = 0; i < 20000; ++i) {
+    ++histogram[zipf.Next()];
+  }
+  // Rank 0 must be the most frequent, and much more frequent than rank 50.
+  EXPECT_GT(histogram[0], histogram[50] * 3);
+  // All samples in range.
+  for (const auto& [rank, count] : histogram) {
+    EXPECT_LT(rank, 1000u);
+    (void)count;
+  }
+}
+
+TEST(ZipfSamplerTest, Deterministic) {
+  ZipfSampler a(100, 1.0, 9);
+  ZipfSampler b(100, 1.0, 9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+}  // namespace
+}  // namespace graft

@@ -1,0 +1,136 @@
+// Table 1 (the gate logic) and Table 3 (its product with the Table 2
+// declarations), reproduced and pinned to the paper.
+
+#include "core/optimization_gate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "sa/scoring_scheme.h"
+
+namespace graft::core {
+namespace {
+
+using Optimization::kAlternateElimination;
+using Optimization::kEagerAggregation;
+using Optimization::kEagerCounting;
+using Optimization::kForwardScanJoin;
+using Optimization::kJoinReordering;
+using Optimization::kPreCounting;
+using Optimization::kRankJoin;
+using Optimization::kRankUnion;
+using Optimization::kSelectionPushing;
+using Optimization::kSortElimination;
+using Optimization::kZigZagJoin;
+
+bool Valid(Optimization opt, const std::string& scheme_name) {
+  const sa::ScoringScheme* scheme =
+      sa::SchemeRegistry::Global().Lookup(scheme_name);
+  EXPECT_NE(scheme, nullptr) << scheme_name;
+  return IsOptimizationValid(opt, scheme->properties());
+}
+
+TEST(Table1Test, ClassicalOptimizationsUnrestricted) {
+  // "There are no restrictions on classical optimizations" (§5.2.4) —
+  // a consequence of decoupling scoring from match computation.
+  sa::SchemeProperties hostile;  // everything false / worst case
+  hostile.direction = sa::Direction::kRowFirst;
+  hostile.positional = true;
+  EXPECT_TRUE(IsOptimizationValid(kJoinReordering, hostile));
+  EXPECT_TRUE(IsOptimizationValid(kSelectionPushing, hostile));
+  EXPECT_TRUE(IsOptimizationValid(kZigZagJoin, hostile));
+  EXPECT_TRUE(IsOptimizationValid(kEagerCounting, hostile));
+  // But the restricted ones are all off for the hostile scheme.
+  EXPECT_FALSE(IsOptimizationValid(kSortElimination, hostile));
+  EXPECT_FALSE(IsOptimizationValid(kForwardScanJoin, hostile));
+  EXPECT_FALSE(IsOptimizationValid(kAlternateElimination, hostile));
+  EXPECT_FALSE(IsOptimizationValid(kEagerAggregation, hostile));
+  EXPECT_FALSE(IsOptimizationValid(kPreCounting, hostile));
+  EXPECT_FALSE(IsOptimizationValid(kRankJoin, hostile));
+  EXPECT_FALSE(IsOptimizationValid(kRankUnion, hostile));
+}
+
+TEST(Table1Test, RequirementStringsMatchThePaper) {
+  EXPECT_EQ(OperatorRequirement(kSortElimination), "⊕ commutes");
+  EXPECT_EQ(OperatorRequirement(kForwardScanJoin), "constant");
+  EXPECT_EQ(OperatorRequirement(kAlternateElimination), "constant");
+  EXPECT_EQ(OperatorRequirement(kEagerAggregation), "⊕ fully associative");
+  EXPECT_EQ(DirectionRequirement(kEagerAggregation), "not row-first");
+  EXPECT_EQ(OperatorRequirement(kPreCounting), "non-positional");
+  EXPECT_EQ(OperatorRequirement(kRankJoin), "⊘ monotonic increasing");
+  EXPECT_EQ(DirectionRequirement(kRankJoin), "diagonal");
+  EXPECT_EQ(OperatorRequirement(kRankUnion), "⊚ monotonic increasing");
+  EXPECT_EQ(DirectionRequirement(kRankUnion), "diagonal");
+  EXPECT_EQ(OperatorRequirement(kJoinReordering), "");
+  EXPECT_EQ(OperatorRequirement(kEagerCounting), "");
+}
+
+// The paper's Table 3, cell for cell. Columns: AnySum, SumBest, Lucene,
+// JoinNormalized, MeanSum, EventModel, BestSumMinDist.
+TEST(Table3Test, DerivedTableMatchesThePaper) {
+  const std::vector<std::string> schemes = {
+      "AnySum",  "SumBest",    "Lucene",        "JoinNormalized",
+      "MeanSum", "EventModel", "BestSumMinDist"};
+
+  const std::map<Optimization, std::set<std::string>> expected = {
+      {kSortElimination,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel", "BestSumMinDist"}},
+      {kJoinReordering,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel", "BestSumMinDist"}},
+      {kSelectionPushing,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel", "BestSumMinDist"}},
+      {kZigZagJoin,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel", "BestSumMinDist"}},
+      {kForwardScanJoin, {"AnySum"}},
+      {kAlternateElimination, {"AnySum"}},
+      {kEagerAggregation,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum"}},
+      {kEagerCounting,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel", "BestSumMinDist"}},
+      {kPreCounting,
+       {"AnySum", "SumBest", "Lucene", "JoinNormalized", "MeanSum",
+        "EventModel"}},
+      {kRankJoin, {"AnySum", "Lucene", "JoinNormalized", "MeanSum"}},
+      {kRankUnion, {"AnySum", "Lucene", "JoinNormalized", "MeanSum"}},
+  };
+
+  for (const auto& [opt, valid_schemes] : expected) {
+    for (const std::string& scheme : schemes) {
+      EXPECT_EQ(Valid(opt, scheme), valid_schemes.count(scheme) != 0)
+          << OptimizationName(opt) << " × " << scheme;
+    }
+  }
+}
+
+TEST(Table3Test, ValidOptimizationsListing) {
+  const sa::ScoringScheme* any_sum =
+      sa::SchemeRegistry::Global().Lookup("AnySum");
+  const auto valid = ValidOptimizations(any_sum->properties());
+  // AnySum admits every optimization in the catalog.
+  EXPECT_EQ(valid.size(), std::size(kAllOptimizations));
+
+  const sa::ScoringScheme* bsmd =
+      sa::SchemeRegistry::Global().Lookup("BestSumMinDist");
+  const auto bsmd_valid = ValidOptimizations(bsmd->properties());
+  // BestSumMinDist: only τ elim + the four unrestricted classical ones.
+  EXPECT_EQ(bsmd_valid.size(), 5u);
+}
+
+TEST(Table1Test, NamesAreStable) {
+  std::set<std::string> names;
+  for (const Optimization opt : kAllOptimizations) {
+    names.insert(OptimizationName(opt));
+  }
+  EXPECT_EQ(names.size(), std::size(kAllOptimizations));
+}
+
+}  // namespace
+}  // namespace graft::core

@@ -1,0 +1,215 @@
+// Optimizer plan-shape tests: the same query optimizes into structurally
+// different plans under different schemes (the paper's central claim), and
+// each rewrite leaves the expected fingerprints.
+
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "mcalc/parser.h"
+#include "text/corpus.h"
+
+namespace graft::core {
+namespace {
+
+const index::InvertedIndex& CorpusIndex() {
+  static const index::InvertedIndex& index = *[] {
+    text::CorpusConfig config = text::WikipediaLikeConfig(300, /*seed=*/5);
+    index::IndexBuilder builder;
+    text::CorpusGenerator generator(config);
+    generator.Generate(
+        [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
+          builder.AddDocument(tokens);
+        });
+    return new index::InvertedIndex(builder.Build());
+  }();
+  return index;
+}
+
+int CountKind(const ma::PlanNode& node, ma::OpKind kind) {
+  int count = node.kind == kind ? 1 : 0;
+  for (const ma::PlanNodePtr& child : node.children) {
+    count += CountKind(*child, kind);
+  }
+  return count;
+}
+
+bool Applied(const OptimizedPlan& plan, Optimization opt) {
+  return std::find(plan.applied.begin(), plan.applied.end(), opt) !=
+         plan.applied.end();
+}
+
+OptimizedPlan OptimizeFor(const char* query_text, const char* scheme_name,
+                          OptimizerOptions options = {}) {
+  auto query = mcalc::ParseQuery(query_text);
+  EXPECT_TRUE(query.ok());
+  const sa::ScoringScheme* scheme =
+      sa::SchemeRegistry::Global().Lookup(scheme_name);
+  EXPECT_NE(scheme, nullptr);
+  Optimizer optimizer(scheme, options);
+  auto plan = optimizer.Optimize(*query, CorpusIndex());
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return std::move(plan).value();
+}
+
+constexpr const char* kQ8 =
+    "(windows emulator)WINDOW[50] (foss | \"free software\")";
+
+TEST(OptimizerShapeTest, AnySumGetsAltElimAndPreCount) {
+  const OptimizedPlan plan = OptimizeFor(kQ8, "AnySum");
+  EXPECT_TRUE(Applied(plan, Optimization::kAlternateElimination));
+  EXPECT_TRUE(Applied(plan, Optimization::kPreCounting));
+  EXPECT_GE(CountKind(*plan.plan, ma::OpKind::kAltElim), 1);
+  EXPECT_GE(CountKind(*plan.plan, ma::OpKind::kPreCountAtom), 1);
+  // Constant schemes need no grouping at all.
+  EXPECT_EQ(CountKind(*plan.plan, ma::OpKind::kGroup), 0);
+  EXPECT_EQ(CountKind(*plan.plan, ma::OpKind::kSort), 0);
+}
+
+TEST(OptimizerShapeTest, SumBestGetsEagerAggregation) {
+  // Q4: every keyword is predicate-free, so every leaf aggregates.
+  const OptimizedPlan plan =
+      OptimizeFor("san francisco fault line", "SumBest");
+  EXPECT_TRUE(Applied(plan, Optimization::kEagerAggregation));
+  EXPECT_FALSE(Applied(plan, Optimization::kAlternateElimination));
+  EXPECT_EQ(CountKind(*plan.plan, ma::OpKind::kAltElim), 0);
+  // With pre-counting the aggregated leaves are π-over-CA; the final γ
+  // remains on top.
+  EXPECT_EQ(CountKind(*plan.plan, ma::OpKind::kPreCountAtom), 4);
+  EXPECT_GE(CountKind(*plan.plan, ma::OpKind::kGroup), 1);
+}
+
+TEST(OptimizerShapeTest, EagerAggregationSkipsPredicateAndUnionAtoms) {
+  // In Q8 every keyword is either a predicate argument or inside the
+  // union, so the eager-aggregation path has nothing to aggregate and the
+  // plan degenerates to the canonical column-first shape (no counts).
+  const OptimizedPlan plan = OptimizeFor(kQ8, "SumBest");
+  EXPECT_FALSE(Applied(plan, Optimization::kEagerAggregation));
+  EXPECT_EQ(CountKind(*plan.plan, ma::OpKind::kPreCountAtom), 0);
+  EXPECT_EQ(CountKind(*plan.plan, ma::OpKind::kAtom), 5);
+}
+
+TEST(OptimizerShapeTest, EventModelKeepsRowFirstWithCounting) {
+  const OptimizedPlan plan = OptimizeFor("san francisco fault line",
+                                         "EventModel");
+  // Row-first: eager aggregation is gated off, eager counting applies.
+  EXPECT_FALSE(Applied(plan, Optimization::kEagerAggregation));
+  EXPECT_TRUE(Applied(plan, Optimization::kEagerCounting) ||
+              Applied(plan, Optimization::kPreCounting));
+}
+
+TEST(OptimizerShapeTest, BestSumMinDistKeepsPositions) {
+  const OptimizedPlan plan = OptimizeFor(kQ8, "BestSumMinDist");
+  // Positional: no counting of any kind; positions must reach scoring.
+  EXPECT_FALSE(Applied(plan, Optimization::kPreCounting));
+  EXPECT_FALSE(Applied(plan, Optimization::kEagerCounting));
+  EXPECT_FALSE(Applied(plan, Optimization::kEagerAggregation));
+  EXPECT_EQ(CountKind(*plan.plan, ma::OpKind::kPreCountAtom), 0);
+  EXPECT_EQ(CountKind(*plan.plan, ma::OpKind::kAtom), 5);
+}
+
+TEST(OptimizerShapeTest, SelectionPushingMovesPredicatesIntoJoins) {
+  OptimizerOptions no_push;
+  no_push.push_selections = false;
+  const OptimizedPlan unpushed = OptimizeFor(kQ8, "BestSumMinDist", no_push);
+  const OptimizedPlan pushed = OptimizeFor(kQ8, "BestSumMinDist");
+  // Without pushing: a top-level σ carries both predicates.
+  EXPECT_GE(CountKind(*unpushed.plan, ma::OpKind::kSelect), 1);
+  // With pushing, the DISTANCE lands inside the phrase branch (a select
+  // or join residual below the union), strictly deeper than before.
+  EXPECT_TRUE(Applied(pushed, Optimization::kSelectionPushing));
+  EXPECT_FALSE(Applied(unpushed, Optimization::kSelectionPushing));
+}
+
+TEST(OptimizerShapeTest, OptionsDisableRewrites) {
+  OptimizerOptions off;
+  off.eager_aggregation = false;
+  off.eager_counting = false;
+  off.pre_counting = false;
+  off.alternate_elimination = false;
+  const OptimizedPlan plan = OptimizeFor(kQ8, "AnySum", off);
+  EXPECT_FALSE(Applied(plan, Optimization::kAlternateElimination));
+  EXPECT_EQ(CountKind(*plan.plan, ma::OpKind::kPreCountAtom), 0);
+  EXPECT_EQ(CountKind(*plan.plan, ma::OpKind::kAltElim), 0);
+}
+
+// A user-defined scheme with a non-commutative ⊕ forces the canonical τ to
+// stay and all grouped paths off (the sort-elimination gate).
+class OrderSensitiveScheme final : public sa::ScoringScheme {
+ public:
+  OrderSensitiveScheme() {
+    props_.direction = sa::Direction::kRowFirst;
+    props_.alt = {false, false, false, false};
+    props_.conj = {true, true, true, false};
+    props_.disj = {true, true, true, false};
+  }
+  std::string_view name() const override { return "OrderSensitive"; }
+  const sa::SchemeProperties& properties() const override { return props_; }
+  sa::InternalScore Init(const sa::DocContext& doc,
+                         const sa::ColumnContext& col,
+                         Offset offset) const override {
+    (void)doc;
+    (void)col;
+    return sa::InternalScore(offset == kEmptyOffset ? 0.0 : 1.0);
+  }
+  sa::InternalScore Conj(const sa::InternalScore& l,
+                         const sa::InternalScore& r) const override {
+    return sa::InternalScore(l.a + r.a);
+  }
+  sa::InternalScore Disj(const sa::InternalScore& l,
+                         const sa::InternalScore& r) const override {
+    return sa::InternalScore(l.a + r.a);
+  }
+  sa::InternalScore Alt(const sa::InternalScore& l,
+                        const sa::InternalScore& r) const override {
+    // Decaying fold: order-sensitive on purpose.
+    return sa::InternalScore(l.a + 0.5 * r.a);
+  }
+  double Finalize(const sa::DocContext&, const sa::QueryContext&,
+                  const sa::InternalScore& s) const override {
+    return s.a;
+  }
+
+ private:
+  sa::SchemeProperties props_;
+};
+
+TEST(OptimizerShapeTest, NonCommutativeAltKeepsSort) {
+  auto query = mcalc::ParseQuery("free software");
+  ASSERT_TRUE(query.ok());
+  OrderSensitiveScheme scheme;
+  Optimizer optimizer(&scheme);
+  auto plan = optimizer.Optimize(*query, CorpusIndex());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE(Applied(*plan, Optimization::kSortElimination));
+  EXPECT_EQ(CountKind(*plan->plan, ma::OpKind::kSort), 1);
+  // And the grouped paths stayed off.
+  EXPECT_FALSE(Applied(*plan, Optimization::kEagerAggregation));
+  EXPECT_FALSE(Applied(*plan, Optimization::kEagerCounting));
+}
+
+TEST(OptimizerShapeTest, JoinReorderPutsRareTermOutermost) {
+  // 'foss' is far rarer than 'free'; the reordered right-deep chain should
+  // scan it as the outer (left) input.
+  const OptimizedPlan plan = OptimizeFor("free foss", "BestSumMinDist");
+  const ma::PlanNode* node = plan.plan.get();
+  while (node->kind != ma::OpKind::kJoin) {
+    node = node->children[0].get();
+  }
+  const ma::PlanNode* left = node->children[0].get();
+  while (!left->children.empty()) left = left->children[0].get();
+  EXPECT_EQ(left->keyword, "foss");
+}
+
+TEST(OptimizerShapeTest, ExplainMentionsPhiAndRewrites) {
+  Engine engine(&CorpusIndex());
+  auto explain = engine.Explain(kQ8, "AnySum");
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_NE(explain->find("⊘"), std::string::npos);
+  EXPECT_NE(explain->find("alt. elim."), std::string::npos);
+  EXPECT_NE(explain->find("AnySum"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graft::core

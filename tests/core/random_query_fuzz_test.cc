@@ -1,0 +1,177 @@
+// Property-based score-consistency fuzzing: random well-formed queries
+// (conjunctions, disjunctions, negations, phrases, positional predicates,
+// nesting) over the corpus vocabulary, executed through the optimizer and
+// compared against the canonical reference oracle for every scheme.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/random.h"
+#include "core/canonical_plan.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "ma/reference_evaluator.h"
+#include "text/corpus.h"
+
+namespace graft::core {
+namespace {
+
+const index::InvertedIndex& FuzzIndex() {
+  static const index::InvertedIndex& index = *[] {
+    text::CorpusConfig config = text::WikipediaLikeConfig(350, /*seed=*/97);
+    for (auto& bundle : config.bundles) {
+      bundle.doc_fraction = std::min(1.0, bundle.doc_fraction * 60);
+    }
+    index::IndexBuilder builder;
+    text::CorpusGenerator generator(config);
+    generator.Generate(
+        [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
+          builder.AddDocument(tokens);
+        });
+    return new index::InvertedIndex(builder.Build());
+  }();
+  return index;
+}
+
+// Vocabulary pool mixing frequent, mid, rare, and absent words.
+const char* kWords[] = {"free",    "software", "windows", "service",
+                        "line",    "county",   "image",   "species",
+                        "fishing", "obama",    "emulator", "foss",
+                        "the",     "of",       "city",     "neverseen"};
+
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  mcalc::Query Generate() {
+    mcalc::Query query;
+    query.root = GenNode(&query, /*depth=*/0, /*allow_not=*/true);
+    return query;
+  }
+
+ private:
+  mcalc::NodePtr GenKeyword(mcalc::Query* query) {
+    const char* word = kWords[rng_.NextBounded(std::size(kWords))];
+    const mcalc::VarId var =
+        static_cast<mcalc::VarId>(query->variables.size());
+    query->variables.push_back(mcalc::Variable{var, word});
+    return mcalc::MakeKeyword(word, var);
+  }
+
+  mcalc::NodePtr GenNode(mcalc::Query* query, int depth, bool allow_not) {
+    const uint64_t kind = depth >= 2 ? 0 : rng_.NextBounded(10);
+    if (kind < 3 || query->variables.size() >= 7) {
+      return GenKeyword(query);
+    }
+    if (kind < 6) {  // conjunction, possibly with a negated child
+      std::vector<mcalc::NodePtr> kids;
+      const uint64_t n = 2 + rng_.NextBounded(2);
+      for (uint64_t i = 0; i < n; ++i) {
+        kids.push_back(GenNode(query, depth + 1, /*allow_not=*/false));
+      }
+      if (allow_not && rng_.NextBool(0.3)) {
+        kids.push_back(mcalc::MakeNot(GenKeyword(query)));
+      }
+      return mcalc::MakeAnd(std::move(kids));
+    }
+    if (kind < 8) {  // disjunction
+      std::vector<mcalc::NodePtr> kids;
+      const uint64_t n = 2 + rng_.NextBounded(2);
+      for (uint64_t i = 0; i < n; ++i) {
+        kids.push_back(GenNode(query, depth + 1, /*allow_not=*/false));
+      }
+      return mcalc::MakeOr(std::move(kids));
+    }
+    // Predicate group over a fresh conjunction of keywords.
+    std::vector<mcalc::NodePtr> kids;
+    std::vector<mcalc::VarId> vars;
+    const uint64_t n = 2 + rng_.NextBounded(2);
+    for (uint64_t i = 0; i < n; ++i) {
+      mcalc::NodePtr kw = GenKeyword(query);
+      vars.push_back(kw->var);
+      kids.push_back(std::move(kw));
+    }
+    mcalc::PredicateCall call;
+    switch (rng_.NextBounded(4)) {
+      case 0:
+        call = {"WINDOW", vars, {static_cast<int64_t>(
+                                    5 + rng_.NextBounded(60))}};
+        break;
+      case 1:
+        call = {"PROXIMITY", vars, {static_cast<int64_t>(
+                                       3 + rng_.NextBounded(20))}};
+        break;
+      case 2:
+        call = {"ORDER", vars, {}};
+        break;
+      default:
+        call = {"DISTANCE",
+                {vars[0], vars[1]},
+                {static_cast<int64_t>(1 + rng_.NextBounded(3))}};
+        break;
+    }
+    return mcalc::MakeConstrained(mcalc::MakeAnd(std::move(kids)),
+                                  {std::move(call)});
+  }
+
+  Rng rng_;
+};
+
+std::map<DocId, double> ToMap(const std::vector<ma::ScoredDoc>& results) {
+  std::map<DocId, double> map;
+  for (const ma::ScoredDoc& r : results) {
+    map[r.doc] = r.score;
+  }
+  return map;
+}
+
+class RandomQueryFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomQueryFuzzTest, OptimizedEqualsCanonicalForEveryScheme) {
+  QueryGenerator generator(20110612u + static_cast<uint64_t>(GetParam()));
+  const mcalc::Query query = generator.Generate();
+  ASSERT_TRUE(mcalc::ValidateQuery(query).ok())
+      << mcalc::ToMCalcString(query);
+  SCOPED_TRACE(mcalc::ToMCalcString(query));
+
+  for (const sa::ScoringScheme* scheme :
+       sa::SchemeRegistry::Global().All()) {
+    SCOPED_TRACE(std::string(scheme->name()));
+    auto canonical = BuildCanonicalPlan(query, *scheme);
+    ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+    ASSERT_TRUE(ma::ResolvePlan(canonical->plan.get(), FuzzIndex()).ok());
+    ma::ReferenceEvaluator reference(&FuzzIndex(), scheme,
+                                     MakeQueryContext(query));
+    auto oracle_table = reference.Evaluate(*canonical->plan);
+    ASSERT_TRUE(oracle_table.ok()) << oracle_table.status().ToString();
+    auto oracle_ranked = ma::ExtractRankedResults(*oracle_table);
+    ASSERT_TRUE(oracle_ranked.ok());
+    const std::map<DocId, double> oracle = ToMap(*oracle_ranked);
+
+    Optimizer optimizer(scheme);
+    auto plan = optimizer.Optimize(query, FuzzIndex());
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    exec::Executor executor(&FuzzIndex(), scheme, MakeQueryContext(query));
+    auto optimized = executor.ExecuteRanked(*plan->plan);
+    ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+    const std::map<DocId, double> actual = ToMap(*optimized);
+
+    ASSERT_EQ(actual.size(), oracle.size())
+        << "plan:\n" << ma::PlanToString(*plan->plan);
+    for (const auto& [doc, score] : oracle) {
+      const auto it = actual.find(doc);
+      ASSERT_NE(it, actual.end()) << "doc " << doc;
+      EXPECT_LE(std::fabs(score - it->second),
+                1e-7 * std::max(1.0, std::fabs(score)))
+          << "doc " << doc << ": " << score << " vs " << it->second
+          << "\nplan:\n" << ma::PlanToString(*plan->plan);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryFuzzTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace graft::core

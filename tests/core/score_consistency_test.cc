@@ -1,0 +1,194 @@
+// Definition 1 (score consistency), tested end to end: for every scoring
+// scheme, every evaluation query (the paper's Q4-Q11 plus extras), and
+// several optimizer configurations, the optimized streaming plan computes
+// exactly the same answers and scores as the canonical score-isolated plan
+// evaluated by the materializing reference oracle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/canonical_plan.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "index/inverted_index.h"
+#include "ma/reference_evaluator.h"
+#include "mcalc/parser.h"
+#include "text/corpus.h"
+
+namespace graft::core {
+namespace {
+
+constexpr const char* kQueries[] = {
+    "san francisco fault line",
+    "dinosaur species list (image | picture | drawing | illustration)",
+    "\"orange county convention center\" orlando",
+    "\"san francisco\" \"fault line\"",
+    "(windows emulator)WINDOW[50] (foss | \"free software\")",
+    "(free wireless internet)PROXIMITY[10] service",
+    "arizona ((fishing | hunting) (rules | regulations))WINDOW[20]",
+    "\"rick warren\" (obama inauguration)PROXIMITY[4] "
+    "(controversy invocation)PROXIMITY[15]",
+    // Extras: single keyword, pure disjunction, negation, ORDER.
+    "software",
+    "fishing | hunting | dinosaur",
+    "free software !windows",
+    "(san francisco)ORDER",
+};
+
+constexpr const char* kSchemes[] = {
+    "AnySum",  "AnyProd",    "SumBest",        "Lucene",
+    "JoinNormalized", "MeanSum", "EventModel", "BestSumMinDist"};
+
+const index::InvertedIndex& SharedIndex() {
+  static const index::InvertedIndex& index = *[] {
+    text::CorpusConfig config = text::WikipediaLikeConfig(700, /*seed=*/7);
+    // Boost plant rates so small collections still produce matches for
+    // the conjunctive queries.
+    for (auto& bundle : config.bundles) {
+      bundle.doc_fraction = std::min(1.0, bundle.doc_fraction * 40);
+    }
+    for (auto& phrase : config.phrases) {
+      phrase.doc_fraction = std::min(1.0, phrase.doc_fraction * 20);
+    }
+    index::IndexBuilder builder;
+    text::CorpusGenerator generator(config);
+    generator.Generate(
+        [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
+          builder.AddDocument(tokens);
+        });
+    return new index::InvertedIndex(builder.Build());
+  }();
+  return index;
+}
+
+std::map<DocId, double> ToMap(const std::vector<ma::ScoredDoc>& results) {
+  std::map<DocId, double> map;
+  for (const ma::ScoredDoc& r : results) {
+    map[r.doc] = r.score;
+  }
+  return map;
+}
+
+bool ScoresEqual(double a, double b) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= 1e-7 * scale;
+}
+
+// Oracle: canonical score-isolated plan on the reference evaluator.
+std::map<DocId, double> Oracle(const mcalc::Query& query,
+                               const sa::ScoringScheme& scheme) {
+  auto build = BuildCanonicalPlan(query, scheme);
+  EXPECT_TRUE(build.ok()) << build.status().ToString();
+  EXPECT_TRUE(ma::ResolvePlan(build->plan.get(), SharedIndex()).ok());
+  ma::ReferenceEvaluator evaluator(&SharedIndex(), &scheme,
+                                   MakeQueryContext(query));
+  auto table = evaluator.Evaluate(*build->plan);
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  auto ranked = ma::ExtractRankedResults(*table);
+  EXPECT_TRUE(ranked.ok());
+  return ToMap(*ranked);
+}
+
+std::map<DocId, double> Optimized(const mcalc::Query& query,
+                                  const sa::ScoringScheme& scheme,
+                                  const OptimizerOptions& options) {
+  Optimizer optimizer(&scheme, options);
+  auto plan = optimizer.Optimize(query, SharedIndex());
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  if (!plan.ok()) return {};
+  exec::Executor executor(&SharedIndex(), &scheme, MakeQueryContext(query));
+  auto results = executor.ExecuteRanked(*plan->plan);
+  EXPECT_TRUE(results.ok()) << results.status().ToString()
+                            << "\nplan:\n" << ma::PlanToString(*plan->plan);
+  if (!results.ok()) return {};
+  return ToMap(*results);
+}
+
+struct Case {
+  std::string query;
+  std::string scheme;
+};
+
+class ScoreConsistencyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ScoreConsistencyTest, OptimizedEqualsCanonical) {
+  const Case& test_case = GetParam();
+  auto query_or = mcalc::ParseQuery(test_case.query);
+  ASSERT_TRUE(query_or.ok()) << query_or.status().ToString();
+  const sa::ScoringScheme* scheme =
+      sa::SchemeRegistry::Global().Lookup(test_case.scheme);
+  ASSERT_NE(scheme, nullptr);
+
+  const std::map<DocId, double> oracle = Oracle(*query_or, *scheme);
+
+  OptimizerOptions all_on;
+  OptimizerOptions matching_only;
+  matching_only.eager_aggregation = false;
+  matching_only.eager_counting = false;
+  matching_only.pre_counting = false;
+  matching_only.alternate_elimination = false;
+  OptimizerOptions count_no_precount = all_on;
+  count_no_precount.eager_aggregation = false;
+  count_no_precount.pre_counting = false;
+  count_no_precount.alternate_elimination = false;
+
+  int config = 0;
+  for (const OptimizerOptions& options :
+       {all_on, matching_only, count_no_precount}) {
+    SCOPED_TRACE("optimizer config " + std::to_string(config++));
+    const std::map<DocId, double> optimized =
+        Optimized(*query_or, *scheme, options);
+    ASSERT_EQ(optimized.size(), oracle.size())
+        << "different answer sets for " << test_case.query << " under "
+        << test_case.scheme;
+    for (const auto& [doc, score] : oracle) {
+      const auto it = optimized.find(doc);
+      ASSERT_NE(it, optimized.end()) << "doc " << doc << " missing";
+      EXPECT_TRUE(ScoresEqual(score, it->second))
+          << "doc " << doc << ": canonical " << score << " vs optimized "
+          << it->second << " (" << test_case.query << ", "
+          << test_case.scheme << ")";
+    }
+  }
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (const char* query : kQueries) {
+    for (const char* scheme : kSchemes) {
+      cases.push_back(Case{query, scheme});
+    }
+  }
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = info.param.scheme + "_q" + std::to_string(info.index);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueriesAllSchemes, ScoreConsistencyTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+// Sanity: the evaluation queries actually match documents in the corpus
+// (an empty result set would make consistency vacuous).
+TEST(ScoreConsistencyCorpusTest, QueriesHaveMatches) {
+  const sa::ScoringScheme* scheme =
+      sa::SchemeRegistry::Global().Lookup("AnySum");
+  int with_matches = 0;
+  for (const char* text : kQueries) {
+    auto query = mcalc::ParseQuery(text);
+    ASSERT_TRUE(query.ok());
+    if (!Oracle(*query, *scheme).empty()) {
+      ++with_matches;
+    }
+  }
+  // The rare conjunctions (Q11-style) might miss on a small corpus, but
+  // most queries must hit.
+  EXPECT_GE(with_matches, 9);
+}
+
+}  // namespace
+}  // namespace graft::core

@@ -1,0 +1,169 @@
+// Differential tests: the streaming executor against the materializing
+// reference evaluator, operator by operator and end to end.
+
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/canonical_plan.h"
+#include "ma/reference_evaluator.h"
+#include "mcalc/parser.h"
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+
+namespace graft::exec {
+namespace {
+
+const index::InvertedIndex& SmallCorpusIndex() {
+  static const index::InvertedIndex& index = *[] {
+    text::CorpusConfig config = text::WikipediaLikeConfig(400, /*seed=*/31);
+    for (auto& bundle : config.bundles) {
+      bundle.doc_fraction = std::min(1.0, bundle.doc_fraction * 50);
+    }
+    for (auto& phrase : config.phrases) {
+      phrase.doc_fraction = std::min(1.0, phrase.doc_fraction * 25);
+    }
+    index::IndexBuilder builder;
+    text::CorpusGenerator generator(config);
+    generator.Generate(
+        [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
+          builder.AddDocument(tokens);
+        });
+    return new index::InvertedIndex(builder.Build());
+  }();
+  return index;
+}
+
+class MatchingSubplanStreamTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MatchingSubplanStreamTest, StreamEqualsReference) {
+  auto query = mcalc::ParseQuery(GetParam());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto plan_or = core::BuildMatchingSubplan(*query);
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  ma::PlanNodePtr plan = std::move(plan_or).value();
+  ASSERT_TRUE(ma::ResolvePlan(plan.get(), SmallCorpusIndex()).ok());
+
+  ma::ReferenceEvaluator reference(&SmallCorpusIndex(), nullptr,
+                                   sa::QueryContext{});
+  auto expected = reference.Evaluate(*plan);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  Executor executor(&SmallCorpusIndex(), nullptr, sa::QueryContext{});
+  auto actual = executor.ExecuteTable(*plan);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+
+  EXPECT_TRUE(ma::TablesEqual(*expected, *actual))
+      << "reference:\n" << expected->ToString() << "\nstream:\n"
+      << actual->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperQueries, MatchingSubplanStreamTest,
+    ::testing::Values(
+        "san francisco fault line",
+        "dinosaur species list (image | picture | drawing | illustration)",
+        "\"orange county convention center\" orlando",
+        "\"san francisco\" \"fault line\"",
+        "(windows emulator)WINDOW[50] (foss | \"free software\")",
+        "(free wireless internet)PROXIMITY[10] service",
+        "arizona ((fishing | hunting) (rules | regulations))WINDOW[20]",
+        "software", "fishing | hunting", "free software !windows",
+        "(san francisco)ORDER"));
+
+TEST(ExecutorTest, CountScansAgree) {
+  // Pre-count and eager-count leaves produce identical (doc, count) tables;
+  // only the memory they touch differs.
+  const TermId term = SmallCorpusIndex().LookupTerm("free");
+  ASSERT_NE(term, kInvalidTerm);
+
+  ma::PlanNodePtr pre = ma::MakePreCountAtom("free", "c0");
+  ASSERT_TRUE(ma::ResolvePlan(pre.get(), SmallCorpusIndex()).ok());
+  ma::PlanNodePtr eager = ma::MakeGroup(
+      ma::MakeProject(ma::MakeAtom("free", 0), {}), [] {
+        ma::GroupSpec spec;
+        spec.count_output = "c0";
+        spec.count_keyword = "free";
+        return spec;
+      }());
+  ASSERT_TRUE(ma::ResolvePlan(eager.get(), SmallCorpusIndex()).ok());
+
+  Executor executor(&SmallCorpusIndex(), nullptr, sa::QueryContext{});
+  auto pre_table = executor.ExecuteTable(*pre);
+  ASSERT_TRUE(pre_table.ok());
+  const ExecStats pre_stats = executor.stats();
+
+  executor.ResetStats();
+  auto eager_table = executor.ExecuteTable(*eager);
+  ASSERT_TRUE(eager_table.ok());
+  const ExecStats eager_stats = executor.stats();
+
+  EXPECT_TRUE(ma::TablesEqual(*pre_table, *eager_table));
+  // The physical distinction of Section 5.2.3: CA never touches positions.
+  EXPECT_EQ(pre_stats.positions_scanned, 0u);
+  EXPECT_GT(eager_stats.positions_scanned, 0u);
+  EXPECT_EQ(pre_stats.count_entries_scanned,
+            SmallCorpusIndex().DocFreq(term));
+  EXPECT_EQ(eager_stats.positions_scanned,
+            SmallCorpusIndex().CollectionFreq(term));
+}
+
+TEST(ExecutorTest, AltElimSkipsRowConstruction) {
+  // δ_A over a union of frequent keywords: the streaming executor must
+  // touch far fewer positions than the full enumeration.
+  auto query = mcalc::ParseQuery("free | software | service | line");
+  ASSERT_TRUE(query.ok());
+  auto plan_or = core::BuildMatchingSubplanNoSort(*query);
+  ASSERT_TRUE(plan_or.ok());
+
+  ma::PlanNodePtr full = std::move(plan_or).value();
+  ma::PlanNodePtr limited = ma::MakeAltElim(full->Clone());
+  ASSERT_TRUE(ma::ResolvePlan(full.get(), SmallCorpusIndex()).ok());
+  ASSERT_TRUE(ma::ResolvePlan(limited.get(), SmallCorpusIndex()).ok());
+
+  Executor executor(&SmallCorpusIndex(), nullptr, sa::QueryContext{});
+  auto full_table = executor.ExecuteTable(*full);
+  ASSERT_TRUE(full_table.ok());
+  const uint64_t full_positions = executor.stats().positions_scanned;
+
+  executor.ResetStats();
+  auto limited_table = executor.ExecuteTable(*limited);
+  ASSERT_TRUE(limited_table.ok());
+  const uint64_t limited_positions = executor.stats().positions_scanned;
+
+  // One row per doc, and each row is the first row of the doc.
+  DocId last = kInvalidDoc;
+  size_t expected_docs = 0;
+  for (const ma::Tuple& row : full_table->rows) {
+    if (row.doc != last) {
+      last = row.doc;
+      ++expected_docs;
+    }
+  }
+  EXPECT_EQ(limited_table->rows.size(), expected_docs);
+  EXPECT_LT(limited_positions, full_positions);
+}
+
+TEST(ExecutorTest, RankedExecutionRejectsNonScorePlans) {
+  ma::PlanNodePtr atom = ma::MakeAtom("free", 0);
+  ASSERT_TRUE(ma::ResolvePlan(atom.get(), SmallCorpusIndex()).ok());
+  Executor executor(&SmallCorpusIndex(), nullptr, sa::QueryContext{});
+  EXPECT_FALSE(executor.ExecuteRanked(*atom).ok());
+}
+
+TEST(ExecutorTest, UnknownKeywordYieldsEmptyStream) {
+  index::IndexBuilder builder;
+  builder.AddDocumentStrings(text::Tokenize("just a tiny document"));
+  index::InvertedIndex index = builder.Build();
+  ma::PlanNodePtr plan = ma::MakeJoin(ma::MakeAtom("tiny", 0),
+                                      ma::MakeAtom("nonexistent", 1));
+  ASSERT_TRUE(ma::ResolvePlan(plan.get(), index).ok());
+  Executor executor(&index, nullptr, sa::QueryContext{});
+  auto table = executor.ExecuteTable(*plan);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->rows.empty());
+}
+
+}  // namespace
+}  // namespace graft::exec

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "index/index_io.h"
+#include "index/inverted_index.h"
+#include "index/posting_list.h"
+#include "index/stats.h"
+#include "text/tokenizer.h"
+
+namespace graft::index {
+namespace {
+
+InvertedIndex SmallIndex() {
+  IndexBuilder builder;
+  builder.AddDocumentStrings(text::Tokenize("free software wine emulator"));
+  builder.AddDocumentStrings(text::Tokenize("windows emulator free free"));
+  builder.AddDocumentStrings(text::Tokenize("fault line san francisco"));
+  return builder.Build();
+}
+
+TEST(PostingListTest, AddAndAccess) {
+  PostingList list;
+  const Offset d0[] = {1, 5, 9};
+  const Offset d1[] = {0};
+  list.AddDocument(10, d0);
+  list.AddDocument(42, d1);
+  EXPECT_EQ(list.doc_count(), 2u);
+  EXPECT_EQ(list.collection_frequency(), 4u);
+  EXPECT_EQ(list.doc_at(0), 10u);
+  EXPECT_EQ(list.tf_at(0), 3u);
+  ASSERT_EQ(list.OffsetsAt(0).size(), 3u);
+  EXPECT_EQ(list.OffsetsAt(0)[2], 9u);
+  EXPECT_EQ(list.OffsetsAt(1)[0], 0u);
+}
+
+TEST(PostingListTest, GallopFindsTargets) {
+  PostingList list;
+  const Offset one[] = {0};
+  for (DocId d = 0; d < 1000; d += 3) {
+    list.AddDocument(d, one);
+  }
+  EXPECT_EQ(list.GallopTo(0, 0), 0u);
+  EXPECT_EQ(list.doc_at(list.GallopTo(0, 301)), 303u);  // next multiple of 3
+  EXPECT_EQ(list.doc_at(list.GallopTo(0, 999)), 999u);
+  EXPECT_EQ(list.GallopTo(0, 1000), list.doc_count());
+  // Galloping from the middle.
+  const size_t mid = list.GallopTo(0, 500);
+  EXPECT_EQ(list.doc_at(list.GallopTo(mid, 800)), 801u);
+}
+
+TEST(PostingCursorTest, SkipToAndIterate) {
+  PostingList list;
+  const Offset one[] = {7};
+  for (DocId d = 2; d < 100; d += 2) {
+    list.AddDocument(d, one);
+  }
+  PostingCursor cursor(&list);
+  EXPECT_FALSE(cursor.AtEnd());
+  EXPECT_EQ(cursor.doc(), 2u);
+  cursor.SkipTo(51);
+  EXPECT_EQ(cursor.doc(), 52u);
+  cursor.Next();
+  EXPECT_EQ(cursor.doc(), 54u);
+  cursor.SkipTo(99);
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(InvertedIndexTest, BuildsDictionaryAndStats) {
+  InvertedIndex index = SmallIndex();
+  EXPECT_EQ(index.doc_count(), 3u);
+  EXPECT_EQ(index.total_words(), 12u);
+  EXPECT_EQ(index.doc_length(1), 4u);
+
+  const TermId free_term = index.LookupTerm("free");
+  ASSERT_NE(free_term, kInvalidTerm);
+  EXPECT_EQ(index.DocFreq(free_term), 2u);
+  EXPECT_EQ(index.CollectionFreq(free_term), 3u);
+  EXPECT_EQ(index.TermFreqInDoc(free_term, 0), 1u);
+  EXPECT_EQ(index.TermFreqInDoc(free_term, 1), 2u);
+  EXPECT_EQ(index.TermFreqInDoc(free_term, 2), 0u);
+  EXPECT_EQ(index.LookupTerm("absent"), kInvalidTerm);
+}
+
+TEST(InvertedIndexTest, OffsetsRecorded) {
+  InvertedIndex index = SmallIndex();
+  const TermId term = index.LookupTerm("free");
+  const PostingList& list = index.postings(term);
+  // doc 1: "windows emulator free free" -> offsets 2, 3.
+  ASSERT_EQ(list.doc_at(1), 1u);
+  const auto offsets = list.OffsetsAt(1);
+  ASSERT_EQ(offsets.size(), 2u);
+  EXPECT_EQ(offsets[0], 2u);
+  EXPECT_EQ(offsets[1], 3u);
+}
+
+TEST(StatsViewTest, OverlayWins) {
+  InvertedIndex index = SmallIndex();
+  StatsOverlay overlay;
+  overlay.SetCollectionSize(4638535);
+  overlay.SetDocFreq("free", 332335);
+  overlay.SetTermFreqInDoc("free", 0, 17);
+  overlay.SetDocLength(0, 207);
+
+  StatsView plain(&index);
+  StatsView overlaid(&index, &overlay);
+  const TermId term = index.LookupTerm("free");
+
+  EXPECT_EQ(plain.CollectionSize(), 3u);
+  EXPECT_EQ(overlaid.CollectionSize(), 4638535u);
+  EXPECT_EQ(plain.DocFreq(term), 2u);
+  EXPECT_EQ(overlaid.DocFreq(term), 332335u);
+  EXPECT_EQ(plain.TermFreqInDoc(term, 0), 1u);
+  EXPECT_EQ(overlaid.TermFreqInDoc(term, 0), 17u);
+  EXPECT_EQ(plain.DocLength(0), 4u);
+  EXPECT_EQ(overlaid.DocLength(0), 207u);
+  // Unoverlaid doc falls through.
+  EXPECT_EQ(overlaid.DocLength(1), 4u);
+}
+
+TEST(IndexIoTest, SaveLoadRoundTrip) {
+  InvertedIndex index = SmallIndex();
+  const std::string path = ::testing::TempDir() + "/graft_index_test.idx";
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+
+  auto loaded_or = LoadIndex(path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const InvertedIndex& loaded = *loaded_or;
+
+  EXPECT_EQ(loaded.doc_count(), index.doc_count());
+  EXPECT_EQ(loaded.total_words(), index.total_words());
+  EXPECT_EQ(loaded.term_count(), index.term_count());
+  for (TermId t = 0; t < index.term_count(); ++t) {
+    EXPECT_EQ(loaded.TermText(t), index.TermText(t));
+    EXPECT_EQ(loaded.DocFreq(t), index.DocFreq(t));
+    EXPECT_EQ(loaded.CollectionFreq(t), index.CollectionFreq(t));
+    const PostingList& a = index.postings(t);
+    const PostingList& b = loaded.postings(t);
+    ASSERT_EQ(a.doc_count(), b.doc_count());
+    for (size_t i = 0; i < a.doc_count(); ++i) {
+      EXPECT_EQ(a.doc_at(i), b.doc_at(i));
+      ASSERT_EQ(a.tf_at(i), b.tf_at(i));
+      for (size_t j = 0; j < a.tf_at(i); ++j) {
+        EXPECT_EQ(a.OffsetsAt(i)[j], b.OffsetsAt(i)[j]);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/graft_garbage.idx";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not an index", f);
+  std::fclose(f);
+  const auto result = LoadIndex(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, MissingFileIsIOError) {
+  const auto result = LoadIndex("/nonexistent/graft.idx");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace graft::index

@@ -1,0 +1,73 @@
+#include "index/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+#include "index/types.h"
+
+namespace graft::index {
+namespace {
+
+uint32_t RoundTrip(uint32_t value, size_t* bytes = nullptr) {
+  std::vector<uint8_t> buffer;
+  PutVarint32(&buffer, value);
+  if (bytes != nullptr) *bytes = buffer.size();
+  const uint8_t* p = buffer.data();
+  const uint32_t decoded = GetVarint32(&p);
+  EXPECT_EQ(p, buffer.data() + buffer.size());
+  return decoded;
+}
+
+TEST(VarintTest, Boundaries) {
+  size_t bytes = 0;
+  EXPECT_EQ(RoundTrip(0, &bytes), 0u);
+  EXPECT_EQ(bytes, 1u);
+  EXPECT_EQ(RoundTrip(127, &bytes), 127u);
+  EXPECT_EQ(bytes, 1u);
+  EXPECT_EQ(RoundTrip(128, &bytes), 128u);
+  EXPECT_EQ(bytes, 2u);
+  EXPECT_EQ(RoundTrip(16383, &bytes), 16383u);
+  EXPECT_EQ(bytes, 2u);
+  EXPECT_EQ(RoundTrip(16384, &bytes), 16384u);
+  EXPECT_EQ(bytes, 3u);
+  EXPECT_EQ(RoundTrip(std::numeric_limits<uint32_t>::max(), &bytes),
+            std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(bytes, 5u);
+}
+
+TEST(VarintTest, RandomRoundTrips) {
+  Rng rng(404);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t value = static_cast<uint32_t>(rng.NextUint64());
+    EXPECT_EQ(RoundTrip(value), value);
+  }
+}
+
+TEST(VarintTest, SequencesDecodeInOrder) {
+  std::vector<uint8_t> buffer;
+  const uint32_t values[] = {0, 1, 300, 7, 1u << 30, 127, 128};
+  for (const uint32_t v : values) {
+    PutVarint32(&buffer, v);
+  }
+  const uint8_t* p = buffer.data();
+  for (const uint32_t v : values) {
+    EXPECT_EQ(GetVarint32(&p), v);
+  }
+  EXPECT_EQ(p, buffer.data() + buffer.size());
+}
+
+TEST(VarintTest, DeltaEncodingOfTypicalOffsets) {
+  // Posting offsets are small gaps: one byte each in the common case.
+  std::vector<uint8_t> buffer;
+  Offset previous = 0;
+  for (const Offset offset : {3u, 5u, 9u, 40u, 41u, 120u}) {
+    PutVarint32(&buffer, offset - previous);
+    previous = offset;
+  }
+  EXPECT_EQ(buffer.size(), 6u);
+}
+
+}  // namespace
+}  // namespace graft::index

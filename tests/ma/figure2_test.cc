@@ -1,0 +1,130 @@
+// Reproduces Figure 2 of the paper: the match table of query Q3 over
+// document d_w, computed by the canonical matching subplan on the
+// reference evaluator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/canonical_plan.h"
+#include "ma/reference_evaluator.h"
+#include "testutil/fixtures.h"
+
+namespace graft {
+namespace {
+
+TEST(Figure2Test, MatchTableOfQ3OverWineDoc) {
+  testutil::WineFixture fixture = testutil::MakeWineFixture();
+  const mcalc::Query query = testutil::MakeQ3();
+  ASSERT_TRUE(mcalc::ValidateQuery(query).ok());
+
+  auto plan_or = core::BuildMatchingSubplan(query);
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  ma::PlanNodePtr plan = std::move(plan_or).value();
+  ASSERT_TRUE(ma::ResolvePlan(plan.get(), fixture.index).ok());
+
+  ma::ReferenceEvaluator evaluator(&fixture.index, nullptr,
+                                   sa::QueryContext{5}, &fixture.overlay);
+  auto table_or = evaluator.Evaluate(*plan);
+  ASSERT_TRUE(table_or.ok()) << table_or.status().ToString();
+  const ma::MatchTable& table = *table_or;
+
+  // Figure 2: exactly four matches.
+  ASSERT_EQ(table.rows.size(), 4u) << table.ToString();
+
+  // Columns p0..p4 in variable order after the canonical sort.
+  const int p0 = table.schema.FindVar(0);
+  const int p1 = table.schema.FindVar(1);
+  const int p2 = table.schema.FindVar(2);
+  const int p3 = table.schema.FindVar(3);
+  const int p4 = table.schema.FindVar(4);
+  ASSERT_GE(p0, 0);
+  ASSERT_GE(p4, 0);
+
+  std::set<std::array<Offset, 5>> rows;
+  for (const ma::Tuple& row : table.rows) {
+    EXPECT_EQ(row.doc, fixture.doc);
+    rows.insert({row.values[p0].pos, row.values[p1].pos, row.values[p2].pos,
+                 row.values[p3].pos, row.values[p4].pos});
+  }
+  constexpr Offset E = kEmptyOffset;
+  const std::set<std::array<Offset, 5>> expected = {
+      {27, 64, E, E, 179},
+      {27, 64, 3, 4, E},
+      {42, 64, E, E, 179},
+      {42, 64, 3, 4, E},
+  };
+  EXPECT_EQ(rows, expected) << table.ToString();
+}
+
+TEST(Figure2Test, SortedRowOrderIsCanonical) {
+  testutil::WineFixture fixture = testutil::MakeWineFixture();
+  const mcalc::Query query = testutil::MakeQ3();
+  auto plan_or = core::BuildMatchingSubplan(query);
+  ASSERT_TRUE(plan_or.ok());
+  ma::PlanNodePtr plan = std::move(plan_or).value();
+  ASSERT_TRUE(ma::ResolvePlan(plan.get(), fixture.index).ok());
+  ma::ReferenceEvaluator evaluator(&fixture.index, nullptr,
+                                   sa::QueryContext{5}, &fixture.overlay);
+  auto table_or = evaluator.Evaluate(*plan);
+  ASSERT_TRUE(table_or.ok());
+  const ma::MatchTable& table = *table_or;
+  ASSERT_EQ(table.rows.size(), 4u);
+
+  // Lexicographic by (p0..p4), ∅ last: (27,64,3,4,∅) < (27,64,∅,∅,179).
+  const int p0 = table.schema.FindVar(0);
+  const int p2 = table.schema.FindVar(2);
+  EXPECT_EQ(table.rows[0].values[p0].pos, 27u);
+  EXPECT_EQ(table.rows[0].values[p2].pos, 3u);
+  EXPECT_EQ(table.rows[1].values[p0].pos, 27u);
+  EXPECT_EQ(table.rows[1].values[p2].pos, kEmptyOffset);
+  EXPECT_EQ(table.rows[2].values[p0].pos, 42u);
+  EXPECT_EQ(table.rows[3].values[p0].pos, 42u);
+}
+
+// Without the DISTANCE predicate, 'free software' contributes all four
+// 'software' positions (the Section 2 discussion of Q1's matches).
+TEST(Figure2Test, WithoutDistanceFourPhraseCandidates) {
+  testutil::WineFixture fixture = testutil::MakeWineFixture();
+  mcalc::Query query;
+  query.variables = {{0, "emulator"}, {1, "free"}, {2, "software"}};
+  std::vector<mcalc::NodePtr> kids;
+  kids.push_back(mcalc::MakeKeyword("emulator", 0));
+  kids.push_back(mcalc::MakeKeyword("free", 1));
+  kids.push_back(mcalc::MakeKeyword("software", 2));
+  query.root = mcalc::MakeAnd(std::move(kids));
+
+  auto plan_or = core::BuildMatchingSubplan(query);
+  ASSERT_TRUE(plan_or.ok());
+  ma::PlanNodePtr plan = std::move(plan_or).value();
+  ASSERT_TRUE(ma::ResolvePlan(plan.get(), fixture.index).ok());
+  ma::ReferenceEvaluator evaluator(&fixture.index, nullptr,
+                                   sa::QueryContext{3}, &fixture.overlay);
+  auto table = evaluator.Evaluate(*plan);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 4u);  // 1 × 1 × 4
+
+  // Adding DISTANCE(p1,p2,1) narrows to the single match ⟨d_w,64,3,4⟩.
+  mcalc::Query narrowed;
+  narrowed.variables = query.variables;
+  std::vector<mcalc::NodePtr> kids2;
+  kids2.push_back(mcalc::MakeKeyword("emulator", 0));
+  kids2.push_back(mcalc::MakeKeyword("free", 1));
+  kids2.push_back(mcalc::MakeKeyword("software", 2));
+  narrowed.root = mcalc::MakeConstrained(
+      mcalc::MakeAnd(std::move(kids2)),
+      {mcalc::PredicateCall{"DISTANCE", {1, 2}, {1}}});
+  auto plan2_or = core::BuildMatchingSubplan(narrowed);
+  ASSERT_TRUE(plan2_or.ok());
+  ma::PlanNodePtr plan2 = std::move(plan2_or).value();
+  ASSERT_TRUE(ma::ResolvePlan(plan2.get(), fixture.index).ok());
+  auto table2 = evaluator.Evaluate(*plan2);
+  ASSERT_TRUE(table2.ok());
+  ASSERT_EQ(table2->rows.size(), 1u);
+  EXPECT_EQ(table2->rows[0].values[table2->schema.FindVar(0)].pos, 64u);
+  EXPECT_EQ(table2->rows[0].values[table2->schema.FindVar(1)].pos, 3u);
+  EXPECT_EQ(table2->rows[0].values[table2->schema.FindVar(2)].pos, 4u);
+}
+
+}  // namespace
+}  // namespace graft

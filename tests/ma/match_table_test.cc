@@ -1,0 +1,125 @@
+#include "ma/match_table.h"
+
+#include <gtest/gtest.h>
+
+namespace graft::ma {
+namespace {
+
+TEST(CompareValueTest, PositionsAscendWithEmptyLast) {
+  EXPECT_LT(CompareValue(Value::Pos(3), Value::Pos(4)), 0);
+  EXPECT_GT(CompareValue(Value::Pos(4), Value::Pos(3)), 0);
+  EXPECT_EQ(CompareValue(Value::Pos(3), Value::Pos(3)), 0);
+  // ∅ encodes as the maximum offset: sorts last naturally.
+  EXPECT_LT(CompareValue(Value::Pos(1000000), Value::EmptyPos()), 0);
+}
+
+TEST(CompareValueTest, CountsAndScores) {
+  EXPECT_LT(CompareValue(Value::Count(2), Value::Count(5)), 0);
+  EXPECT_EQ(CompareValue(Value::Count(5), Value::Count(5)), 0);
+  EXPECT_LT(CompareValue(Value::Score(sa::InternalScore(1.0)),
+                         Value::Score(sa::InternalScore(2.0))),
+            0);
+  EXPECT_LT(CompareValue(Value::Score(sa::InternalScore(1.0, 0.0)),
+                         Value::Score(sa::InternalScore(1.0, 3.0))),
+            0);
+}
+
+Tuple MakeRow(DocId doc, std::initializer_list<Offset> positions) {
+  Tuple row;
+  row.doc = doc;
+  for (const Offset p : positions) {
+    row.values.push_back(Value::Pos(p));
+  }
+  return row;
+}
+
+TEST(CompareTupleTest, LexicographicWithDocFirst) {
+  EXPECT_LT(CompareTuple(MakeRow(1, {9, 9}), MakeRow(2, {0, 0})), 0);
+  EXPECT_LT(CompareTuple(MakeRow(1, {3, 4}), MakeRow(1, {3, 5})), 0);
+  EXPECT_EQ(CompareTuple(MakeRow(1, {3, 4}), MakeRow(1, {3, 4})), 0);
+  EXPECT_LT(CompareTuple(MakeRow(1, {3, 4}),
+                         MakeRow(1, {kEmptyOffset, 0})),
+            0);
+}
+
+MatchTable TwoRowTable() {
+  MatchTable table;
+  table.schema.columns.push_back(Column::Pos("p0", 0, 7, "free"));
+  table.schema.columns.push_back(Column::Score("s"));
+  Tuple a;
+  a.doc = 1;
+  a.values.push_back(Value::Pos(3));
+  a.values.push_back(Value::Score(sa::InternalScore(1.5, 2.0)));
+  Tuple b;
+  b.doc = 4;
+  b.values.push_back(Value::EmptyPos());
+  b.values.push_back(Value::Score(sa::InternalScore(0.25, 1.0)));
+  table.rows.push_back(std::move(a));
+  table.rows.push_back(std::move(b));
+  return table;
+}
+
+TEST(TablesEqualTest, ExactAndTolerantScoreComparison) {
+  const MatchTable left = TwoRowTable();
+  MatchTable right = TwoRowTable();
+  EXPECT_TRUE(TablesEqual(left, right));
+  right.rows[0].values[1].score.a += 1e-12;
+  EXPECT_TRUE(TablesEqual(left, right));  // within tolerance
+  right.rows[0].values[1].score.a += 1.0;
+  EXPECT_FALSE(TablesEqual(left, right));
+}
+
+TEST(TablesEqualTest, DetectsShapeDifferences) {
+  const MatchTable left = TwoRowTable();
+  MatchTable fewer = TwoRowTable();
+  fewer.rows.pop_back();
+  EXPECT_FALSE(TablesEqual(left, fewer));
+
+  MatchTable renamed = TwoRowTable();
+  renamed.schema.columns[0].name = "p9";
+  EXPECT_FALSE(TablesEqual(left, renamed));
+
+  MatchTable repositioned = TwoRowTable();
+  repositioned.rows[1].values[0] = Value::Pos(8);
+  EXPECT_FALSE(TablesEqual(left, repositioned));
+}
+
+TEST(ExtractRankedResultsTest, SortsDescendingWithDocTiebreak) {
+  MatchTable table;
+  table.schema.columns.push_back(Column::Score("score"));
+  for (const auto& [doc, score] :
+       std::vector<std::pair<DocId, double>>{
+           {5, 1.0}, {2, 3.0}, {9, 3.0}, {1, 0.5}}) {
+    Tuple row;
+    row.doc = doc;
+    row.values.push_back(Value::Score(sa::InternalScore(score)));
+    table.rows.push_back(std::move(row));
+  }
+  auto ranked = ExtractRankedResults(table);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 4u);
+  EXPECT_EQ((*ranked)[0].doc, 2u);  // tie at 3.0: lower doc id first
+  EXPECT_EQ((*ranked)[1].doc, 9u);
+  EXPECT_EQ((*ranked)[2].doc, 5u);
+  EXPECT_EQ((*ranked)[3].doc, 1u);
+}
+
+TEST(ExtractRankedResultsTest, RejectsNonScoreSchemas) {
+  MatchTable positions;
+  positions.schema.columns.push_back(Column::Pos("p0", 0, 0, "x"));
+  EXPECT_FALSE(ExtractRankedResults(positions).ok());
+
+  MatchTable two_columns = TwoRowTable();
+  EXPECT_FALSE(ExtractRankedResults(two_columns).ok());
+}
+
+TEST(MatchTableTest, PrintingIsHumanReadable) {
+  const MatchTable table = TwoRowTable();
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("p0"), std::string::npos);
+  EXPECT_NE(text.find("∅"), std::string::npos);
+  EXPECT_NE(text.find("⟨1, 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graft::ma

@@ -1,0 +1,173 @@
+#include "mcalc/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace graft::mcalc {
+namespace {
+
+// The paper's evaluation queries (Section 8).
+constexpr const char* kQ4 = "san francisco fault line";
+constexpr const char* kQ5 =
+    "dinosaur species list (image | picture | drawing | illustration)";
+constexpr const char* kQ6 = "\"orange county convention center\" orlando";
+constexpr const char* kQ7 = "\"san francisco\" \"fault line\"";
+constexpr const char* kQ8 =
+    "(windows emulator)WINDOW[50] (foss | \"free software\")";
+constexpr const char* kQ9 = "(free wireless internet)PROXIMITY[10] service";
+constexpr const char* kQ10 =
+    "arizona ((fishing | hunting) (rules | regulations))WINDOW[20]";
+constexpr const char* kQ11 =
+    "\"rick warren\" (obama inauguration)PROXIMITY[4] "
+    "(controversy invocation)PROXIMITY[15]";
+
+TEST(ParserTest, SimpleConjunction) {
+  auto query = ParseQuery(kQ4);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->num_variables(), 4u);
+  ASSERT_EQ(query->root->kind, NodeKind::kAnd);
+  EXPECT_EQ(query->root->children.size(), 4u);
+  EXPECT_EQ(query->root->children[0]->keyword, "san");
+  EXPECT_EQ(query->variables[3].keyword, "line");
+}
+
+TEST(ParserTest, SingleKeyword) {
+  auto query = ParseQuery("wine");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->root->kind, NodeKind::kKeyword);
+  EXPECT_EQ(query->root->var, 0);
+}
+
+TEST(ParserTest, DisjunctionGroup) {
+  auto query = ParseQuery(kQ5);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->num_variables(), 7u);
+  ASSERT_EQ(query->root->kind, NodeKind::kAnd);
+  const Node& group = *query->root->children[3];
+  ASSERT_EQ(group.kind, NodeKind::kOr);
+  EXPECT_EQ(group.children.size(), 4u);
+  EXPECT_EQ(group.children[2]->keyword, "drawing");
+}
+
+TEST(ParserTest, PhraseExpandsToDistanceChain) {
+  auto query = ParseQuery(kQ6);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->root->kind, NodeKind::kAnd);
+  const Node& phrase = *query->root->children[0];
+  ASSERT_EQ(phrase.kind, NodeKind::kConstrained);
+  ASSERT_EQ(phrase.constraints.size(), 3u);  // 4-word phrase: 3 DISTANCEs
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(phrase.constraints[i].name, "DISTANCE");
+    EXPECT_EQ(phrase.constraints[i].params[0], 1);
+    EXPECT_EQ(phrase.constraints[i].vars[0], static_cast<VarId>(i));
+    EXPECT_EQ(phrase.constraints[i].vars[1], static_cast<VarId>(i + 1));
+  }
+}
+
+TEST(ParserTest, TwoPhrases) {
+  auto query = ParseQuery(kQ7);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->num_variables(), 4u);
+  ASSERT_EQ(query->root->kind, NodeKind::kAnd);
+  EXPECT_EQ(query->root->children[0]->kind, NodeKind::kConstrained);
+  EXPECT_EQ(query->root->children[1]->kind, NodeKind::kConstrained);
+}
+
+TEST(ParserTest, GroupPredicateOverGroupVariables) {
+  auto query = ParseQuery(kQ8);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->num_variables(), 5u);
+  ASSERT_EQ(query->root->kind, NodeKind::kAnd);
+  const Node& window = *query->root->children[0];
+  ASSERT_EQ(window.kind, NodeKind::kConstrained);
+  ASSERT_EQ(window.constraints.size(), 1u);
+  EXPECT_EQ(window.constraints[0].name, "WINDOW");
+  EXPECT_EQ(window.constraints[0].params[0], 50);
+  ASSERT_EQ(window.constraints[0].vars.size(), 2u);
+  const Node& disjunction = *query->root->children[1];
+  ASSERT_EQ(disjunction.kind, NodeKind::kOr);
+  EXPECT_EQ(disjunction.children[0]->keyword, "foss");
+  // "free software" branch is a phrase.
+  EXPECT_EQ(disjunction.children[1]->kind, NodeKind::kConstrained);
+}
+
+TEST(ParserTest, ProximityOverThreeKeywords) {
+  auto query = ParseQuery(kQ9);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const Node& proximity = *query->root->children[0];
+  ASSERT_EQ(proximity.kind, NodeKind::kConstrained);
+  EXPECT_EQ(proximity.constraints[0].name, "PROXIMITY");
+  EXPECT_EQ(proximity.constraints[0].vars.size(), 3u);
+  EXPECT_EQ(proximity.constraints[0].params[0], 10);
+}
+
+TEST(ParserTest, NestedGroupsWithWindow) {
+  auto query = ParseQuery(kQ10);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->num_variables(), 5u);
+  const Node& window = *query->root->children[1];
+  ASSERT_EQ(window.kind, NodeKind::kConstrained);
+  // WINDOW applies to all four variables bound inside the group.
+  EXPECT_EQ(window.constraints[0].vars.size(), 4u);
+  ASSERT_EQ(window.children[0]->kind, NodeKind::kAnd);
+  EXPECT_EQ(window.children[0]->children[0]->kind, NodeKind::kOr);
+}
+
+TEST(ParserTest, MultiplePredicateGroups) {
+  auto query = ParseQuery(kQ11);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->num_variables(), 6u);
+  ASSERT_EQ(query->root->children.size(), 3u);
+  EXPECT_EQ(query->root->children[1]->constraints[0].params[0], 4);
+  EXPECT_EQ(query->root->children[2]->constraints[0].params[0], 15);
+}
+
+TEST(ParserTest, Negation) {
+  auto query = ParseQuery("wine !emulator");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->root->kind, NodeKind::kAnd);
+  EXPECT_EQ(query->root->children[1]->kind, NodeKind::kNot);
+  EXPECT_EQ(query->root->children[1]->children[0]->keyword, "emulator");
+}
+
+TEST(ParserTest, KeywordsAreLowercased) {
+  auto query = ParseQuery("Wine EMULATOR");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->root->children[0]->keyword, "wine");
+  EXPECT_EQ(query->root->children[1]->keyword, "emulator");
+}
+
+TEST(ParserTest, VariablesBindInAppearanceOrder) {
+  auto query = ParseQuery(kQ8);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->variables[0].keyword, "windows");
+  EXPECT_EQ(query->variables[1].keyword, "emulator");
+  EXPECT_EQ(query->variables[2].keyword, "foss");
+  EXPECT_EQ(query->variables[3].keyword, "free");
+  EXPECT_EQ(query->variables[4].keyword, "software");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("\"unterminated").ok());
+  EXPECT_FALSE(ParseQuery("(a b").ok());
+  EXPECT_FALSE(ParseQuery("a | ").ok());
+  EXPECT_FALSE(ParseQuery("(a b)NOSUCHPRED[5]").ok());
+  EXPECT_FALSE(ParseQuery("(a b)WINDOW[]").ok());
+  EXPECT_FALSE(ParseQuery("a ) b").ok());
+}
+
+TEST(ParserTest, UnknownPredicateArityRejected) {
+  // DISTANCE is strictly binary.
+  EXPECT_FALSE(ParseQuery("(a b c)DISTANCE[1]").ok());
+}
+
+TEST(ParserTest, MCalcRendering) {
+  auto query = ParseQuery("wine (free | foss)");
+  ASSERT_TRUE(query.ok());
+  const std::string rendered = ToMCalcString(*query);
+  EXPECT_NE(rendered.find("HAS(d,p0,'wine')"), std::string::npos);
+  EXPECT_NE(rendered.find("∨"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graft::mcalc

@@ -1,0 +1,109 @@
+#include "mcalc/predicates.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace graft::mcalc {
+namespace {
+
+Offset PositionsOf(const std::vector<Offset>& positions, VarId var) {
+  return positions[static_cast<size_t>(var)];
+}
+
+bool Eval(const PredicateCall& call, const std::vector<Offset>& positions) {
+  auto result = EvaluatePredicate(call, [&positions](VarId var) {
+    return PositionsOf(positions, var);
+  });
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() && *result;
+}
+
+TEST(PredicatesTest, DistanceExact) {
+  const PredicateCall call{"DISTANCE", {0, 1}, {1}};
+  EXPECT_TRUE(Eval(call, {3, 4}));
+  EXPECT_FALSE(Eval(call, {3, 5}));
+  EXPECT_FALSE(Eval(call, {4, 3}));  // signed: order matters
+}
+
+TEST(PredicatesTest, DistanceWithEmptyIsTrue) {
+  const PredicateCall call{"DISTANCE", {0, 1}, {1}};
+  EXPECT_TRUE(Eval(call, {kEmptyOffset, 4}));
+  EXPECT_TRUE(Eval(call, {3, kEmptyOffset}));
+  EXPECT_TRUE(Eval(call, {kEmptyOffset, kEmptyOffset}));
+}
+
+TEST(PredicatesTest, ProximityAndWindowAreSpans) {
+  const PredicateCall proximity{"PROXIMITY", {0, 1, 2}, {10}};
+  EXPECT_TRUE(Eval(proximity, {5, 10, 15}));
+  EXPECT_FALSE(Eval(proximity, {5, 10, 16}));
+  // ∅ positions are dropped before the span check.
+  EXPECT_TRUE(Eval(proximity, {5, kEmptyOffset, 15}));
+  EXPECT_FALSE(Eval(proximity, {5, kEmptyOffset, 16}));
+
+  const PredicateCall window{"WINDOW", {0, 1}, {50}};
+  EXPECT_TRUE(Eval(window, {27, 64}));   // |27-64| = 37 <= 50 (the paper's Q3)
+  EXPECT_FALSE(Eval(window, {144, 64}));  // 80 > 50
+}
+
+TEST(PredicatesTest, OrderStrictlyIncreasing) {
+  const PredicateCall call{"ORDER", {0, 1, 2}, {}};
+  EXPECT_TRUE(Eval(call, {1, 5, 9}));
+  EXPECT_FALSE(Eval(call, {1, 5, 5}));
+  EXPECT_FALSE(Eval(call, {5, 1, 9}));
+  EXPECT_TRUE(Eval(call, {1, kEmptyOffset, 9}));
+}
+
+TEST(PredicatesTest, ValidationCatchesArity) {
+  EXPECT_FALSE(ValidatePredicateCall({"DISTANCE", {0, 1, 2}, {1}}).ok());
+  EXPECT_FALSE(ValidatePredicateCall({"DISTANCE", {0, 1}, {}}).ok());
+  EXPECT_FALSE(ValidatePredicateCall({"WINDOW", {0}, {5}}).ok());
+  EXPECT_FALSE(ValidatePredicateCall({"NOPE", {0, 1}, {5}}).ok());
+  EXPECT_TRUE(ValidatePredicateCall({"ORDER", {0, 1}, {}}).ok());
+}
+
+TEST(PredicatesTest, UserDefinedPredicateRegistersAndEvaluates) {
+  // The paper's SAMESENTENCE example, simulated with 20-word sentences.
+  PredicateDef def;
+  def.name = "SAMESENTENCE20";
+  def.min_vars = 2;
+  def.max_vars = -1;
+  def.num_params = 0;
+  def.evaluator = [](std::span<const Offset> positions,
+                     std::span<const int64_t>) {
+    if (positions.size() < 2) return true;
+    const Offset sentence = positions[0] / 20;
+    for (const Offset p : positions) {
+      if (p / 20 != sentence) return false;
+    }
+    return true;
+  };
+  const Status status = PredicateRegistry::Global().Register(def);
+  // A second test run in the same process would hit AlreadyExists.
+  ASSERT_TRUE(status.ok() || status.code() == StatusCode::kAlreadyExists);
+
+  const PredicateCall call{"SAMESENTENCE20", {0, 1}, {}};
+  EXPECT_TRUE(Eval(call, {21, 39}));
+  EXPECT_FALSE(Eval(call, {19, 21}));
+}
+
+TEST(PredicatesTest, DuplicateRegistrationRejected) {
+  PredicateDef def;
+  def.name = "WINDOW";  // built-in
+  def.evaluator = [](std::span<const Offset>, std::span<const int64_t>) {
+    return true;
+  };
+  EXPECT_EQ(PredicateRegistry::Global().Register(def).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(PredicatesTest, BuiltinsListed) {
+  const auto names = PredicateRegistry::Global().Names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "DISTANCE"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "PROXIMITY"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "WINDOW"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ORDER"), names.end());
+}
+
+}  // namespace
+}  // namespace graft::mcalc

@@ -1,0 +1,235 @@
+#include "sa/schemes.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sa/property_checker.h"
+#include "sa/weighting.h"
+
+namespace graft::sa {
+namespace {
+
+// The paper's Figure 1 / Example 5 statistics for document d_w.
+DocContext WineDoc() {
+  DocContext doc;
+  doc.doc = 0;
+  doc.length = 207;
+  doc.collection_size = 4638535;
+  doc.avg_doc_length = 250.0;
+  return doc;
+}
+
+ColumnContext Foss() {
+  ColumnContext col;
+  col.term = 1;
+  col.doc_freq = 2044;
+  col.tf_in_doc = 1;
+  return col;
+}
+
+TEST(WeightingTest, TfIdfMatchesExample5) {
+  // α(d_w, p4, ⟨179,...⟩) = (1/207) × (4638535/2044) = 10.96 (paper).
+  const double tfidf = TfIdf(WineDoc(), Foss());
+  EXPECT_NEAR(tfidf, 10.96, 0.01);
+}
+
+TEST(WeightingTest, TfIdfZeroOnDegenerateStats) {
+  DocContext doc = WineDoc();
+  ColumnContext col = Foss();
+  col.tf_in_doc = 0;
+  EXPECT_EQ(TfIdf(doc, col), 0.0);
+  col = Foss();
+  doc.length = 0;
+  EXPECT_EQ(TfIdf(doc, col), 0.0);
+}
+
+TEST(WeightingTest, Bm25PositiveAndMonotoneInTf) {
+  DocContext doc = WineDoc();
+  ColumnContext col = Foss();
+  const double w1 = Bm25(doc, col);
+  EXPECT_GT(w1, 0.0);
+  col.tf_in_doc = 4;
+  const double w4 = Bm25(doc, col);
+  EXPECT_GT(w4, w1);
+  // Rare terms weigh more than common terms.
+  ColumnContext common = Foss();
+  common.doc_freq = 332335;
+  EXPECT_GT(w1, Bm25(doc, common));
+}
+
+TEST(MeanSumTest, Example5InitScores) {
+  auto scheme = MakeMeanSumScheme();
+  const InternalScore real = scheme->Init(WineDoc(), Foss(), 179);
+  EXPECT_NEAR(real.a, 10.96, 0.01);
+  EXPECT_EQ(real.b, 1.0);
+  const InternalScore empty = scheme->Init(WineDoc(), Foss(), kEmptyOffset);
+  EXPECT_EQ(empty.a, 0.0);
+  EXPECT_EQ(empty.b, 1.0);
+}
+
+TEST(MeanSumTest, Example5ColumnAggregation) {
+  // Column p4 = [179, ∅, 179, ∅] aggregates to ⟨21.92, 4⟩ (paper).
+  auto scheme = MakeMeanSumScheme();
+  const InternalScore real = scheme->Init(WineDoc(), Foss(), 179);
+  const InternalScore empty = scheme->Init(WineDoc(), Foss(), kEmptyOffset);
+  const InternalScore left = scheme->Alt(real, empty);
+  const InternalScore right = scheme->Alt(real, empty);
+  const InternalScore column = scheme->Alt(left, right);
+  EXPECT_NEAR(column.a, 21.92, 0.02);
+  EXPECT_EQ(column.b, 4.0);
+}
+
+TEST(MeanSumTest, Example5Finalize) {
+  // ω(d, ⟨65.086, 4⟩) = 1 − 1/ln(65.086/4 + e) = 0.660 (paper).
+  auto scheme = MakeMeanSumScheme();
+  QueryContext query;
+  query.num_columns = 5;
+  const double score =
+      scheme->Finalize(WineDoc(), query, InternalScore(65.086, 4.0));
+  EXPECT_NEAR(score, 0.660, 0.001);
+}
+
+TEST(AnySumTest, ConstantAcrossPositions) {
+  auto scheme = MakeAnySumScheme();
+  const InternalScore a = scheme->Init(WineDoc(), Foss(), 5);
+  const InternalScore b = scheme->Init(WineDoc(), Foss(), 179);
+  const InternalScore c = scheme->Init(WineDoc(), Foss(), kEmptyOffset);
+  EXPECT_EQ(a.a, b.a);
+  EXPECT_EQ(a.a, c.a);  // ∅ has the same weight: AnySum ignores positions
+  EXPECT_EQ(scheme->Alt(a, b).a, a.a);
+  EXPECT_TRUE(scheme->properties().constant);
+}
+
+TEST(SumBestTest, EmptyIsZeroAndAltIsMax) {
+  auto scheme = MakeSumBestScheme();
+  const InternalScore real = scheme->Init(WineDoc(), Foss(), 179);
+  const InternalScore empty = scheme->Init(WineDoc(), Foss(), kEmptyOffset);
+  EXPECT_GT(real.a, 0.0);
+  EXPECT_EQ(empty.a, 0.0);
+  EXPECT_EQ(scheme->Alt(real, empty).a, real.a);
+  EXPECT_EQ(scheme->properties().direction, Direction::kColumnFirst);
+}
+
+TEST(LuceneTest, CoordFactorInFinalize) {
+  auto scheme = MakeLuceneScheme();
+  QueryContext query;
+  query.num_columns = 4;
+  // Two matched columns out of four: coord = 0.5.
+  InternalScore s(10.0, 2.0);
+  EXPECT_NEAR(scheme->Finalize(WineDoc(), query, s), 5.0, 1e-9);
+}
+
+TEST(JoinNormalizedTest, ConjDistributesScoreBySize) {
+  auto scheme = MakeJoinNormalizedScheme();
+  // ⊘(⟨a, s⟩, ⟨b, t⟩) = ⟨a/t + b/s, s·t⟩
+  const InternalScore left(6.0, 2.0);
+  const InternalScore right(4.0, 3.0);
+  const InternalScore combined = scheme->Conj(left, right);
+  EXPECT_NEAR(combined.a, 6.0 / 3.0 + 4.0 / 2.0, 1e-9);
+  EXPECT_NEAR(combined.b, 6.0, 1e-9);
+}
+
+TEST(JoinNormalizedTest, DisjPiecewise) {
+  auto scheme = MakeJoinNormalizedScheme();
+  const InternalScore zero(0.0, 2.0);
+  const InternalScore real(8.0, 4.0);
+  EXPECT_NEAR(scheme->Disj(real, zero).a, 4.0, 1e-9);  // s_L/2
+  EXPECT_NEAR(scheme->Disj(zero, real).a, 4.0, 1e-9);  // s_R/2
+  const InternalScore both = scheme->Disj(real, real);
+  EXPECT_NEAR(both.a, 8.0 / (2 * 4.0) + 8.0 / (2 * 4.0), 1e-9);
+  EXPECT_NEAR(both.b, 4.0 * 4.0 + 4.0 + 4.0, 1e-9);
+}
+
+TEST(EventModelTest, ProbabilisticCombinators) {
+  auto scheme = MakeEventModelScheme();
+  const InternalScore p(0.5);
+  const InternalScore q(0.25);
+  EXPECT_NEAR(scheme->Conj(p, q).a, 0.125, 1e-9);
+  EXPECT_NEAR(scheme->Disj(p, q).a, 0.5 + 0.25 - 0.125, 1e-9);
+  EXPECT_NEAR(scheme->Scale(p, 2).a, 0.75, 1e-9);
+  // α maps BM25 into [0, 1).
+  const InternalScore w = scheme->Init(WineDoc(), Foss(), 179);
+  EXPECT_GT(w.a, 0.0);
+  EXPECT_LT(w.a, 1.0);
+}
+
+TEST(BestSumMinDistTest, MinDistTracksClosestPair) {
+  auto scheme = MakeBestSumMinDistScheme();
+  InternalScore a = scheme->Init(WineDoc(), Foss(), 10);
+  InternalScore b = scheme->Init(WineDoc(), Foss(), 14);
+  InternalScore c = scheme->Init(WineDoc(), Foss(), 15);
+  EXPECT_TRUE(std::isinf(a.b));  // singleton: no pair
+  const InternalScore ab = scheme->Conj(a, b);
+  EXPECT_EQ(ab.b, 4.0);
+  const InternalScore abc = scheme->Conj(ab, c);
+  EXPECT_EQ(abc.b, 1.0);  // 14 and 15
+  ASSERT_EQ(abc.positions.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(abc.positions.begin(), abc.positions.end()));
+}
+
+TEST(BestSumMinDistTest, ProximityBoostsFinalScore) {
+  auto scheme = MakeBestSumMinDistScheme();
+  QueryContext query;
+  query.num_columns = 2;
+  InternalScore near(5.0, 1.0);
+  InternalScore far(5.0, 100.0);
+  const double near_score = scheme->Finalize(WineDoc(), query, near);
+  const double far_score = scheme->Finalize(WineDoc(), query, far);
+  EXPECT_GT(near_score, far_score);
+  // dist = ∞ contributes no boost at all.
+  InternalScore none(5.0, std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(scheme->Finalize(WineDoc(), query, none), 5.0, 1e-12);
+}
+
+TEST(SchemeRegistryTest, SevenSchemesPreRegistered) {
+  const auto all = SchemeRegistry::Global().All();
+  EXPECT_GE(all.size(), 8u);
+  for (const char* name :
+       {"AnySum", "AnyProd", "SumBest", "Lucene", "JoinNormalized",
+        "EventModel", "MeanSum", "BestSumMinDist"}) {
+    EXPECT_NE(SchemeRegistry::Global().Lookup(name), nullptr) << name;
+  }
+  EXPECT_EQ(SchemeRegistry::Global().Lookup("NoSuchScheme"), nullptr);
+}
+
+// ---- Table 2 reproduction: every declared property must hold on
+// randomized realizable samples, for every scheme. ----
+class PropertyCheckTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PropertyCheckTest, DeclarationsConsistent) {
+  const ScoringScheme* scheme = SchemeRegistry::Global().Lookup(GetParam());
+  ASSERT_NE(scheme, nullptr);
+  const PropertyReport report = CheckSchemeProperties(*scheme, 300);
+  EXPECT_TRUE(report.DeclarationsConsistent()) << report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PropertyCheckTest,
+                         ::testing::Values("AnySum", "AnyProd", "SumBest", "Lucene",
+                                           "JoinNormalized", "EventModel",
+                                           "MeanSum", "BestSumMinDist"));
+
+// Spot checks of the Table 2 entries that drive Table 3's shape.
+TEST(Table2Test, KeyDeclarations) {
+  const auto& registry = SchemeRegistry::Global();
+  EXPECT_TRUE(registry.Lookup("AnySum")->properties().constant);
+  EXPECT_FALSE(registry.Lookup("SumBest")->properties().constant);
+  EXPECT_EQ(registry.Lookup("SumBest")->properties().direction,
+            Direction::kColumnFirst);
+  EXPECT_EQ(registry.Lookup("EventModel")->properties().direction,
+            Direction::kRowFirst);
+  EXPECT_EQ(registry.Lookup("BestSumMinDist")->properties().direction,
+            Direction::kRowFirst);
+  EXPECT_TRUE(registry.Lookup("BestSumMinDist")->properties().positional);
+  EXPECT_FALSE(registry.Lookup("MeanSum")->properties().positional);
+  EXPECT_TRUE(registry.Lookup("MeanSum")->properties().diagonal());
+  // ⊕ commutes for every scheme (τ elimination row of Table 3 is all ✓).
+  for (const ScoringScheme* scheme : registry.All()) {
+    EXPECT_TRUE(scheme->properties().alt.commutative) << scheme->name();
+  }
+}
+
+}  // namespace
+}  // namespace graft::sa

@@ -1,0 +1,112 @@
+// Shared test fixtures.
+//
+// WineDoc reproduces the paper's running example: document d_w (the
+// abstract of the Wikipedia article Wine_(software)), 207 words long, with
+// the keyword positions of Figure 1:
+//
+//   'free'     @ 3            (1 occurrence,   #Docs = 332335)
+//   'software' @ 4,32,180,189 (4 occurrences,  #Docs = 71735)
+//   'windows'  @ 27,42,144,187(4 occurrences,  #Docs = 43949)
+//   'emulator' @ 64           (1 occurrence,   #Docs = 2768)
+//   'foss'     @ 179          (1 occurrence,   #Docs = 2044)
+//
+// plus a StatsOverlay injecting the collection-level statistics the paper
+// uses (collectionSize = 4,638,535 and the per-term document frequencies),
+// so Example 5's MEANSUM walkthrough reproduces digit-for-digit.
+
+#ifndef GRAFT_TESTS_TESTUTIL_FIXTURES_H_
+#define GRAFT_TESTS_TESTUTIL_FIXTURES_H_
+
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/stats.h"
+#include "mcalc/ast.h"
+
+namespace graft::testutil {
+
+struct WineFixture {
+  index::InvertedIndex index;
+  index::StatsOverlay overlay;
+  DocId doc = 0;
+};
+
+inline WineFixture MakeWineFixture() {
+  constexpr uint32_t kLength = 207;
+  std::vector<std::string> tokens(kLength);
+  for (uint32_t i = 0; i < kLength; ++i) {
+    tokens[i] = "filler" + std::to_string(i);
+  }
+  tokens[3] = "free";
+  tokens[4] = "software";
+  tokens[32] = "software";
+  tokens[180] = "software";
+  tokens[189] = "software";
+  tokens[27] = "windows";
+  tokens[42] = "windows";
+  tokens[144] = "windows";
+  tokens[187] = "windows";
+  tokens[64] = "emulator";
+  tokens[179] = "foss";
+
+  WineFixture fixture;
+  index::IndexBuilder builder;
+  fixture.doc = builder.AddDocumentStrings(tokens);
+  fixture.index = builder.Build();
+
+  fixture.overlay.SetCollectionSize(4638535);
+  fixture.overlay.SetDocFreq("emulator", 2768);
+  fixture.overlay.SetDocFreq("free", 332335);
+  fixture.overlay.SetDocFreq("foss", 2044);
+  fixture.overlay.SetDocFreq("software", 71735);
+  fixture.overlay.SetDocFreq("windows", 43949);
+  return fixture;
+}
+
+// The paper's Q3 with its exact variable numbering:
+//   p0='windows' p1='emulator' p2='free' p3='software' p4='foss'
+//   (Ψ0 ∨ Ψ1) ∧ HAS(p0) ∧ HAS(p1) ∧ WINDOW(p0,p1,50)
+//   Ψ0 = EMPTY(p2) ∧ EMPTY(p3) ∧ HAS(p4,'foss')
+//   Ψ1 = HAS(p2,'free') ∧ HAS(p3,'software') ∧ DISTANCE(p2,p3,1) ∧ EMPTY(p4)
+// Built as: Constrained(And(windows, emulator), WINDOW[50]) ∧
+//           Or(foss-branch, Constrained(And(free, software), DISTANCE 1))
+// with branch order chosen so the scoring plan matches Example 4:
+//   Φ = (p0 ⊘ p1) ⊘ ((p2 ⊘ p3) ⊚ p4).
+inline mcalc::Query MakeQ3() {
+  using namespace graft::mcalc;
+  Query query;
+  query.variables = {
+      {0, "windows"}, {1, "emulator"}, {2, "free"},
+      {3, "software"}, {4, "foss"},
+  };
+
+  std::vector<NodePtr> window_kids;
+  window_kids.push_back(MakeKeyword("windows", 0));
+  window_kids.push_back(MakeKeyword("emulator", 1));
+  NodePtr window_group = MakeConstrained(
+      MakeAnd(std::move(window_kids)),
+      {PredicateCall{"WINDOW", {0, 1}, {50}}});
+
+  std::vector<NodePtr> phrase_kids;
+  phrase_kids.push_back(MakeKeyword("free", 2));
+  phrase_kids.push_back(MakeKeyword("software", 3));
+  NodePtr phrase = MakeConstrained(
+      MakeAnd(std::move(phrase_kids)),
+      {PredicateCall{"DISTANCE", {2, 3}, {1}}});
+
+  std::vector<NodePtr> branches;
+  branches.push_back(std::move(phrase));        // (p2 ⊘ p3)
+  branches.push_back(MakeKeyword("foss", 4));   // ⊚ p4
+  NodePtr disjunction = MakeOr(std::move(branches));
+
+  std::vector<NodePtr> top;
+  top.push_back(std::move(window_group));
+  top.push_back(std::move(disjunction));
+  query.root = MakeAnd(std::move(top));
+  return query;
+}
+
+}  // namespace graft::testutil
+
+#endif  // GRAFT_TESTS_TESTUTIL_FIXTURES_H_

@@ -1,0 +1,134 @@
+#include "text/structure.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "index/inverted_index.h"
+
+namespace graft::text {
+namespace {
+
+TEST(StructureTest, SentenceAndParagraphOffsets) {
+  const StructuredDocument doc = TokenizeStructured(
+      "Wine runs windows software. It is free software.\n\n"
+      "A new paragraph mentions foss.");
+  ASSERT_EQ(doc.tokens.size(), 13u);
+  EXPECT_EQ(doc.sentence_count, 3u);
+  EXPECT_EQ(doc.paragraph_count, 2u);
+
+  // Sentence 0: wine runs windows software.
+  EXPECT_EQ(doc.tokens[0].text, "wine");
+  EXPECT_EQ(doc.tokens[0].offset, 0u);
+  EXPECT_EQ(doc.tokens[3].text, "software");
+  EXPECT_EQ(doc.tokens[3].offset, 3u);
+  // Sentence 1 starts at the next sentence stride.
+  EXPECT_EQ(doc.tokens[4].text, "it");
+  EXPECT_EQ(doc.tokens[4].offset, kSentenceStride);
+  // Paragraph 2 starts at the paragraph stride.
+  EXPECT_EQ(doc.tokens[8].text, "a");
+  EXPECT_EQ(doc.tokens[8].offset, kParagraphStride);
+}
+
+TEST(StructureTest, AdjacencyPreservedWithinSentence) {
+  const StructuredDocument doc =
+      TokenizeStructured("free software wins. free minds");
+  // 'free software' adjacent within sentence 0.
+  EXPECT_EQ(doc.tokens[1].offset - doc.tokens[0].offset, 1u);
+  // The second 'free' is in sentence 1: far from 'wins'.
+  EXPECT_GT(doc.tokens[3].offset - doc.tokens[2].offset, 1u);
+}
+
+TEST(StructureTest, SentenceOverflowSplits) {
+  std::string text;
+  for (int i = 0; i < 300; ++i) {
+    text += "word" + std::to_string(i) + " ";
+  }
+  const StructuredDocument doc = TokenizeStructured(text);
+  ASSERT_EQ(doc.tokens.size(), 300u);
+  // Offsets stay strictly increasing across the forced split.
+  for (size_t i = 1; i < doc.tokens.size(); ++i) {
+    EXPECT_LT(doc.tokens[i - 1].offset, doc.tokens[i].offset);
+  }
+  EXPECT_GT(doc.sentence_count, 1u);
+}
+
+TEST(StructureTest, PredicatesRegistered) {
+  ASSERT_TRUE(RegisterStructuralPredicates().ok());
+  // Idempotent.
+  ASSERT_TRUE(RegisterStructuralPredicates().ok());
+  EXPECT_NE(mcalc::PredicateRegistry::Global().Lookup("SAMESENTENCE"),
+            nullptr);
+  EXPECT_NE(mcalc::PredicateRegistry::Global().Lookup("SAMEPARAGRAPH"),
+            nullptr);
+}
+
+index::InvertedIndex StructuredIndex() {
+  EXPECT_TRUE(RegisterStructuralPredicates().ok());
+  index::IndexBuilder builder;
+  const char* docs[] = {
+      // doc 0: 'windows emulator' in the same sentence.
+      "Wine is a windows emulator alternative. It hosts free software.",
+      // doc 1: 'windows' and 'emulator' in different sentences, same
+      // paragraph.
+      "This tool targets windows. It is not an emulator though.",
+      // doc 2: different paragraphs.
+      "All about windows here.\n\nThe emulator story is separate.",
+  };
+  for (const char* text : docs) {
+    const StructuredDocument doc = TokenizeStructured(text);
+    std::vector<std::string_view> tokens;
+    std::vector<Offset> offsets;
+    for (const PositionedToken& token : doc.tokens) {
+      tokens.emplace_back(token.text);
+      offsets.push_back(token.offset);
+    }
+    builder.AddDocumentPositioned(tokens, offsets);
+  }
+  return builder.Build();
+}
+
+TEST(StructureTest, SameSentenceQueryEndToEnd) {
+  index::InvertedIndex index = StructuredIndex();
+  core::Engine engine(&index);
+
+  auto same_sentence =
+      engine.Search("(windows emulator)SAMESENTENCE", "MeanSum");
+  ASSERT_TRUE(same_sentence.ok()) << same_sentence.status().ToString();
+  ASSERT_EQ(same_sentence->results.size(), 1u);
+  EXPECT_EQ(same_sentence->results[0].doc, 0u);
+
+  auto same_paragraph =
+      engine.Search("(windows emulator)SAMEPARAGRAPH", "MeanSum");
+  ASSERT_TRUE(same_paragraph.ok());
+  ASSERT_EQ(same_paragraph->results.size(), 2u);
+
+  auto unconstrained = engine.Search("windows emulator", "MeanSum");
+  ASSERT_TRUE(unconstrained.ok());
+  EXPECT_EQ(unconstrained->results.size(), 3u);
+}
+
+TEST(StructureTest, PhraseCannotCrossSentenceBoundary) {
+  ASSERT_TRUE(RegisterStructuralPredicates().ok());
+  index::IndexBuilder builder;
+  // 'free' ends one sentence, 'software' starts the next: not a phrase.
+  const StructuredDocument doc =
+      TokenizeStructured("Everything here is free. Software is separate.");
+  std::vector<std::string_view> tokens;
+  std::vector<Offset> offsets;
+  for (const PositionedToken& token : doc.tokens) {
+    tokens.emplace_back(token.text);
+    offsets.push_back(token.offset);
+  }
+  builder.AddDocumentPositioned(tokens, offsets);
+  index::InvertedIndex index = builder.Build();
+  core::Engine engine(&index);
+  auto phrase = engine.Search("\"free software\"", "MeanSum");
+  ASSERT_TRUE(phrase.ok());
+  EXPECT_TRUE(phrase->results.empty());
+  auto loose = engine.Search("free software", "MeanSum");
+  ASSERT_TRUE(loose.ok());
+  EXPECT_EQ(loose->results.size(), 1u);
+}
+
+}  // namespace
+}  // namespace graft::text

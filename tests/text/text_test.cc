@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+
+namespace graft::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  const auto tokens = Tokenize("Free Software, FOSS; windows-emulator!");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "free");
+  EXPECT_EQ(tokens[1], "software");
+  EXPECT_EQ(tokens[2], "foss");
+  EXPECT_EQ(tokens[3], "windows");
+  EXPECT_EQ(tokens[4], "emulator");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ... ---").empty());
+}
+
+TEST(TokenizerTest, DigitsAreTokens) {
+  const auto tokens = Tokenize("wine 1.0 release");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1], "1");
+  EXPECT_EQ(tokens[2], "0");
+}
+
+TEST(CorpusTest, DeterministicFromSeed) {
+  CorpusConfig config = WikipediaLikeConfig(50, /*seed=*/99);
+  InMemoryCorpus a = GenerateInMemory(config);
+  InMemoryCorpus b = GenerateInMemory(config);
+  ASSERT_EQ(a.docs.size(), b.docs.size());
+  for (size_t i = 0; i < a.docs.size(); ++i) {
+    EXPECT_EQ(a.docs[i], b.docs[i]) << "doc " << i;
+  }
+}
+
+TEST(CorpusTest, RespectsDocCountAndLengths) {
+  CorpusConfig config;
+  config.num_docs = 25;
+  config.min_doc_len = 10;
+  config.max_doc_len = 20;
+  config.filler_vocab = 100;
+  InMemoryCorpus corpus = GenerateInMemory(config);
+  ASSERT_EQ(corpus.docs.size(), 25u);
+  for (const auto& doc : corpus.docs) {
+    EXPECT_GE(doc.size(), 10u);
+    EXPECT_LE(doc.size(), 20u);
+  }
+}
+
+TEST(CorpusTest, PlantsQueryVocabulary) {
+  // At the default fractions, 4000 docs must contain the frequent planted
+  // terms and at least some bundle content.
+  CorpusConfig config = WikipediaLikeConfig(4000);
+  InMemoryCorpus corpus = GenerateInMemory(config);
+  std::set<std::string> seen;
+  for (const auto& doc : corpus.docs) {
+    for (const auto& token : doc) {
+      seen.insert(token);
+    }
+  }
+  for (const char* word :
+       {"free", "software", "windows", "san", "francisco", "dinosaur",
+        "arizona", "obama", "service", "county"}) {
+    EXPECT_TRUE(seen.count(word)) << word;
+  }
+}
+
+TEST(CorpusTest, PhrasePlantsAreAdjacent) {
+  CorpusConfig config;
+  config.num_docs = 300;
+  config.min_doc_len = 50;
+  config.max_doc_len = 80;
+  config.phrases = {{{"alpha", "beta"}, 1.0}};
+  InMemoryCorpus corpus = GenerateInMemory(config);
+  int adjacent = 0;
+  for (const auto& doc : corpus.docs) {
+    for (size_t i = 0; i + 1 < doc.size(); ++i) {
+      if (doc[i] == "alpha" && doc[i + 1] == "beta") {
+        ++adjacent;
+        break;
+      }
+    }
+  }
+  // Nearly every document should carry the planted phrase (a later plant
+  // may occasionally overwrite one of its words).
+  EXPECT_GT(adjacent, 290);
+}
+
+TEST(CorpusTest, TotalWordsReported) {
+  CorpusConfig config;
+  config.num_docs = 10;
+  config.min_doc_len = 30;
+  config.max_doc_len = 30;
+  CorpusGenerator generator(config);
+  uint64_t sum = 0;
+  generator.Generate([&sum](uint64_t, const std::vector<std::string_view>& t) {
+    sum += t.size();
+  });
+  EXPECT_EQ(generator.total_words(), sum);
+  EXPECT_EQ(sum, 300u);
+}
+
+}  // namespace
+}  // namespace graft::text
