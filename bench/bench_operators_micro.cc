@@ -153,6 +153,39 @@ void BM_StreamGroupVsAltElim(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamGroupVsAltElim)->Arg(0)->Arg(1);
 
+void BM_IndexBuild(benchmark::State& state) {
+  // Index construction throughput (tokens/s): dominated by the builder's
+  // per-document accumulation, which reuses its scratch allocations across
+  // documents (offset vectors are cleared, not erased; doc_terms_ and
+  // per-term offsets are reserved up front).
+  const uint64_t num_docs = static_cast<uint64_t>(state.range(0));
+  text::CorpusConfig config = text::WikipediaLikeConfig(num_docs);
+  std::vector<std::vector<std::string>> docs;
+  std::vector<std::vector<std::string_view>> views;
+  docs.reserve(num_docs);
+  text::CorpusGenerator generator(config);
+  generator.Generate(
+      [&docs](uint64_t, const std::vector<std::string_view>& tokens) {
+        docs.emplace_back(tokens.begin(), tokens.end());
+      });
+  views.reserve(docs.size());
+  uint64_t total_tokens = 0;
+  for (const auto& doc : docs) {
+    views.emplace_back(doc.begin(), doc.end());
+    total_tokens += doc.size();
+  }
+  for (auto _ : state) {
+    index::IndexBuilder builder;
+    for (const auto& tokens : views) {
+      builder.AddDocument(tokens);
+    }
+    index::InvertedIndex built = builder.Build();
+    benchmark::DoNotOptimize(built.total_words());
+  }
+  state.SetItemsProcessed(state.iterations() * total_tokens);
+}
+BENCHMARK(BM_IndexBuild)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
 void BM_FullEngineSearch(benchmark::State& state) {
   auto query = mcalc::ParseQuery("san francisco fault line");
   const sa::ScoringScheme& scheme =

@@ -1,0 +1,173 @@
+// Parallel query throughput: segment count × worker count sweep over the
+// paper's evaluation queries (Section 8), reporting QPS and p50/p99
+// latency per configuration, for full evaluation and for top-k=10.
+//
+// Emits BENCH_parallel_throughput.json in the working directory.
+//
+// Environment:
+//   GRAFT_BENCH_DOCS        corpus size (default 30000)
+//   GRAFT_BENCH_PAR_ROUNDS  rounds over the 8-query mix per configuration
+//                           (default 5; raise for tighter tails)
+//
+// Scores are segment-count-invariant (the parallel_consistency tests pin
+// this down bit-for-bit), so every configuration does identical scoring
+// work; the sweep isolates partitioning + scheduling + merge effects.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "index/segmented_index.h"
+
+namespace {
+
+struct ConfigResult {
+  size_t segments;
+  size_t workers;
+  std::string mode;  // "full" or "topk10"
+  double qps;
+  double p50_ms;
+  double p99_ms;
+  size_t samples;
+};
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+size_t Rounds() {
+  const char* env = std::getenv("GRAFT_BENCH_PAR_ROUNDS");
+  if (env != nullptr) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 5;
+}
+
+}  // namespace
+
+int main() {
+  using namespace graft;
+  const index::InvertedIndex& index = bench::SharedBenchIndex();
+  const size_t rounds = Rounds();
+  constexpr size_t kSegmentCounts[] = {1, 2, 4, 8};
+  constexpr size_t kWorkerCounts[] = {1, 2, 4};
+  const char* scheme = "Lucene";
+
+  std::vector<ConfigResult> results;
+  std::printf("Parallel throughput sweep (%llu docs, scheme %s, %zu rounds "
+              "x %zu queries)\n",
+              static_cast<unsigned long long>(index.doc_count()), scheme,
+              rounds, std::size(bench::kPaperQueries));
+  std::printf("%9s %8s %7s | %10s %10s %10s\n", "segments", "workers",
+              "mode", "QPS", "p50(ms)", "p99(ms)");
+  std::printf("--------------------------------------------------------\n");
+
+  for (const size_t segments : kSegmentCounts) {
+    auto segmented = index::SegmentedIndex::BuildFromMonolithic(index,
+                                                               segments);
+    if (!segmented.ok()) {
+      std::fprintf(stderr, "segmentation failed: %s\n",
+                   segmented.status().ToString().c_str());
+      return 1;
+    }
+    // One pool sized for the largest worker count; SearchOptions caps the
+    // per-query concurrency below that.
+    const size_t max_workers =
+        *std::max_element(std::begin(kWorkerCounts), std::end(kWorkerCounts));
+    core::Engine engine(&index, &*segmented, max_workers - 1);
+
+    for (const size_t workers : kWorkerCounts) {
+      for (const bool topk : {false, true}) {
+        core::SearchOptions options;
+        options.num_threads = workers;
+        options.top_k = topk ? 10 : 0;
+
+        // Warm-up pass (index pages, score-stream caches).
+        for (const bench::PaperQuery& q : bench::kPaperQueries) {
+          auto r = engine.Search(q.text, scheme, options);
+          if (!r.ok()) {
+            std::fprintf(stderr, "%s failed: %s\n", q.name,
+                         r.status().ToString().c_str());
+            return 1;
+          }
+        }
+
+        std::vector<double> latencies_ms;
+        latencies_ms.reserve(rounds * std::size(bench::kPaperQueries));
+        const auto sweep_start = std::chrono::steady_clock::now();
+        for (size_t round = 0; round < rounds; ++round) {
+          for (const bench::PaperQuery& q : bench::kPaperQueries) {
+            const auto start = std::chrono::steady_clock::now();
+            auto r = engine.Search(q.text, scheme, options);
+            const auto end = std::chrono::steady_clock::now();
+            if (!r.ok()) return 1;
+            latencies_ms.push_back(
+                std::chrono::duration<double, std::milli>(end - start)
+                    .count());
+          }
+        }
+        const double total_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          sweep_start)
+                .count();
+        std::sort(latencies_ms.begin(), latencies_ms.end());
+        ConfigResult result;
+        result.segments = segments;
+        result.workers = workers;
+        result.mode = topk ? "topk10" : "full";
+        result.samples = latencies_ms.size();
+        result.qps = total_s > 0
+                         ? static_cast<double>(latencies_ms.size()) / total_s
+                         : 0.0;
+        result.p50_ms = Percentile(latencies_ms, 0.50);
+        result.p99_ms = Percentile(latencies_ms, 0.99);
+        results.push_back(result);
+        std::printf("%9zu %8zu %7s | %10.1f %10.3f %10.3f\n", segments,
+                    workers, result.mode.c_str(), result.qps, result.p50_ms,
+                    result.p99_ms);
+      }
+    }
+  }
+
+  const char* out_path = "BENCH_parallel_throughput.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"parallel_throughput\",\n"
+               "  \"doc_count\": %llu,\n  \"scheme\": \"%s\",\n"
+               "  \"hardware_concurrency\": %u,\n  \"configs\": [\n",
+               static_cast<unsigned long long>(index.doc_count()), scheme,
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"segments\": %zu, \"workers\": %zu, "
+                 "\"mode\": \"%s\", \"qps\": %.2f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"samples\": %zu}%s\n",
+                 r.segments, r.workers, r.mode.c_str(), r.qps, r.p50_ms,
+                 r.p99_ms, r.samples, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path);
+  std::printf("Note: speedup from workers > 1 requires multiple physical "
+              "cores; on a\nsingle-core host the sweep measures "
+              "partitioning + merge overhead only.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace graft::common {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return false;  // shutting down; the task is dropped by contract
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) {
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t max_workers, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  size_t workers = max_workers == 0
+                       ? (pool == nullptr ? 1 : pool->size() + 1)
+                       : max_workers;
+  workers = std::min(workers, n);
+  if (pool == nullptr || workers <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  // Shared claim counter + completion latch. The caller is one of the
+  // runners, so at most (workers - 1) pool slots are consumed and the
+  // loop makes progress even on a saturated pool.
+  std::atomic<size_t> next{0};
+  const size_t helpers = workers - 1;
+  Latch done(helpers);
+  const auto runner = [&next, n, &fn] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  for (size_t h = 0; h < helpers; ++h) {
+    const bool queued = pool->Submit([&runner, &done] {
+      runner();
+      done.CountDown();
+    });
+    if (!queued) {
+      done.CountDown();  // pool shutting down: the caller picks up the work
+    }
+  }
+  runner();
+  done.Wait();
+}
+
+}  // namespace graft::common

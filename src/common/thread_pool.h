@@ -1,0 +1,147 @@
+// A fixed-size thread pool for intra- and inter-query parallelism.
+//
+// Design constraints (matching the rest of the library):
+//   * no exceptions — tasks are plain std::function<void()> thunks, and
+//     fallible work communicates through Status/StatusOr carried in a
+//     Future<T> (set exactly once, taken exactly once);
+//   * no work stealing and no dynamic resizing — a fixed worker count
+//     keeps the concurrency model trivially auditable under TSan;
+//   * the pool never owns query state: callers own all inputs/outputs and
+//     block on futures or ParallelFor, so task lambdas may capture stack
+//     references safely.
+//
+// ParallelFor is the primary entry point for segment fan-out: it runs
+// fn(0..n-1) on the calling thread plus up to (max_workers - 1) pool
+// workers, pulling indexes from a shared atomic counter, and returns only
+// when every iteration has finished (the completion latch establishes the
+// happens-before edge back to the caller).
+
+#ifndef GRAFT_COMMON_THREAD_POOL_H_
+#define GRAFT_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace graft::common {
+
+// Single-producer-per-value future: Set() exactly once, Take()/Wait() from
+// one consumer. Cheap shared-state handle; copyable like std::shared_future.
+template <typename T>
+class Future {
+ public:
+  Future() : state_(std::make_shared<State>()) {}
+
+  void Set(T value) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->value.emplace(std::move(value));
+    }
+    state_->cv.notify_all();
+  }
+
+  bool Ready() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->value.has_value();
+  }
+
+  // Blocks until Set, then moves the value out. Call at most once.
+  T Take() {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->value.has_value(); });
+    T out = std::move(*state_->value);
+    state_->value.reset();
+    return out;
+  }
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<T> value;
+  };
+  std::shared_ptr<State> state_;
+};
+
+// Countdown latch (C++20 std::latch shape, kept local so the pool has no
+// dependency surprises). Wait() returns once the count reaches zero.
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ > 0 && --count_ == 0) {
+      cv_.notify_all();
+    }
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (0 → hardware concurrency, at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains nothing: queued tasks still pending at destruction are dropped;
+  // running tasks finish. Callers that need results must have waited.
+  ~ThreadPool();
+
+  size_t size() const { return threads_.size(); }
+
+  // Enqueues a task for any worker. Returns false (task dropped) only if
+  // the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  // Submits fn and returns a future for its result. fn must not throw.
+  // If the pool is shutting down, fn runs inline on the caller.
+  template <typename Fn, typename R = std::invoke_result_t<Fn>>
+  Future<R> SubmitFuture(Fn fn) {
+    Future<R> future;
+    if (!Submit([future, fn]() mutable { future.Set(fn()); })) {
+      future.Set(fn());
+    }
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs fn(i) for every i in [0, n) using the calling thread plus up to
+// (max_workers - 1) pool workers (max_workers == 0 → pool size + 1), and
+// blocks until all iterations complete. Iterations are claimed from a
+// shared atomic counter, so uneven per-index costs self-balance. With a
+// null pool, max_workers <= 1, or n <= 1 the loop runs inline.
+void ParallelFor(ThreadPool* pool, size_t max_workers, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace graft::common
+
+#endif  // GRAFT_COMMON_THREAD_POOL_H_

@@ -1,8 +1,111 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "ma/reference_evaluator.h"
 
 namespace graft::core {
+
+namespace {
+
+// Score-desc, doc-asc: the engine's global result order. Per-segment
+// result lists are already sorted this way (after local→global doc-id
+// rebasing), so merging them with the same comparator reproduces the
+// monolithic order exactly.
+bool ScoredBefore(const ma::ScoredDoc& a, const ma::ScoredDoc& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+// ExecStats accumulated across concurrent segment executors. Workers add
+// their private executor counters once per segment; relaxed ordering
+// suffices because the ParallelFor completion latch sequences the final
+// read after all writes.
+struct AtomicExecStats {
+  std::atomic<uint64_t> positions_scanned{0};
+  std::atomic<uint64_t> count_entries_scanned{0};
+  std::atomic<uint64_t> rows_built{0};
+  std::atomic<uint64_t> docs_visited{0};
+
+  void Add(const exec::ExecStats& s) {
+    positions_scanned.fetch_add(s.positions_scanned,
+                                std::memory_order_relaxed);
+    count_entries_scanned.fetch_add(s.count_entries_scanned,
+                                    std::memory_order_relaxed);
+    rows_built.fetch_add(s.rows_built, std::memory_order_relaxed);
+    docs_visited.fetch_add(s.docs_visited, std::memory_order_relaxed);
+  }
+
+  exec::ExecStats Snapshot() const {
+    exec::ExecStats s;
+    s.positions_scanned = positions_scanned.load(std::memory_order_relaxed);
+    s.count_entries_scanned =
+        count_entries_scanned.load(std::memory_order_relaxed);
+    s.rows_built = rows_built.load(std::memory_order_relaxed);
+    s.docs_visited = docs_visited.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+// K-way merge of per-segment (score desc, doc asc) sorted lists into the
+// global top-k (k == 0 → full sort merge). The heap holds one head per
+// non-empty list — the Fagin-style merge of independently ranked streams.
+std::vector<ma::ScoredDoc> MergeRanked(
+    std::vector<std::vector<ma::ScoredDoc>>& partials, size_t k) {
+  size_t total = 0;
+  for (const auto& partial : partials) {
+    total += partial.size();
+  }
+  std::vector<ma::ScoredDoc> merged;
+  if (k == 0) {
+    // Full-sort merge: concatenate and sort once (O(n log n) with tiny
+    // constants beats heap-merging full result sets).
+    merged.reserve(total);
+    for (auto& partial : partials) {
+      merged.insert(merged.end(), partial.begin(), partial.end());
+    }
+    std::sort(merged.begin(), merged.end(), ScoredBefore);
+    return merged;
+  }
+
+  struct Head {
+    const std::vector<ma::ScoredDoc>* list;
+    size_t next;
+  };
+  // Max-heap on the best remaining entry of each list.
+  const auto heap_after = [](const Head& a, const Head& b) {
+    return ScoredBefore((*b.list)[b.next], (*a.list)[a.next]);
+  };
+  std::vector<Head> heap;
+  heap.reserve(partials.size());
+  for (const auto& partial : partials) {
+    if (!partial.empty()) {
+      heap.push_back(Head{&partial, 0});
+    }
+  }
+  std::make_heap(heap.begin(), heap.end(), heap_after);
+  merged.reserve(std::min(k, total));
+  while (!heap.empty() && merged.size() < k) {
+    std::pop_heap(heap.begin(), heap.end(), heap_after);
+    Head head = heap.back();
+    heap.pop_back();
+    merged.push_back((*head.list)[head.next]);
+    if (++head.next < head.list->size()) {
+      heap.push_back(head);
+      std::push_heap(heap.begin(), heap.end(), heap_after);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+Engine::Engine(const index::InvertedIndex* index,
+               const index::SegmentedIndex* segmented, size_t pool_threads)
+    : index_(index),
+      segmented_(segmented),
+      pool_(std::make_unique<common::ThreadPool>(pool_threads)) {}
 
 StatusOr<const sa::ScoringScheme*> Engine::ResolveScheme(
     std::string_view name) const {
@@ -26,6 +129,10 @@ StatusOr<SearchResult> Engine::Search(std::string_view query_text,
 StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
                                            const sa::ScoringScheme& scheme,
                                            const SearchOptions& options) const {
+  if (segmented_ != nullptr && !options.use_canonical_reference) {
+    return SearchQuerySegmented(query, scheme, options);
+  }
+
   SearchResult result;
   const sa::QueryContext query_ctx = MakeQueryContext(query);
 
@@ -67,6 +174,91 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
   if (options.top_k > 0 && result.results.size() > options.top_k) {
     result.results.resize(options.top_k);
   }
+  return result;
+}
+
+StatusOr<SearchResult> Engine::SearchQuerySegmented(
+    const mcalc::Query& query, const sa::ScoringScheme& scheme,
+    const SearchOptions& options) const {
+  SearchResult result;
+  const sa::QueryContext query_ctx = MakeQueryContext(query);
+  const size_t num_segments = segmented_->segment_count();
+  result.segments_searched = num_segments;
+
+  // Per-segment output slots: distinct indexes, no locking needed; the
+  // ParallelFor latch publishes all writes to this thread.
+  std::vector<Status> statuses(num_segments, Status::Ok());
+  std::vector<std::vector<ma::ScoredDoc>> partials(num_segments);
+  AtomicExecStats agg_stats;
+
+  // Top-k rank processing: per-segment threshold-algorithm top-k against
+  // global statistics, then a k-way merge — score-consistent because each
+  // segment's top-k is exact for its documents.
+  if (options.top_k > 0 && options.allow_rank_processing &&
+      exec::TopKRankEngine::Supports(query, scheme)) {
+    common::ParallelFor(
+        pool_.get(), options.num_threads, num_segments, [&](size_t i) {
+          const index::SegmentedIndex::Segment& seg = segmented_->segment(i);
+          exec::TopKRankEngine rank_engine(&seg.index, &scheme,
+                                           /*overlay=*/nullptr, &seg.stats);
+          auto local = rank_engine.TopK(query, options.top_k);
+          if (!local.ok()) {
+            statuses[i] = local.status();
+            return;
+          }
+          partials[i] = std::move(local).value();
+          for (ma::ScoredDoc& hit : partials[i]) {
+            hit.doc += seg.base;
+          }
+        });
+    for (const Status& status : statuses) {
+      GRAFT_RETURN_IF_ERROR(status);
+    }
+    result.results = MergeRanked(partials, options.top_k);
+    result.used_rank_processing = true;
+    result.applied_optimizations =
+        "rank-join/rank-union (top-k), segmented ×" +
+        std::to_string(num_segments);
+    return result;
+  }
+
+  // Optimize ONCE against the monolithic index (cost estimates use global
+  // posting lengths); resolve the plan per segment.
+  Optimizer optimizer(&scheme, options.optimizer);
+  GRAFT_ASSIGN_OR_RETURN(OptimizedPlan plan,
+                         optimizer.Optimize(query, *index_));
+
+  common::ParallelFor(
+      pool_.get(), options.num_threads, num_segments, [&](size_t i) {
+        const index::SegmentedIndex::Segment& seg = segmented_->segment(i);
+        ma::PlanNodePtr local_plan = plan.plan->Clone();
+        Status resolved = ma::ResolvePlan(local_plan.get(), seg.index);
+        if (!resolved.ok()) {
+          statuses[i] = std::move(resolved);
+          return;
+        }
+        exec::Executor executor(&seg.index, &scheme, query_ctx,
+                                /*overlay=*/nullptr, &seg.stats);
+        auto local = executor.ExecuteRanked(*local_plan);
+        if (!local.ok()) {
+          statuses[i] = local.status();
+          return;
+        }
+        partials[i] = std::move(local).value();
+        for (ma::ScoredDoc& hit : partials[i]) {
+          hit.doc += seg.base;
+        }
+        agg_stats.Add(executor.stats());
+      });
+  for (const Status& status : statuses) {
+    GRAFT_RETURN_IF_ERROR(status);
+  }
+
+  result.results = MergeRanked(partials, options.top_k);
+  result.plan_text = ma::PlanToString(*plan.plan);
+  result.applied_optimizations =
+      plan.AppliedToString() + ", segmented ×" + std::to_string(num_segments);
+  result.exec_stats = agg_stats.Snapshot();
   return result;
 }
 

@@ -16,18 +16,31 @@
 // sa::SchemeRegistry (the seven from the paper's Section 7 plus
 // user-defined ones) can be named, and the optimizer adapts the plan to
 // the scheme's declared properties.
+//
+// Parallel execution: constructing the engine with a SegmentedIndex turns
+// on intra-query parallelism. The query is parsed and optimized ONCE
+// against the monolithic index; the optimized plan is then cloned and
+// resolved per segment, segments execute concurrently on the engine's
+// thread pool (each against global collection statistics, so scores are
+// bit-identical to the monolithic run), and the per-segment ranked
+// streams are merged — a full sort for top_k == 0, a k-way heap merge of
+// per-segment top-k lists otherwise. The engine is safe to share across
+// threads for concurrent Search calls (inter-query parallelism).
 
 #ifndef GRAFT_CORE_ENGINE_H_
 #define GRAFT_CORE_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/optimizer.h"
 #include "exec/executor.h"
 #include "exec/rank_join.h"
+#include "index/segmented_index.h"
 #include "index/stats.h"
 #include "ma/match_table.h"
 #include "mcalc/parser.h"
@@ -44,6 +57,12 @@ struct SearchOptions {
   size_t top_k = 0;
   bool allow_rank_processing = true;
 
+  // Max workers for parallel segmented execution (engines constructed
+  // with a SegmentedIndex): 0 = the engine's pool plus the calling
+  // thread; 1 = execute segments serially on the calling thread; N caps
+  // the per-query concurrency at N without resizing the shared pool.
+  size_t num_threads = 0;
+
   // Evaluate with the canonical score-isolated plan on the materializing
   // reference evaluator instead of the optimized streaming plan. Slow;
   // meant for oracle comparisons.
@@ -57,6 +76,8 @@ struct SearchResult {
   std::string applied_optimizations;
   exec::ExecStats exec_stats;
   bool used_rank_processing = false;
+  // Number of index segments the query executed over (1 = monolithic).
+  size_t segments_searched = 1;
 };
 
 class Engine {
@@ -64,6 +85,16 @@ class Engine {
   explicit Engine(const index::InvertedIndex* index,
                   const index::StatsOverlay* overlay = nullptr)
       : index_(index), overlay_(overlay) {}
+
+  // Parallel segmented engine. `segmented` must have been built from
+  // `*index` (same documents and statistics); both must outlive the
+  // engine. `pool_threads` worker threads are spawned eagerly (0 =
+  // hardware concurrency); the calling thread also participates in each
+  // query, so per-query concurrency is pool_threads + 1. Statistics
+  // overlays are not supported on the segmented path (overlay doc ids are
+  // global); pass an overlay-free index.
+  Engine(const index::InvertedIndex* index,
+         const index::SegmentedIndex* segmented, size_t pool_threads);
 
   // Parses the Section 8 shorthand syntax and searches.
   StatusOr<SearchResult> Search(std::string_view query_text,
@@ -81,13 +112,22 @@ class Engine {
                                 const SearchOptions& options = {}) const;
 
   const index::InvertedIndex& index() const { return *index_; }
+  const index::SegmentedIndex* segmented() const { return segmented_; }
 
  private:
   StatusOr<const sa::ScoringScheme*> ResolveScheme(
       std::string_view name) const;
 
+  // The parallel path: one operator tree per segment, executed on the
+  // pool, merged score-consistently.
+  StatusOr<SearchResult> SearchQuerySegmented(
+      const mcalc::Query& query, const sa::ScoringScheme& scheme,
+      const SearchOptions& options) const;
+
   const index::InvertedIndex* index_;
-  const index::StatsOverlay* overlay_;
+  const index::StatsOverlay* overlay_ = nullptr;
+  const index::SegmentedIndex* segmented_ = nullptr;
+  std::unique_ptr<common::ThreadPool> pool_;
 };
 
 }  // namespace graft::core

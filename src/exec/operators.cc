@@ -650,10 +650,17 @@ class ProjectOp final : public DocOperator {
     doc_ctx_.collection_size = env_->stats.CollectionSize();
     doc_ctx_.avg_doc_length = env_->stats.AverageDocLength();
     if (env_->stats.has_overlay()) {
-      // Statistics overlays (tests) must see every lookup.
-      for (sa::ColumnContext& ctx : col_ctx_) {
+      // Statistics overlays (tests) must see every lookup. Documents
+      // arrive in ascending order, so the fallback index lookups gallop
+      // from a per-column probe.
+      if (tf_probes_.size() != col_ctx_.size()) {
+        tf_probes_.assign(col_ctx_.size(), 0);
+      }
+      for (size_t i = 0; i < col_ctx_.size(); ++i) {
+        sa::ColumnContext& ctx = col_ctx_[i];
         if (ctx.term != kInvalidTerm) {
-          ctx.tf_in_doc = env_->stats.TermFreqInDoc(ctx.term, current_doc_);
+          ctx.tf_in_doc = env_->stats.TermFreqInDoc(ctx.term, current_doc_,
+                                                    &tf_probes_[i]);
         }
       }
       return;
@@ -673,6 +680,7 @@ class ProjectOp final : public DocOperator {
   EvalEnv* env_;
   std::vector<sa::ColumnContext> base_col_ctx_;
   std::vector<std::pair<size_t, index::CountCursor>> tf_cursors_;
+  std::vector<size_t> tf_probes_;  // per-column gallop seeds (overlay path)
   sa::DocContext doc_ctx_;
   std::vector<sa::ColumnContext> col_ctx_;
   std::vector<sa::InternalScore> expr_scratch_;

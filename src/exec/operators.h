@@ -49,8 +49,9 @@ struct EvalEnv {
 
   EvalEnv(const index::InvertedIndex* index, const sa::ScoringScheme* s,
           sa::QueryContext qctx, const index::StatsOverlay* overlay,
-          ExecStats* c)
-      : stats(index, overlay), scheme(s), query_ctx(qctx), counters(c) {}
+          ExecStats* c, const index::GlobalStats* global = nullptr)
+      : stats(index, overlay, global), scheme(s), query_ctx(qctx),
+        counters(c) {}
 };
 
 class DocOperator {

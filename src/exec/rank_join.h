@@ -39,10 +39,14 @@ struct RankStats {
 
 class TopKRankEngine {
  public:
+  // `global` (optional) installs whole-corpus collection statistics; used
+  // when `index` is one segment of a SegmentedIndex so per-segment top-k
+  // scores match the monolithic index exactly.
   TopKRankEngine(const index::InvertedIndex* index,
                  const sa::ScoringScheme* scheme,
-                 const index::StatsOverlay* overlay = nullptr)
-      : stats_view_(index, overlay), scheme_(scheme) {}
+                 const index::StatsOverlay* overlay = nullptr,
+                 const index::GlobalStats* global = nullptr)
+      : stats_view_(index, overlay, global), scheme_(scheme) {}
 
   // True when the gate admits rank processing for this query + scheme:
   // pure conjunction → rank-join; pure disjunction → rank-union.

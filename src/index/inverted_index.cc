@@ -23,62 +23,74 @@ TermId InvertedIndex::InternTerm(std::string_view term) {
   return it->second;
 }
 
-uint32_t InvertedIndex::TermFreqInDoc(TermId term, DocId doc) const {
+uint32_t InvertedIndex::TermFreqInDoc(TermId term, DocId doc,
+                                      size_t* probe) const {
   const PostingList& list = postings_[term];
-  const std::span<const DocId> docs = list.docs();
-  const auto it = std::lower_bound(docs.begin(), docs.end(), doc);
-  if (it == docs.end() || *it != doc) {
+  size_t from = probe == nullptr ? 0 : *probe;
+  // GallopTo requires every posting before `from` to precede `target`; a
+  // stale or backwards probe violates that, so fall back to the O(log df)
+  // cold gallop from the front.
+  if (from > list.doc_count() ||
+      (from > 0 && list.doc_at(from - 1) >= doc)) {
+    from = 0;
+  }
+  const size_t pos = list.GallopTo(from, doc);
+  if (probe != nullptr) {
+    *probe = pos;
+  }
+  if (pos >= list.doc_count() || list.doc_at(pos) != doc) {
     return 0;
   }
-  return list.tf_at(static_cast<size_t>(it - docs.begin()));
+  return list.tf_at(pos);
 }
 
 IndexBuilder::IndexBuilder() = default;
 
-DocId IndexBuilder::AddDocument(std::span<const std::string_view> tokens) {
-  const DocId doc = next_doc_++;
-  doc_terms_.clear();
-  for (size_t offset = 0; offset < tokens.size(); ++offset) {
-    const TermId term = index_.InternTerm(tokens[offset]);
-    auto [it, inserted] = doc_offsets_.try_emplace(term);
+// The doc_offsets_ scratch map persists across documents: entries are
+// cleared (vectors keep their capacity) rather than erased, so the hot
+// build loop neither rehashes the map nor reallocates offset vectors once
+// the vocabulary stabilizes. A term's first occurrence in the current
+// document is detected by its (cleared) vector being empty.
+void IndexBuilder::AccumulateOffset(TermId term, Offset offset) {
+  auto [it, inserted] = doc_offsets_.try_emplace(term);
+  if (inserted || it->second.empty()) {
+    doc_terms_.push_back(term);
     if (inserted) {
-      doc_terms_.push_back(term);
+      it->second.reserve(4);
     }
-    it->second.push_back(static_cast<Offset>(offset));
   }
-  // Flush per-term offsets into posting lists. Term order within the doc
-  // does not matter; offsets are already increasing.
+  it->second.push_back(offset);
+}
+
+DocId IndexBuilder::FlushDocument(uint32_t length) {
+  const DocId doc = next_doc_++;
   for (const TermId term : doc_terms_) {
-    auto it = doc_offsets_.find(term);
-    index_.mutable_postings(term)->AddDocument(doc, it->second);
-    it->second.clear();
+    std::vector<Offset>& offsets = doc_offsets_.find(term)->second;
+    index_.mutable_postings(term)->AddDocument(doc, offsets);
+    offsets.clear();  // keep capacity for the next document
   }
-  doc_offsets_.clear();
-  index_.AppendDocLength(static_cast<uint32_t>(tokens.size()));
+  doc_terms_.clear();
+  index_.AppendDocLength(length);
   return doc;
+}
+
+DocId IndexBuilder::AddDocument(std::span<const std::string_view> tokens) {
+  doc_terms_.reserve(tokens.size());
+  for (size_t offset = 0; offset < tokens.size(); ++offset) {
+    AccumulateOffset(index_.InternTerm(tokens[offset]),
+                     static_cast<Offset>(offset));
+  }
+  return FlushDocument(static_cast<uint32_t>(tokens.size()));
 }
 
 DocId IndexBuilder::AddDocumentPositioned(
     std::span<const std::string_view> tokens,
     std::span<const Offset> offsets) {
-  const DocId doc = next_doc_++;
-  doc_terms_.clear();
+  doc_terms_.reserve(tokens.size());
   for (size_t i = 0; i < tokens.size(); ++i) {
-    const TermId term = index_.InternTerm(tokens[i]);
-    auto [it, inserted] = doc_offsets_.try_emplace(term);
-    if (inserted) {
-      doc_terms_.push_back(term);
-    }
-    it->second.push_back(offsets[i]);
+    AccumulateOffset(index_.InternTerm(tokens[i]), offsets[i]);
   }
-  for (const TermId term : doc_terms_) {
-    auto it = doc_offsets_.find(term);
-    index_.mutable_postings(term)->AddDocument(doc, it->second);
-    it->second.clear();
-  }
-  doc_offsets_.clear();
-  index_.AppendDocLength(static_cast<uint32_t>(tokens.size()));
-  return doc;
+  return FlushDocument(static_cast<uint32_t>(tokens.size()));
 }
 
 DocId IndexBuilder::AddDocumentStrings(const std::vector<std::string>& tokens) {

@@ -53,8 +53,18 @@ class InvertedIndex {
   const PostingList& postings(TermId term) const { return postings_[term]; }
 
   // #InDoc in Figure 1: occurrences of `term` in `doc` (0 if absent).
-  // O(log df) via binary search; used by scoring, not by scans.
-  uint32_t TermFreqInDoc(TermId term, DocId doc) const;
+  // O(log df) galloping search; used by scoring, not by scans.
+  uint32_t TermFreqInDoc(TermId term, DocId doc) const {
+    return TermFreqInDoc(term, doc, nullptr);
+  }
+
+  // Stateful variant for the common scoring pattern of probing ascending
+  // doc ids: `probe` (caller-owned, start at 0) seeds the gallop from the
+  // last hit, making a monotone scan amortized O(1) per lookup. A
+  // backwards probe falls back to the O(log df) cold gallop from the
+  // front. Keeping the cursor in the caller (not a mutable member) keeps
+  // const lookups data-race-free under concurrent query execution.
+  uint32_t TermFreqInDoc(TermId term, DocId doc, size_t* probe) const;
 
   // ---- Construction interface (used by IndexBuilder and index_io) ----
   TermId InternTerm(std::string_view term);
@@ -97,9 +107,14 @@ class IndexBuilder {
   InvertedIndex Build();
 
  private:
+  void AccumulateOffset(TermId term, Offset offset);
+  DocId FlushDocument(uint32_t length);
+
   InvertedIndex index_;
   DocId next_doc_ = 0;
-  // Scratch: per-term offsets for the current document, reused across calls.
+  // Scratch: per-term offsets for the current document. Entries persist
+  // across documents (vectors are cleared, not erased) so steady-state
+  // builds neither rehash the map nor reallocate offset storage.
   std::unordered_map<TermId, std::vector<Offset>> doc_offsets_;
   std::vector<TermId> doc_terms_;
 };

@@ -1,0 +1,78 @@
+#include "index/segmented_index.h"
+
+#include <algorithm>
+
+namespace graft::index {
+
+StatusOr<SegmentedIndex> SegmentedIndex::BuildFromMonolithic(
+    const InvertedIndex& index, size_t num_segments) {
+  if (num_segments == 0) {
+    return Status::InvalidArgument("num_segments must be >= 1");
+  }
+  const uint64_t docs = index.doc_count();
+  const size_t n = docs == 0
+                       ? 1
+                       : std::min<size_t>(num_segments,
+                                          static_cast<size_t>(docs));
+
+  SegmentedIndex segmented;
+  segmented.doc_count_ = docs;
+  segmented.total_words_ = index.total_words();
+
+  // One shared global-frequency table; term ids are identical across
+  // segments because every segment interns the vocabulary in order.
+  const size_t vocab = index.term_count();
+  segmented.global_doc_freq_.resize(vocab);
+  segmented.global_collection_freq_.resize(vocab);
+  for (TermId t = 0; t < vocab; ++t) {
+    segmented.global_doc_freq_[t] = index.DocFreq(t);
+    segmented.global_collection_freq_[t] = index.CollectionFreq(t);
+  }
+
+  segmented.segments_.resize(n);
+  std::vector<Offset> offsets_scratch;
+  for (size_t s = 0; s < n; ++s) {
+    Segment& seg = segmented.segments_[s];
+    const DocId begin = static_cast<DocId>(docs * s / n);
+    const DocId end = static_cast<DocId>(docs * (s + 1) / n);
+    seg.base = begin;
+
+    // Intern the full vocabulary in dictionary order: local TermId ==
+    // monolithic TermId, and locally-absent terms resolve to empty scans
+    // instead of unknown keywords (invariant 1 of the header comment).
+    for (TermId t = 0; t < vocab; ++t) {
+      const TermId local = seg.index.InternTerm(index.TermText(t));
+      if (local != t) {
+        return Status::Internal("segment term interning diverged");
+      }
+    }
+
+    // Slice every posting list to [begin, end), rebasing doc ids.
+    for (TermId t = 0; t < vocab; ++t) {
+      const PostingList& list = index.postings(t);
+      PostingList* local = seg.index.mutable_postings(t);
+      for (size_t p = list.GallopTo(0, begin);
+           p < list.doc_count() && list.doc_at(p) < end; ++p) {
+        list.DecodeOffsets(p, &offsets_scratch);
+        local->AddDocument(list.doc_at(p) - begin, offsets_scratch);
+      }
+    }
+
+    // Local document lengths (per-document statistics resolve locally).
+    std::vector<uint32_t> lengths(index.doc_lengths().begin() + begin,
+                                  index.doc_lengths().begin() + end);
+    uint64_t local_words = 0;
+    for (const uint32_t length : lengths) {
+      local_words += length;
+    }
+    seg.index.SetDocLengths(std::move(lengths), local_words);
+
+    seg.stats.doc_count = docs;
+    seg.stats.total_words = index.total_words();
+    seg.stats.doc_freq = segmented.global_doc_freq_.data();
+    seg.stats.collection_freq = segmented.global_collection_freq_.data();
+  }
+  return segmented;
+}
+
+}  // namespace graft::index

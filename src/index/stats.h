@@ -14,11 +14,36 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "index/inverted_index.h"
 #include "index/types.h"
 
 namespace graft::index {
+
+// Collection-level statistics of the WHOLE corpus, installed on a
+// per-segment StatsView so every segment of a SegmentedIndex scores
+// exactly like the monolithic index (the score-consistency invariant of
+// parallel execution: GRAFT scores depend on per-document match rows plus
+// collection statistics only, so identical collection statistics ⇒
+// identical scores). The frequency tables are indexed by TermId; segments
+// intern the full monolithic vocabulary in dictionary order, so local and
+// global term ids coincide and one shared table serves every segment.
+struct GlobalStats {
+  uint64_t doc_count = 0;
+  uint64_t total_words = 0;
+  // Borrowed arrays sized to the vocabulary, owned by the SegmentedIndex.
+  // Raw data pointers (not vector pointers) so they stay valid when the
+  // owning SegmentedIndex is moved.
+  const uint64_t* doc_freq = nullptr;
+  const uint64_t* collection_freq = nullptr;
+
+  double average_doc_length() const {
+    return doc_count == 0 ? 0.0
+                          : static_cast<double>(total_words) /
+                                static_cast<double>(doc_count);
+  }
+};
 
 class StatsOverlay {
  public:
@@ -61,17 +86,26 @@ class StatsOverlay {
 };
 
 // Read-only statistics facade handed to scoring schemes. Cheap to copy.
+// Resolution order per statistic: overlay (tests) → global stats (segment
+// of a SegmentedIndex) → the live index. Per-document statistics
+// (DocLength, TermFreqInDoc) always resolve locally — a segment holds its
+// own documents — while collection-level statistics (CollectionSize,
+// AverageDocLength, DocFreq, CollectionFreq) come from the global table.
 class StatsView {
  public:
   explicit StatsView(const InvertedIndex* index,
-                     const StatsOverlay* overlay = nullptr)
-      : index_(index), overlay_(overlay) {}
+                     const StatsOverlay* overlay = nullptr,
+                     const GlobalStats* global = nullptr)
+      : index_(index), overlay_(overlay), global_(global) {}
 
   uint64_t CollectionSize() const {
     if (overlay_ != nullptr) {
       if (const auto v = overlay_->collection_size(); v.has_value()) {
         return *v;
       }
+    }
+    if (global_ != nullptr) {
+      return global_->doc_count;
     }
     return index_->doc_count();
   }
@@ -85,7 +119,12 @@ class StatsView {
     return index_->doc_length(doc);
   }
 
-  double AverageDocLength() const { return index_->average_doc_length(); }
+  double AverageDocLength() const {
+    if (global_ != nullptr) {
+      return global_->average_doc_length();
+    }
+    return index_->average_doc_length();
+  }
 
   uint64_t DocFreq(TermId term) const {
     if (overlay_ != nullptr) {
@@ -94,25 +133,45 @@ class StatsView {
         return *v;
       }
     }
+    if (global_ != nullptr && global_->doc_freq != nullptr) {
+      return global_->doc_freq[term];
+    }
     return index_->DocFreq(term);
   }
 
+  uint64_t CollectionFreq(TermId term) const {
+    if (global_ != nullptr && global_->collection_freq != nullptr) {
+      return global_->collection_freq[term];
+    }
+    return index_->CollectionFreq(term);
+  }
+
   uint32_t TermFreqInDoc(TermId term, DocId doc) const {
+    return TermFreqInDoc(term, doc, nullptr);
+  }
+
+  // Galloping variant for ascending-doc scans: `probe` is a caller-owned
+  // cursor position into the term's postings, advanced monotonically (see
+  // InvertedIndex::TermFreqInDoc). Caller-owned state keeps the index
+  // immutable and the parallel search path race-free.
+  uint32_t TermFreqInDoc(TermId term, DocId doc, size_t* probe) const {
     if (overlay_ != nullptr) {
       if (const auto v = overlay_->term_freq(index_->TermText(term), doc);
           v.has_value()) {
         return *v;
       }
     }
-    return index_->TermFreqInDoc(term, doc);
+    return index_->TermFreqInDoc(term, doc, probe);
   }
 
   const InvertedIndex& index() const { return *index_; }
   bool has_overlay() const { return overlay_ != nullptr; }
+  bool has_global() const { return global_ != nullptr; }
 
  private:
   const InvertedIndex* index_;
   const StatsOverlay* overlay_;
+  const GlobalStats* global_;
 };
 
 }  // namespace graft::index

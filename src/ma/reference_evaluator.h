@@ -10,6 +10,8 @@
 #ifndef GRAFT_MA_REFERENCE_EVALUATOR_H_
 #define GRAFT_MA_REFERENCE_EVALUATOR_H_
 
+#include <unordered_map>
+
 #include "common/status.h"
 #include "index/stats.h"
 #include "ma/match_table.h"
@@ -57,6 +59,12 @@ class ReferenceEvaluator {
   index::StatsView stats_;
   const sa::ScoringScheme* scheme_;
   sa::QueryContext query_ctx_;
+  // Per-term galloping probes for #InDoc lookups: plan nodes visit docs in
+  // ascending order, so seeding each lookup from the previous hit makes
+  // the scan amortized O(1) (a backwards probe falls back to the cold
+  // path). Mutable cache only — never observable in results; evaluators
+  // are single-threaded by contract.
+  mutable std::unordered_map<TermId, size_t> tf_probes_;
 };
 
 }  // namespace graft::ma

@@ -1,0 +1,168 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/status.h"
+
+namespace graft::common {
+namespace {
+
+TEST(FutureTest, SetThenTake) {
+  Future<int> future;
+  EXPECT_FALSE(future.Ready());
+  future.Set(42);
+  EXPECT_TRUE(future.Ready());
+  EXPECT_EQ(future.Take(), 42);
+}
+
+TEST(FutureTest, TakeBlocksUntilSetFromAnotherThread) {
+  Future<std::string> future;
+  std::thread setter([future]() mutable { future.Set("hello"); });
+  EXPECT_EQ(future.Take(), "hello");
+  setter.join();
+}
+
+TEST(LatchTest, WaitReturnsAtZero) {
+  Latch latch(3);
+  std::thread counters([&] {
+    latch.CountDown();
+    latch.CountDown();
+    latch.CountDown();
+  });
+  latch.Wait();  // must not deadlock
+  counters.join();
+}
+
+TEST(ThreadPoolTest, SpawnsRequestedWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  Latch done(1);
+  std::atomic<int> value{0};
+  ASSERT_TRUE(pool.Submit([&] {
+    value.store(7);
+    done.CountDown();
+  }));
+  done.Wait();
+  EXPECT_EQ(value.load(), 7);
+}
+
+TEST(ThreadPoolTest, SubmitFutureCarriesStatusOr) {
+  ThreadPool pool(2);
+  Future<StatusOr<int>> ok = pool.SubmitFuture([]() -> StatusOr<int> {
+    return 123;
+  });
+  Future<StatusOr<int>> bad = pool.SubmitFuture([]() -> StatusOr<int> {
+    return Status::InvalidArgument("nope");
+  });
+  StatusOr<int> ok_value = ok.Take();
+  ASSERT_TRUE(ok_value.ok());
+  EXPECT_EQ(*ok_value, 123);
+  EXPECT_FALSE(bad.Take().ok());
+}
+
+TEST(ThreadPoolTest, ManyConcurrentSubmissions) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  Latch done(kTasks);
+  std::atomic<int> sum{0};
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(pool.Submit([&sum, &done, i] {
+      sum.fetch_add(i, std::memory_order_relaxed);
+      done.CountDown();
+    }));
+  }
+  done.Wait();
+  EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, DestructionWithIdleWorkersDoesNotHang) {
+  ThreadPool pool(4);
+  // Destructor joins idle workers; reaching the end of scope is the test.
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(&pool, 0, kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, InlineWithNullPool) {
+  std::vector<int> hits(17, 0);
+  ParallelFor(nullptr, 0, hits.size(), [&](size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 17);
+}
+
+TEST(ParallelForTest, SerialWhenMaxWorkersIsOne) {
+  ThreadPool pool(3);
+  // max_workers == 1 → calling thread only; writes need no synchronization.
+  std::vector<int> hits(64, 0);
+  ParallelFor(&pool, 1, hits.size(), [&](size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, MoreWorkersThanIterations) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(&pool, 0, hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(hits[0].load() + hits[1].load() + hits[2].load(), 3);
+}
+
+TEST(ParallelForTest, CallerObservesAllWritesAfterReturn) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 256;
+  std::vector<uint64_t> out(kN, 0);  // plain writes, distinct slots
+  ParallelFor(&pool, 0, kN, [&](size_t i) { out[i] = i * i; });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelForTest, ConcurrentCallersShareOnePool) {
+  // An engine serving concurrent queries runs ParallelFor from multiple
+  // (external) threads against one shared pool; helper tasks never block,
+  // so callers cannot starve each other.
+  ThreadPool pool(4);
+  constexpr int kQueries = 8;
+  std::atomic<int> total{0};
+  std::vector<std::thread> queries;
+  queries.reserve(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    queries.emplace_back([&] {
+      ParallelFor(&pool, 2, 50,
+                  [&](size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  for (std::thread& t : queries) {
+    t.join();
+  }
+  EXPECT_EQ(total.load(), kQueries * 50);
+}
+
+}  // namespace
+}  // namespace graft::common

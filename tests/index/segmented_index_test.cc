@@ -1,0 +1,176 @@
+#include "index/segmented_index.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/stats.h"
+#include "text/corpus.h"
+
+namespace graft::index {
+namespace {
+
+InvertedIndex BuildSmallIndex(uint64_t num_docs) {
+  text::CorpusConfig config = text::WikipediaLikeConfig(num_docs, /*seed=*/11);
+  IndexBuilder builder;
+  text::CorpusGenerator generator(config);
+  generator.Generate(
+      [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
+        builder.AddDocument(tokens);
+      });
+  return builder.Build();
+}
+
+TEST(SegmentedIndexTest, RejectsZeroSegments) {
+  InvertedIndex index = BuildSmallIndex(10);
+  EXPECT_FALSE(SegmentedIndex::BuildFromMonolithic(index, 0).ok());
+}
+
+TEST(SegmentedIndexTest, ClampsSegmentCountToDocCount) {
+  InvertedIndex index = BuildSmallIndex(3);
+  auto segmented = SegmentedIndex::BuildFromMonolithic(index, 16);
+  ASSERT_TRUE(segmented.ok()) << segmented.status().ToString();
+  EXPECT_EQ(segmented->segment_count(), 3u);
+}
+
+TEST(SegmentedIndexTest, EmptyIndexYieldsOneEmptySegment) {
+  IndexBuilder builder;
+  InvertedIndex index = builder.Build();
+  auto segmented = SegmentedIndex::BuildFromMonolithic(index, 4);
+  ASSERT_TRUE(segmented.ok()) << segmented.status().ToString();
+  EXPECT_EQ(segmented->segment_count(), 1u);
+  EXPECT_EQ(segmented->doc_count(), 0u);
+}
+
+TEST(SegmentedIndexTest, SegmentsPartitionTheDocSpace) {
+  InvertedIndex index = BuildSmallIndex(101);
+  auto segmented = SegmentedIndex::BuildFromMonolithic(index, 4);
+  ASSERT_TRUE(segmented.ok());
+  EXPECT_EQ(segmented->doc_count(), index.doc_count());
+  EXPECT_EQ(segmented->total_words(), index.total_words());
+  DocId next = 0;
+  uint64_t docs = 0, words = 0;
+  for (size_t s = 0; s < segmented->segment_count(); ++s) {
+    const SegmentedIndex::Segment& seg = segmented->segment(s);
+    EXPECT_EQ(seg.base, next) << "segment " << s;
+    EXPECT_GT(seg.index.doc_count(), 0u);
+    next += static_cast<DocId>(seg.index.doc_count());
+    docs += seg.index.doc_count();
+    words += seg.index.total_words();
+  }
+  EXPECT_EQ(docs, index.doc_count());
+  EXPECT_EQ(words, index.total_words());
+}
+
+TEST(SegmentedIndexTest, SharedVocabularyInvariant) {
+  // Invariant 1: every segment interns the full monolithic vocabulary in
+  // dictionary order, so TermIds are shared across segments and the
+  // monolith — including for terms absent from a segment.
+  InvertedIndex index = BuildSmallIndex(60);
+  auto segmented = SegmentedIndex::BuildFromMonolithic(index, 5);
+  ASSERT_TRUE(segmented.ok());
+  for (size_t s = 0; s < segmented->segment_count(); ++s) {
+    const InvertedIndex& local = segmented->segment(s).index;
+    ASSERT_EQ(local.term_count(), index.term_count()) << "segment " << s;
+    for (TermId t = 0; t < index.term_count(); ++t) {
+      ASSERT_EQ(local.TermText(t), index.TermText(t))
+          << "segment " << s << " term " << t;
+    }
+  }
+}
+
+TEST(SegmentedIndexTest, GlobalStatsMatchMonolith) {
+  // Invariant 2: collection-level statistics exposed through each
+  // segment's GlobalStats are those of the whole corpus.
+  InvertedIndex index = BuildSmallIndex(80);
+  auto segmented = SegmentedIndex::BuildFromMonolithic(index, 3);
+  ASSERT_TRUE(segmented.ok());
+  for (size_t s = 0; s < segmented->segment_count(); ++s) {
+    const SegmentedIndex::Segment& seg = segmented->segment(s);
+    StatsView stats(&seg.index, /*overlay=*/nullptr, &seg.stats);
+    EXPECT_EQ(stats.CollectionSize(), index.doc_count());
+    EXPECT_DOUBLE_EQ(stats.AverageDocLength(), index.average_doc_length());
+    for (TermId t = 0; t < index.term_count(); ++t) {
+      ASSERT_EQ(stats.DocFreq(t), index.DocFreq(t))
+          << "segment " << s << " term " << index.TermText(t);
+      ASSERT_EQ(stats.CollectionFreq(t), index.CollectionFreq(t))
+          << "segment " << s << " term " << index.TermText(t);
+    }
+  }
+}
+
+TEST(SegmentedIndexTest, PerDocumentStatsResolveLocally) {
+  InvertedIndex index = BuildSmallIndex(80);
+  auto segmented = SegmentedIndex::BuildFromMonolithic(index, 3);
+  ASSERT_TRUE(segmented.ok());
+  for (size_t s = 0; s < segmented->segment_count(); ++s) {
+    const SegmentedIndex::Segment& seg = segmented->segment(s);
+    for (DocId local = 0; local < seg.index.doc_count(); ++local) {
+      const DocId global = segmented->ToGlobal(s, local);
+      ASSERT_EQ(seg.index.doc_length(local), index.doc_length(global));
+      for (TermId t = 0; t < index.term_count(); ++t) {
+        ASSERT_EQ(seg.index.TermFreqInDoc(t, local),
+                  index.TermFreqInDoc(t, global))
+            << "segment " << s << " doc " << global << " term "
+            << index.TermText(t);
+      }
+    }
+  }
+}
+
+TEST(SegmentedIndexTest, PostingsSliceExactlyWithPositions) {
+  // Rebuild the global posting view from segment postings and compare,
+  // positions included (positional predicates run per segment).
+  InvertedIndex index = BuildSmallIndex(50);
+  auto segmented = SegmentedIndex::BuildFromMonolithic(index, 4);
+  ASSERT_TRUE(segmented.ok());
+  for (TermId t = 0; t < index.term_count(); ++t) {
+    std::vector<std::pair<DocId, std::vector<Offset>>> rebuilt;
+    for (size_t s = 0; s < segmented->segment_count(); ++s) {
+      const SegmentedIndex::Segment& seg = segmented->segment(s);
+      const PostingList& list = seg.index.postings(t);
+      for (size_t p = 0; p < list.doc_count(); ++p) {
+        rebuilt.emplace_back(segmented->ToGlobal(s, list.doc_at(p)),
+                             list.OffsetsAt(p));
+      }
+    }
+    const PostingList& global = index.postings(t);
+    ASSERT_EQ(rebuilt.size(), global.doc_count()) << index.TermText(t);
+    for (size_t p = 0; p < global.doc_count(); ++p) {
+      ASSERT_EQ(rebuilt[p].first, global.doc_at(p)) << index.TermText(t);
+      ASSERT_EQ(rebuilt[p].second, global.OffsetsAt(p)) << index.TermText(t);
+    }
+  }
+}
+
+TEST(SegmentedIndexTest, GlobalStatsSurviveMove) {
+  // GlobalStats point at heap buffers owned by the SegmentedIndex; a move
+  // of the owner must not dangle them.
+  InvertedIndex index = BuildSmallIndex(30);
+  auto built = SegmentedIndex::BuildFromMonolithic(index, 2);
+  ASSERT_TRUE(built.ok());
+  SegmentedIndex moved = std::move(built).value();
+  for (size_t s = 0; s < moved.segment_count(); ++s) {
+    const SegmentedIndex::Segment& seg = moved.segment(s);
+    StatsView stats(&seg.index, nullptr, &seg.stats);
+    for (TermId t = 0; t < index.term_count(); ++t) {
+      ASSERT_EQ(stats.DocFreq(t), index.DocFreq(t));
+    }
+  }
+}
+
+TEST(SegmentedIndexTest, SingleSegmentEqualsMonolith) {
+  InvertedIndex index = BuildSmallIndex(25);
+  auto segmented = SegmentedIndex::BuildFromMonolithic(index, 1);
+  ASSERT_TRUE(segmented.ok());
+  ASSERT_EQ(segmented->segment_count(), 1u);
+  const SegmentedIndex::Segment& seg = segmented->segment(0);
+  EXPECT_EQ(seg.base, 0u);
+  EXPECT_EQ(seg.index.doc_count(), index.doc_count());
+  EXPECT_EQ(seg.index.total_words(), index.total_words());
+}
+
+}  // namespace
+}  // namespace graft::index

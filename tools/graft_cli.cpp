@@ -5,6 +5,13 @@
 //   graft_cli explain <index-file> <scheme> <query>  show the plan
 //   graft_cli schemes                                 list schemes
 //
+// search accepts two parallel-execution flags (before or after the
+// positional arguments):
+//   --segments N   partition the index into N segments at load time and
+//                  execute the query segment-parallel (default 1)
+//   --threads N    total worker threads for segment execution; 0 means
+//                  hardware concurrency, 1 means serial (default 0)
+//
 // Each input file becomes one document; tokenization is sentence- and
 // paragraph-aware, so SAMESENTENCE / SAMEPARAGRAPH predicates work.
 //
@@ -13,14 +20,18 @@
 //   ./graft_cli search /tmp/docs.idx MeanSum \
 //       '(windows emulator)WINDOW[50] (foss | "free software")'
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
 #include "index/index_io.h"
+#include "index/segmented_index.h"
 #include "sa/property_checker.h"
 #include "text/structure.h"
 
@@ -72,26 +83,68 @@ int CmdIndex(int argc, char** argv) {
 }
 
 int CmdSearchOrExplain(bool explain, int argc, char** argv) {
-  if (argc != 3) {
+  size_t segments = 1;
+  size_t threads = 0;
+  std::vector<const char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--segments" || arg == "--threads") && i + 1 < argc) {
+      const long value = std::atol(argv[++i]);
+      if (value < 0) {
+        std::fprintf(stderr, "%s must be >= 0\n", arg.c_str());
+        return 2;
+      }
+      (arg == "--segments" ? segments : threads) =
+          static_cast<size_t>(value);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 3) {
     std::fprintf(stderr,
-                 "usage: graft_cli %s <index-file> <scheme> <query>\n",
+                 "usage: graft_cli %s [--segments N] [--threads N] "
+                 "<index-file> <scheme> <query>\n",
                  explain ? "explain" : "search");
     return 2;
   }
-  auto loaded = graft::index::LoadIndex(argv[0]);
+  const char* index_file = positional[0];
+  const char* scheme = positional[1];
+  const char* query = positional[2];
+
+  auto loaded = graft::index::LoadIndex(index_file);
   if (!loaded.ok()) return Fail(loaded.status());
-  graft::core::Engine engine(&*loaded);
+
+  graft::StatusOr<graft::index::SegmentedIndex> segmented =
+      graft::Status::InvalidArgument("unused");
+  graft::core::SearchOptions options;
+  options.num_threads = threads;
+  std::unique_ptr<graft::core::Engine> engine;
+  if (segments > 1) {
+    segmented =
+        graft::index::SegmentedIndex::BuildFromMonolithic(*loaded, segments);
+    if (!segmented.ok()) return Fail(segmented.status());
+    // The engine pool plus the calling thread together provide `threads`
+    // workers (0 → hardware concurrency).
+    const size_t pool_threads =
+        threads == 0 ? 0 : std::max<size_t>(1, threads - 1);
+    engine = std::make_unique<graft::core::Engine>(&*loaded, &*segmented,
+                                                   pool_threads);
+  } else {
+    engine = std::make_unique<graft::core::Engine>(&*loaded);
+  }
 
   if (explain) {
-    auto plan = engine.Explain(argv[2], argv[1]);
+    auto plan = engine->Explain(query, scheme);
     if (!plan.ok()) return Fail(plan.status());
     std::fputs(plan->c_str(), stdout);
     return 0;
   }
-  auto result = engine.Search(argv[2], argv[1]);
+  auto result = engine->Search(query, scheme, options);
   if (!result.ok()) return Fail(result.status());
-  std::printf("%zu documents  [%s]\n", result->results.size(),
-              result->applied_optimizations.c_str());
+  std::printf("%zu documents  [%s]  (%zu segment%s)\n",
+              result->results.size(), result->applied_optimizations.c_str(),
+              result->segments_searched,
+              result->segments_searched == 1 ? "" : "s");
   for (const graft::ma::ScoredDoc& hit : result->results) {
     std::printf("  doc %-8u %.6f\n", hit.doc, hit.score);
   }
