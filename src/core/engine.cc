@@ -129,7 +129,8 @@ StatusOr<SearchResult> Engine::Search(std::string_view query_text,
 StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
                                            const sa::ScoringScheme& scheme,
                                            const SearchOptions& options) const {
-  if (segmented_ != nullptr && !options.use_canonical_reference) {
+  if (segmented_ != nullptr && options.use_segmented &&
+      !options.use_canonical_reference) {
     return SearchQuerySegmented(query, scheme, options);
   }
 

@@ -63,6 +63,12 @@ struct SearchOptions {
   // the per-query concurrency at N without resizing the shared pool.
   size_t num_threads = 0;
 
+  // When false, an engine constructed with a SegmentedIndex executes the
+  // query monolithically (segments_searched == 1) instead of fanning out.
+  // Scores are identical either way; serving front ends expose this as a
+  // per-request escape hatch.
+  bool use_segmented = true;
+
   // Evaluate with the canonical score-isolated plan on the materializing
   // reference evaluator instead of the optimized streaming plan. Slow;
   // meant for oracle comparisons.

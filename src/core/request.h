@@ -1,0 +1,91 @@
+// Front-end request plumbing shared by every GRAFT entry point (the
+// graft_cli tool and the src/server HTTP service), so query parsing,
+// scheme selection, and engine construction cannot drift between them.
+//
+// A front end collects a SearchRequestParams from its native surface
+// (argv flags, URL query parameters), then:
+//
+//   GRAFT_ASSIGN_OR_RETURN(core::EngineBundle bundle,
+//                          core::LoadEngineBundle(path, segments, threads));
+//   GRAFT_ASSIGN_OR_RETURN(core::ResolvedRequest resolved,
+//                          core::ResolveRequest(*bundle.engine, params));
+//   auto result = bundle.engine->SearchQuery(resolved.query,
+//                                            *resolved.scheme,
+//                                            resolved.options);
+//
+// All validation failures come back as Status (InvalidArgument /
+// NotFound), never as crashes, so servers can map them to 4xx directly.
+
+#ifndef GRAFT_CORE_REQUEST_H_
+#define GRAFT_CORE_REQUEST_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "index/inverted_index.h"
+#include "index/segmented_index.h"
+#include "mcalc/parser.h"
+#include "sa/scoring_scheme.h"
+
+namespace graft::core {
+
+// Surface-independent search request: the fields a CLI flag parser and an
+// HTTP query-string parser both produce.
+struct SearchRequestParams {
+  std::string query;
+  std::string scheme = "MeanSum";
+  // 0 = all matching documents.
+  size_t top_k = 0;
+  // Per-query worker cap (SearchOptions::num_threads semantics).
+  size_t num_threads = 0;
+  // Requested segment fan-out: 0 = engine default (all segments when the
+  // engine is segmented), 1 = force monolithic execution. Any other value
+  // must equal the engine's segment count — partitioning is fixed at
+  // engine construction, so a mismatch is a client error, not a silent
+  // fallback.
+  size_t segments = 0;
+};
+
+// A validated request: parsed query, resolved scheme, engine options.
+struct ResolvedRequest {
+  mcalc::Query query;
+  const sa::ScoringScheme* scheme = nullptr;
+  SearchOptions options;
+};
+
+// Parses params.query, resolves params.scheme against the global registry,
+// and validates params.segments against the engine's configuration.
+StatusOr<ResolvedRequest> ResolveRequest(const Engine& engine,
+                                         const SearchRequestParams& params);
+
+// Parses a non-negative decimal count ("0", "17"). `what` names the field
+// in the error message ("k", "--segments", ...). Rejects empty strings,
+// signs, and trailing garbage — strtoul's permissiveness is exactly the
+// drift this helper exists to prevent.
+StatusOr<size_t> ParseCount(std::string_view text, std::string_view what);
+
+// An engine plus the storage it searches, loaded from an index file as one
+// movable unit. `segments` <= 1 builds a monolithic engine; otherwise the
+// index is partitioned and the engine executes segment-parallel with
+// `pool_threads` eager workers (0 = hardware concurrency; the calling
+// thread also participates per query).
+struct EngineBundle {
+  std::unique_ptr<index::InvertedIndex> index;
+  std::unique_ptr<index::SegmentedIndex> segmented;  // null when monolithic
+  std::unique_ptr<Engine> engine;
+};
+
+StatusOr<EngineBundle> LoadEngineBundle(const std::string& index_path,
+                                        size_t segments, size_t pool_threads);
+
+// Builds a bundle around an already-built index (used by tests and the
+// in-process load generator); the bundle takes ownership of `index`.
+StatusOr<EngineBundle> MakeEngineBundle(index::InvertedIndex index,
+                                        size_t segments, size_t pool_threads);
+
+}  // namespace graft::core
+
+#endif  // GRAFT_CORE_REQUEST_H_

@@ -10,7 +10,11 @@ namespace graft::index {
 
 namespace {
 
-constexpr char kMagic[8] = {'G', 'R', 'F', 'T', 'I', 'D', 'X', '2'};
+// 7-byte magic + 1 format-version byte ("GRFTIDX" '2'). Bump the version
+// character when the layout changes; LoadIndex rejects other versions
+// with a distinct message instead of misparsing them.
+constexpr char kMagicPrefix[7] = {'G', 'R', 'F', 'T', 'I', 'D', 'X'};
+constexpr char kFormatVersion = '2';
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -49,19 +53,44 @@ Status WriteVector(std::FILE* f, const std::vector<T>& v) {
   return WriteBytes(f, v.data(), v.size() * sizeof(T));
 }
 
+// Reads a length-prefixed array, validating the declared length against
+// the bytes actually left in the file BEFORE allocating — a corrupt or
+// truncated header can therefore never trigger a multi-gigabyte resize or
+// an out-of-bounds read; it fails cleanly with DataLoss.
 template <typename T>
-Status ReadVector(std::FILE* f, std::vector<T>* v, uint64_t sanity_cap) {
+Status ReadVector(std::FILE* f, std::vector<T>* v, uint64_t file_size) {
   uint64_t size = 0;
   GRAFT_RETURN_IF_ERROR(ReadScalar(f, &size));
-  if (size > sanity_cap) {
-    return Status::DataLoss("implausible vector size in index file");
+  const long pos = std::ftell(f);
+  if (pos < 0) {
+    return Status::IOError("ftell failed while reading index file");
+  }
+  const uint64_t remaining = file_size - static_cast<uint64_t>(pos);
+  if (size > remaining / sizeof(T)) {
+    return Status::DataLoss(
+        "vector length exceeds remaining index file bytes");
   }
   v->resize(size);
   return ReadBytes(f, v->data(), size * sizeof(T));
 }
 
-// Upper bound used to reject corrupt files before allocating.
+// Upper bound used to reject corrupt counts whose payloads are validated
+// element-by-element rather than as one block read.
 constexpr uint64_t kSanityCap = uint64_t{1} << 36;
+
+StatusOr<uint64_t> FileSize(std::FILE* f) {
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IOError("fseek failed while sizing index file");
+  }
+  const long size = std::ftell(f);
+  if (size < 0) {
+    return Status::IOError("ftell failed while sizing index file");
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::IOError("fseek failed while rewinding index file");
+  }
+  return static_cast<uint64_t>(size);
+}
 
 }  // namespace
 
@@ -72,7 +101,8 @@ Status SaveIndex(const InvertedIndex& index, const std::string& path) {
   }
   std::FILE* f = file.get();
 
-  GRAFT_RETURN_IF_ERROR(WriteBytes(f, kMagic, sizeof(kMagic)));
+  GRAFT_RETURN_IF_ERROR(WriteBytes(f, kMagicPrefix, sizeof(kMagicPrefix)));
+  GRAFT_RETURN_IF_ERROR(WriteScalar<char>(f, kFormatVersion));
   GRAFT_RETURN_IF_ERROR(WriteScalar<uint64_t>(f, index.doc_count()));
   GRAFT_RETURN_IF_ERROR(WriteScalar<uint64_t>(f, index.total_words()));
   GRAFT_RETURN_IF_ERROR(WriteVector(f, index.doc_lengths()));
@@ -104,10 +134,17 @@ StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
   }
   std::FILE* f = file.get();
 
+  GRAFT_ASSIGN_OR_RETURN(const uint64_t file_size, FileSize(f));
+
   char magic[8];
   GRAFT_RETURN_IF_ERROR(ReadBytes(f, magic, sizeof(magic)));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
     return Status::DataLoss("bad magic; not a GRAFT index file: " + path);
+  }
+  if (magic[7] != kFormatVersion) {
+    return Status::DataLoss(
+        std::string("unsupported index format version '") + magic[7] +
+        "' (this build reads version '" + kFormatVersion + "'): " + path);
   }
 
   InvertedIndex index;
@@ -116,7 +153,7 @@ StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
   GRAFT_RETURN_IF_ERROR(ReadScalar(f, &doc_count));
   GRAFT_RETURN_IF_ERROR(ReadScalar(f, &total_words));
   std::vector<uint32_t> doc_lengths;
-  GRAFT_RETURN_IF_ERROR(ReadVector(f, &doc_lengths, kSanityCap));
+  GRAFT_RETURN_IF_ERROR(ReadVector(f, &doc_lengths, file_size));
   if (doc_lengths.size() != doc_count) {
     return Status::DataLoss("doc length array does not match doc count");
   }
@@ -124,7 +161,7 @@ StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
 
   uint64_t term_count = 0;
   GRAFT_RETURN_IF_ERROR(ReadScalar(f, &term_count));
-  if (term_count > kSanityCap) {
+  if (term_count > kSanityCap || term_count > file_size) {
     return Status::DataLoss("implausible term count");
   }
   for (uint64_t i = 0; i < term_count; ++i) {
@@ -145,10 +182,10 @@ StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
     std::vector<uint64_t> starts;
     std::vector<uint8_t> encoded;
     uint64_t total_positions = 0;
-    GRAFT_RETURN_IF_ERROR(ReadVector(f, &docs, kSanityCap));
-    GRAFT_RETURN_IF_ERROR(ReadVector(f, &tfs, kSanityCap));
-    GRAFT_RETURN_IF_ERROR(ReadVector(f, &starts, kSanityCap));
-    GRAFT_RETURN_IF_ERROR(ReadVector(f, &encoded, kSanityCap));
+    GRAFT_RETURN_IF_ERROR(ReadVector(f, &docs, file_size));
+    GRAFT_RETURN_IF_ERROR(ReadVector(f, &tfs, file_size));
+    GRAFT_RETURN_IF_ERROR(ReadVector(f, &starts, file_size));
+    GRAFT_RETURN_IF_ERROR(ReadVector(f, &encoded, file_size));
     GRAFT_RETURN_IF_ERROR(ReadScalar(f, &total_positions));
     if (tfs.size() != docs.size()) {
       return Status::DataLoss("tf array does not match doc array");

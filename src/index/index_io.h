@@ -1,14 +1,19 @@
 // Binary persistence for the inverted index.
 //
-// Format (little-endian, version-tagged):
-//   magic "GRFTIDX1" | u64 doc_count | u64 total_words
+// Format (little-endian; magic "GRFTIDX" + one version byte, currently
+// '2'; arrays are u64 length-prefixed):
+//   "GRFTIDX" '2' | u64 doc_count | u64 total_words
 //   | u32[] doc_lengths
 //   | u64 term_count, then per term:
 //       u32 text_len | bytes text
-//       u64 posting_count | u32[] docs | u32[] tfs
-//       u64 offset_count | u32[] offsets
+//       u32[] docs | u32[] tfs | u64[] offset_starts
+//       | u8[] delta-encoded offsets | u64 collection_frequency
 //
-// offset_start arrays are reconstructed from tfs on load.
+// LoadIndex is hardened against corrupt or truncated input: the version
+// byte is checked, every declared array length is validated against the
+// bytes remaining in the file before allocation, and cross-array
+// invariants (tfs vs docs, offset_starts vs encoded bytes) are verified —
+// any violation returns DataLoss, never undefined behavior.
 
 #ifndef GRAFT_INDEX_INDEX_IO_H_
 #define GRAFT_INDEX_INDEX_IO_H_

@@ -1,0 +1,122 @@
+// Minimal dependency-free HTTP/1.1 plumbing for the embedded search
+// service: a blocking TCP listener, a hardened request-head parser, and a
+// tiny blocking client used by tests and the load generator.
+//
+// Scope is deliberately narrow — exactly what a GET-only JSON service
+// needs:
+//   * requests: method + target + version, headers, no body support
+//     (Content-Length > 0 is rejected with 413/400 semantics upstream);
+//   * responses: status line + fixed headers + Content-Length body,
+//     Connection: close (one request per connection keeps the admission
+//     accounting trivially correct);
+//   * every malformed input maps to a Status — the parser never crashes,
+//     never allocates unboundedly (request heads are capped), and never
+//     trusts lengths from the wire.
+
+#ifndef GRAFT_SERVER_HTTP_H_
+#define GRAFT_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace graft::server {
+
+// Largest request head (request line + headers + blank line) the server
+// will buffer before answering 431-style with InvalidArgument.
+inline constexpr size_t kMaxRequestHeadBytes = 16 * 1024;
+
+struct HttpRequest {
+  std::string method;                          // "GET"
+  std::string path;                            // decoded, e.g. "/search"
+  std::map<std::string, std::string> params;   // decoded query parameters
+  std::map<std::string, std::string> headers;  // keys lower-cased
+};
+
+// Percent-decodes a URL component ('+' becomes space). Invalid escapes are
+// an error, not a pass-through: a client that sends "%zz" gets a 400.
+StatusOr<std::string> UrlDecode(std::string_view text);
+
+// Parses everything up to (not including) the blank line that ends the
+// request head. Enforces: a well-formed request line, HTTP/1.0 or /1.1,
+// CRLF or LF line endings, "name: value" headers. Query parameters are
+// split on '&' and '=' and percent-decoded.
+StatusOr<HttpRequest> ParseRequestHead(std::string_view head);
+
+// Serializes a response with Content-Length and Connection: close.
+std::string SerializeResponse(int status_code, std::string_view content_type,
+                              std::string_view body);
+
+// Reason phrase for the handful of codes the service emits ("OK",
+// "Bad Request", ...); "Unknown" otherwise.
+std::string_view StatusReason(int status_code);
+
+// Appends `text` to `out` with JSON string escaping (quotes, backslash,
+// control characters). Shared by the stats and search serializers.
+void JsonAppendEscaped(std::string* out, std::string_view text);
+
+// A blocking IPv4 listener. Shutdown protocol: Interrupt() may be called
+// from any thread and unblocks a pending Accept (which then returns an
+// error); Close() must only be called once no Accept is concurrently
+// running (e.g. after joining the accept thread) — it releases the fd.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and
+  // listens with `backlog`.
+  Status Bind(uint16_t port, int backlog = 128);
+
+  // The bound port (valid after a successful Bind).
+  uint16_t port() const { return port_; }
+
+  // Blocks for one connection; returns the connected socket fd, or an
+  // error after Close(). The accepted socket carries `io_timeout_ms`
+  // send/receive timeouts so a stalled peer cannot wedge a worker.
+  StatusOr<int> Accept(int io_timeout_ms = 5000) const;
+
+  // Thread-safe: unblocks a concurrent Accept without releasing the fd.
+  void Interrupt();
+
+  // Releases the fd. NOT safe concurrently with Accept.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Reads a request head from `fd` (until the blank line, capped at
+// kMaxRequestHeadBytes) and parses it. Does not close the fd.
+StatusOr<HttpRequest> ReadRequest(int fd);
+
+// Writes the full serialized response to `fd`. Does not close the fd.
+Status WriteResponse(int fd, int status_code, std::string_view content_type,
+                     std::string_view body);
+
+// --- client side (tests + load generator) ---
+
+struct HttpClientResponse {
+  int status_code = 0;
+  std::string body;
+};
+
+// One blocking GET against 127.0.0.1:`port`. `target` is the raw
+// request-target ("/search?q=foo%20bar&k=10"). `timeout_ms` bounds
+// connect, send, and receive individually.
+StatusOr<HttpClientResponse> HttpGet(uint16_t port, std::string_view target,
+                                     int timeout_ms = 10000);
+
+// Percent-encodes a query-parameter value.
+std::string UrlEncode(std::string_view text);
+
+}  // namespace graft::server
+
+#endif  // GRAFT_SERVER_HTTP_H_

@@ -1,0 +1,370 @@
+#include "server/search_service.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+namespace graft::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(Clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
+}
+
+// Answers a connection that will not be handled (admission rejection or
+// shutdown) without ever reading the request. Closing with the client's
+// request bytes still unread would send an RST that can destroy the 503
+// before the client reads it, so: write the response, half-close (FIN),
+// then drain briefly until the client's FIN — bounded at ~50ms so a
+// stalled peer cannot wedge the accept thread.
+void RejectConnection(int fd, const std::string& body) {
+  (void)WriteResponse(fd, 503, "application/json", body);
+  ::shutdown(fd, SHUT_WR);
+  char drain[1024];
+  for (int spin = 0; spin < 50; ++spin) {
+    const ssize_t n = ::recv(fd, drain, sizeof(drain), MSG_DONTWAIT);
+    if (n == 0) break;  // clean FIN from the client
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ::close(fd);
+}
+
+void AppendMsField(std::string* out, std::string_view name, double micros) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%.*s\":%.3f",
+                static_cast<int>(name.size()), name.data(), micros / 1000.0);
+  *out += buf;
+}
+
+}  // namespace
+
+int HttpCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    default:
+      return 500;
+  }
+}
+
+std::string ErrorBody(const Status& status) {
+  std::string body = "{\"error\":\"";
+  JsonAppendEscaped(&body, StatusCodeName(status.code()));
+  body += "\",\"message\":\"";
+  JsonAppendEscaped(&body, status.message());
+  body += "\"}";
+  return body;
+}
+
+std::string SearchService::FormatResultsFragment(
+    const std::vector<ma::ScoredDoc>& results) {
+  std::string out = "\"results\":[";
+  char buf[64];
+  bool first = true;
+  for (const ma::ScoredDoc& hit : results) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "{\"doc\":%u,\"score\":%.17g}", hit.doc,
+                  hit.score);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+SearchService::SearchService(const core::Engine* engine,
+                             ServiceOptions options)
+    : engine_(engine), options_(options) {}
+
+SearchService::~SearchService() { Shutdown(); }
+
+Status SearchService::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("service already started");
+  }
+  GRAFT_RETURN_IF_ERROR(listener_.Bind(options_.port));
+  pool_ = std::make_unique<common::ThreadPool>(options_.handler_threads);
+  started_at_ = Clock::now();
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void SearchService::Shutdown() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  listener_.Interrupt();  // unblocks the pending accept
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();  // safe: no Accept can be running anymore
+  // Drain: every admitted connection either has a handler queued or
+  // running on the pool; wait until each has written its response.
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock,
+                   [this] { return inflight_.load(std::memory_order_acquire) ==
+                                   0; });
+  }
+  pool_.reset();  // queue is empty by now; joins the workers
+  started_ = false;
+}
+
+void SearchService::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    StatusOr<int> accepted = listener_.Accept(options_.io_timeout_ms);
+    if (!accepted.ok()) {
+      // Accept fails persistently only when the listener is closed
+      // (shutdown) or the process is out of fds; both end the loop.
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // Transient failure (e.g. out of fds): back off instead of spinning.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    const int fd = *accepted;
+    stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
+
+    // Connection-level admission: bound queued + running handlers.
+    const size_t inflight =
+        inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (inflight > options_.max_inflight ||
+        stopping_.load(std::memory_order_acquire)) {
+      // Fast rejection from the accept thread: no request read, no queue.
+      const Status reason =
+          inflight > options_.max_inflight
+              ? Status::FailedPrecondition("server overloaded; retry")
+              : Status::FailedPrecondition("server shutting down");
+      RejectConnection(fd, ErrorBody(reason));
+      stats_.RecordResponseCode(503);
+      if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+        drain_cv_.notify_all();
+      }
+      continue;
+    }
+
+    const Clock::time_point admitted = Clock::now();
+    pool_->Submit([this, fd, admitted] { HandleConnection(fd, admitted); });
+  }
+}
+
+void SearchService::HandleConnection(int fd, Clock::time_point admitted) {
+  const uint64_t queued_micros = MicrosSince(admitted);
+  StatusOr<HttpRequest> request = ReadRequest(fd);
+  Response response;
+  if (!request.ok()) {
+    stats_.malformed_requests.fetch_add(1, std::memory_order_relaxed);
+    response.status_code = 400;
+    response.body = ErrorBody(request.status());
+  } else {
+    response = Handle(*request, queued_micros);
+  }
+  (void)WriteResponse(fd, response.status_code, response.content_type,
+                      response.body);
+  ::close(fd);
+  stats_.RecordResponseCode(response.status_code);
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+Response SearchService::Handle(const HttpRequest& request,
+                               uint64_t queued_micros) {
+  Response response;
+  if (request.method != "GET") {
+    response.status_code = 405;
+    response.body = ErrorBody(
+        Status::InvalidArgument("only GET is supported"));
+    return response;
+  }
+  if (request.path == "/healthz") return HandleHealthz();
+  if (request.path == "/stats") return HandleStats();
+  if (request.path == "/search") return HandleSearch(request, queued_micros);
+  response.status_code = 404;
+  response.body =
+      ErrorBody(Status::NotFound("no such endpoint: " + request.path));
+  return response;
+}
+
+Response SearchService::HandleHealthz() const {
+  Response response;
+  response.body = "{\"status\":\"ok\",\"docs\":";
+  response.body += std::to_string(engine_->index().doc_count());
+  response.body += ",\"segments\":";
+  response.body += std::to_string(engine_->segmented() == nullptr
+                                      ? 1
+                                      : engine_->segmented()->segment_count());
+  response.body += "}";
+  return response;
+}
+
+Response SearchService::HandleStats() const {
+  Response response;
+  std::string body = stats_.ToJson();
+  // Splice uptime into the stats object.
+  body.pop_back();  // trailing '}'
+  body += ",\"uptime_s\":";
+  body += std::to_string(MicrosSince(started_at_) / 1000000);
+  body += "}";
+  response.body = std::move(body);
+  return response;
+}
+
+Response SearchService::HandleSearch(const HttpRequest& request,
+                                     uint64_t queued_micros) {
+  const Clock::time_point handle_start = Clock::now();
+  Response response;
+
+  // ---- parameter parsing: every failure is a 4xx, never a crash ----
+  core::SearchRequestParams params;
+  uint64_t deadline_ms = options_.default_deadline_ms;
+  const auto get = [&request](const char* name) -> const std::string* {
+    const auto it = request.params.find(name);
+    return it == request.params.end() ? nullptr : &it->second;
+  };
+  const std::string* q = get("q");
+  if (q == nullptr) {
+    response.status_code = 400;
+    response.body = ErrorBody(
+        Status::InvalidArgument("missing required parameter: q"));
+    return response;
+  }
+  params.query = *q;
+  params.top_k = options_.default_top_k;
+  if (const std::string* scheme = get("scheme")) params.scheme = *scheme;
+  const struct {
+    const char* name;
+    size_t* out;
+  } counts[] = {
+      {"k", &params.top_k},
+      {"threads", &params.num_threads},
+      {"segments", &params.segments},
+  };
+  for (const auto& field : counts) {
+    if (const std::string* text = get(field.name)) {
+      StatusOr<size_t> value = core::ParseCount(*text, field.name);
+      if (!value.ok()) {
+        response.status_code = HttpCodeForStatus(value.status());
+        response.body = ErrorBody(value.status());
+        return response;
+      }
+      *field.out = *value;
+    }
+  }
+  if (const std::string* text = get("deadline_ms")) {
+    StatusOr<size_t> value = core::ParseCount(*text, "deadline_ms");
+    if (!value.ok() || *value == 0) {
+      const Status status =
+          value.ok() ? Status::InvalidArgument("deadline_ms must be > 0")
+                     : value.status();
+      response.status_code = HttpCodeForStatus(status);
+      response.body = ErrorBody(status);
+      return response;
+    }
+    deadline_ms = std::min<uint64_t>(*value, options_.max_deadline_ms);
+  }
+  if (params.top_k > options_.max_top_k) {
+    response.status_code = 400;
+    response.body = ErrorBody(Status::InvalidArgument(
+        "k exceeds the server limit of " +
+        std::to_string(options_.max_top_k)));
+    return response;
+  }
+
+  StatusOr<core::ResolvedRequest> resolved =
+      core::ResolveRequest(*engine_, params);
+  if (!resolved.ok()) {
+    response.status_code = HttpCodeForStatus(resolved.status());
+    response.body = ErrorBody(resolved.status());
+    stats_.search_latency.Record(queued_micros + MicrosSince(handle_start));
+    return response;
+  }
+
+  if (options_.test_search_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.test_search_delay_ms));
+  }
+
+  // ---- deadline: queued time counts against the budget ----
+  const auto elapsed_ms = [&] {
+    return (queued_micros + MicrosSince(handle_start)) / 1000;
+  };
+  if (elapsed_ms() >= deadline_ms) {
+    response.status_code = 504;
+    response.body = ErrorBody(Status::FailedPrecondition(
+        "deadline of " + std::to_string(deadline_ms) +
+        "ms elapsed before execution"));
+    stats_.search_latency.Record(queued_micros + MicrosSince(handle_start));
+    return response;
+  }
+
+  const Clock::time_point engine_start = Clock::now();
+  StatusOr<core::SearchResult> result = engine_->SearchQuery(
+      resolved->query, *resolved->scheme, resolved->options);
+  const uint64_t engine_micros = MicrosSince(engine_start);
+
+  stats_.scheme_counts.Record(params.scheme);
+  if (!result.ok()) {
+    response.status_code = HttpCodeForStatus(result.status());
+    response.body = ErrorBody(result.status());
+    stats_.search_latency.Record(queued_micros + MicrosSince(handle_start));
+    return response;
+  }
+  if (elapsed_ms() >= deadline_ms) {
+    // The engine is not preemptible; the honest answer is a late 504.
+    response.status_code = 504;
+    response.body = ErrorBody(Status::FailedPrecondition(
+        "deadline of " + std::to_string(deadline_ms) +
+        "ms exceeded during execution"));
+    stats_.search_latency.Record(queued_micros + MicrosSince(handle_start));
+    return response;
+  }
+
+  // ---- 200 body ----
+  std::string body = "{\"query\":\"";
+  JsonAppendEscaped(&body, params.query);
+  body += "\",\"scheme\":\"";
+  JsonAppendEscaped(&body, params.scheme);
+  body += "\",\"k\":";
+  body += std::to_string(params.top_k);
+  body += ",\"segments_searched\":";
+  body += std::to_string(result->segments_searched);
+  body += ",\"used_rank_processing\":";
+  body += result->used_rank_processing ? "true" : "false";
+  body += ",\"optimizations\":\"";
+  JsonAppendEscaped(&body, result->applied_optimizations);
+  body += "\",\"timings\":{";
+  AppendMsField(&body, "queue_ms", static_cast<double>(queued_micros));
+  body += ",";
+  AppendMsField(&body, "engine_ms", static_cast<double>(engine_micros));
+  body += ",";
+  AppendMsField(&body, "total_ms",
+                static_cast<double>(queued_micros + MicrosSince(handle_start)));
+  body += "},\"exec\":{\"docs_visited\":";
+  body += std::to_string(result->exec_stats.docs_visited);
+  body += ",\"rows_built\":";
+  body += std::to_string(result->exec_stats.rows_built);
+  body += ",\"positions_scanned\":";
+  body += std::to_string(result->exec_stats.positions_scanned);
+  body += "},";
+  body += FormatResultsFragment(result->results);
+  body += "}";
+  response.body = std::move(body);
+  stats_.search_latency.Record(queued_micros + MicrosSince(handle_start));
+  return response;
+}
+
+}  // namespace graft::server

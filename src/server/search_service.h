@@ -1,0 +1,152 @@
+// The embedded HTTP search service: a long-lived server process around a
+// loaded Engine, exposing
+//
+//   GET /search?q=<query>&scheme=<name>&k=<n>&threads=<n>&segments=<n>
+//              [&deadline_ms=<n>]
+//       -> 200 JSON: ranked results with scores, timings, and
+//          segments_searched; 400/404 on any malformed input.
+//   GET /stats   -> 200 JSON: cumulative counters + latency percentiles.
+//   GET /healthz -> 200 {"status":"ok",...} (serving) — used by probes.
+//
+// Concurrency model (mirrors DESIGN.md §2c):
+//   * one blocking accept thread; each accepted connection is one request
+//     (Connection: close) handled as a task on a common::ThreadPool;
+//   * admission control is connection-level: an atomic in-flight count
+//     (running + queued handlers) is capped at max_inflight, and a
+//     connection over the cap gets an immediate 503 written from the
+//     accept thread — the pool queue can never grow beyond max_inflight,
+//     so overload degrades into fast rejections, not latency collapse;
+//   * per-request deadlines are measured from admission: a request whose
+//     deadline elapsed while queued is answered 504 without touching the
+//     engine, and one that exceeds it during execution is answered 504
+//     after the fact (the engine is not preemptible mid-query);
+//   * Shutdown() stops accepting, drains every admitted request to a
+//     written response, then joins the pool — in-flight work is never
+//     dropped (SIGINT/SIGTERM in graft_server map to exactly this).
+//
+// The Engine is shared by all handlers without locking: Engine::Search is
+// const and thread-safe (inter-query parallelism), and scores are
+// bit-identical to direct engine calls — tests/server pins that down.
+
+#ifndef GRAFT_SERVER_SEARCH_SERVICE_H_
+#define GRAFT_SERVER_SEARCH_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/request.h"
+#include "ma/match_table.h"
+#include "server/http.h"
+#include "server/server_stats.h"
+
+namespace graft::server {
+
+struct ServiceOptions {
+  // 0 = kernel-assigned ephemeral port (tests; read back via port()).
+  uint16_t port = 0;
+  // Handler pool workers. 0 = hardware concurrency.
+  size_t handler_threads = 0;
+  // Admission cap: max connections admitted but not yet answered
+  // (queued + executing). Beyond it, connections get an immediate 503.
+  size_t max_inflight = 64;
+  // Deadline applied when the client sends no deadline_ms; client values
+  // are clamped to max_deadline_ms.
+  uint64_t default_deadline_ms = 2000;
+  uint64_t max_deadline_ms = 30000;
+  // k applied when the client sends no k (0 = all matching documents).
+  size_t default_top_k = 10;
+  size_t max_top_k = 10000;
+  // Per-connection socket send/receive timeout.
+  int io_timeout_ms = 5000;
+  // Test hook: artificial delay (before the engine call) per /search, so
+  // overload and deadline paths are deterministic to test. 0 in
+  // production.
+  uint64_t test_search_delay_ms = 0;
+};
+
+// A routed response before serialization.
+struct Response {
+  int status_code = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+class SearchService {
+ public:
+  // `engine` must outlive the service.
+  SearchService(const core::Engine* engine, ServiceOptions options);
+  ~SearchService();
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  // Binds the listener and starts the accept thread + handler pool.
+  Status Start();
+
+  // Stops accepting, drains all admitted requests, joins every thread.
+  // Idempotent; called by the destructor if still running.
+  void Shutdown();
+
+  // Valid after Start(); the actual bound port.
+  uint16_t port() const { return listener_.port(); }
+
+  const ServerStats& stats() const { return stats_; }
+
+  // Routes one parsed request to a response. Pure apart from stats
+  // recording; exposed so tests can drive the handler without sockets.
+  // `queued_micros` is how long the request waited before handling;
+  // `deadline_micros_left` < 0 means the deadline already elapsed.
+  Response Handle(const HttpRequest& request, uint64_t queued_micros);
+
+  // The exact `"results":[...]` JSON fragment for a result list — scores
+  // rendered with %.17g round-trip precision. Tests compare this against
+  // direct Engine calls byte-for-byte.
+  static std::string FormatResultsFragment(
+      const std::vector<ma::ScoredDoc>& results);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd,
+                        std::chrono::steady_clock::time_point admitted);
+  Response HandleSearch(const HttpRequest& request, uint64_t queued_micros);
+  Response HandleStats() const;
+  Response HandleHealthz() const;
+
+  const core::Engine* engine_;
+  const ServiceOptions options_;
+
+  TcpListener listener_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::thread accept_thread_;
+
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  // Admission/drain accounting.
+  std::atomic<size_t> inflight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  ServerStats stats_;
+  std::chrono::steady_clock::time_point started_at_;
+};
+
+// Maps a library Status to the HTTP code the service answers with:
+// InvalidArgument/OutOfRange -> 400, NotFound -> 404, everything else 500.
+int HttpCodeForStatus(const Status& status);
+
+// {"error":"<code name>","message":"..."} body for an error response.
+std::string ErrorBody(const Status& status);
+
+}  // namespace graft::server
+
+#endif  // GRAFT_SERVER_SEARCH_SERVICE_H_

@@ -1,0 +1,93 @@
+// Cumulative request statistics for the search service.
+//
+// Everything on the hot path is a relaxed atomic: handlers on different
+// pool workers record concurrently with readers rendering /stats, and no
+// counter needs to be consistent with any other — /stats is an
+// observability snapshot, not an invariant. Latencies go into a
+// log-bucketed histogram (one power-of-two bucket per microsecond bit
+// width), whose percentile read-out interpolates within the winning
+// bucket; error vs. true value is bounded by the bucket width (< 2x),
+// which is plenty for p50/p95/p99 dashboards.
+//
+// Per-scheme counts use a fixed slot table keyed by the global scheme
+// registry (schemes register at startup, before the server accepts
+// traffic), so recording a scheme hit is one relaxed fetch_add, no lock.
+
+#ifndef GRAFT_SERVER_SERVER_STATS_H_
+#define GRAFT_SERVER_SERVER_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graft::server {
+
+// Log-bucketed latency histogram over microseconds. Thread-safe.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;  // covers up to ~2^39 us (~6 days)
+
+  void Record(uint64_t micros);
+
+  // Returns the approximate q-quantile (q in [0,1]) in microseconds, by
+  // linear interpolation inside the bucket containing the target rank.
+  // 0 when empty.
+  double PercentileMicros(double q) const;
+
+  uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  // Renders {"count":n,"p50_ms":...,"p95_ms":...,"p99_ms":...,"max_ms":...}
+  std::string ToJson() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+  std::atomic<uint64_t> max_micros_{0};
+};
+
+// One slot per registered scoring scheme plus a catch-all.
+class SchemeCounters {
+ public:
+  SchemeCounters();
+
+  void Record(std::string_view scheme_name);
+
+  // Renders {"MeanSum":12,...} (only non-zero slots).
+  std::string ToJson() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::atomic<uint64_t>> counts_;
+};
+
+// The outcome counters are disjoint: responses_ok + client_errors +
+// server_errors + rejected_overload + deadline_exceeded == requests_total
+// (once all in-flight requests have drained).
+struct ServerStats {
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> responses_ok{0};          // 2xx
+  std::atomic<uint64_t> client_errors{0};         // 4xx
+  std::atomic<uint64_t> server_errors{0};         // 5xx except 503/504
+  std::atomic<uint64_t> rejected_overload{0};     // 503 (admission/shutdown)
+  std::atomic<uint64_t> deadline_exceeded{0};     // 504
+  std::atomic<uint64_t> malformed_requests{0};    // unparsable HTTP (also 4xx)
+  LatencyHistogram search_latency;                // /search only, all codes
+  SchemeCounters scheme_counts;
+
+  // Classifies a response code into exactly one outcome counter:
+  // 2xx -> responses_ok, 4xx -> client_errors, 503 -> rejected_overload,
+  // 504 -> deadline_exceeded, other 5xx -> server_errors.
+  void RecordResponseCode(int status_code);
+
+  // Full /stats JSON document.
+  std::string ToJson() const;
+};
+
+}  // namespace graft::server
+
+#endif  // GRAFT_SERVER_SERVER_STATS_H_

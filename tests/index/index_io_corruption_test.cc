@@ -1,0 +1,151 @@
+// LoadIndex hardening: truncated, bit-flipped, wrong-version, and
+// length-inflated index files must all come back as a clean non-ok Status
+// — never a crash, never undefined behavior, and never a giant
+// allocation driven by a corrupt length field.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "index/index_io.h"
+#include "index/inverted_index.h"
+#include "text/corpus.h"
+
+namespace graft::index {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+InvertedIndex BuildSmallIndex() {
+  text::CorpusConfig config = text::WikipediaLikeConfig(60, /*seed=*/7);
+  IndexBuilder builder;
+  text::CorpusGenerator generator(config);
+  generator.Generate(
+      [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
+        builder.AddDocument(tokens);
+      });
+  return builder.Build();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+class IndexIoCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("corruption.idx");
+    ASSERT_TRUE(SaveIndex(BuildSmallIndex(), path_).ok());
+    bytes_ = ReadFile(path_);
+    ASSERT_GT(bytes_.size(), 64u);
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(IndexIoCorruptionTest, IntactFileRoundTrips) {
+  auto loaded = LoadIndex(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->doc_count(), 60u);
+}
+
+TEST_F(IndexIoCorruptionTest, TruncationAtEveryRegionFailsCleanly) {
+  // Truncation points: inside the magic, inside the header scalars,
+  // inside the doc-length array, and a dense sweep over the postings
+  // region — every one must load as a non-ok Status.
+  std::vector<size_t> cuts = {0, 1, 4, 7, 8, 9, 15, 16, 23, 24, 31};
+  for (size_t cut = 32; cut < bytes_.size();
+       cut += 1 + bytes_.size() / 257) {
+    cuts.push_back(cut);
+  }
+  cuts.push_back(bytes_.size() - 1);
+  const std::string truncated_path = TempPath("truncated.idx");
+  for (const size_t cut : cuts) {
+    ASSERT_LT(cut, bytes_.size());
+    WriteFile(truncated_path, bytes_.substr(0, cut));
+    auto loaded = LoadIndex(truncated_path);
+    EXPECT_FALSE(loaded.ok()) << "truncation at " << cut
+                              << " unexpectedly loaded";
+  }
+}
+
+TEST_F(IndexIoCorruptionTest, BadMagicRejected) {
+  std::string corrupt = bytes_;
+  corrupt[0] = 'X';
+  const std::string corrupt_path = TempPath("badmagic.idx");
+  WriteFile(corrupt_path, corrupt);
+  auto loaded = LoadIndex(corrupt_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("bad magic"), std::string::npos);
+}
+
+TEST_F(IndexIoCorruptionTest, WrongFormatVersionRejectedDistinctly) {
+  std::string corrupt = bytes_;
+  corrupt[7] = '1';  // version byte; magic prefix intact
+  const std::string corrupt_path = TempPath("badversion.idx");
+  WriteFile(corrupt_path, corrupt);
+  auto loaded = LoadIndex(corrupt_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("format version"),
+            std::string::npos)
+      << loaded.status().message();
+}
+
+TEST_F(IndexIoCorruptionTest, InflatedLengthFieldsRejectedBeforeAllocating) {
+  // Overwrite each of the first few u64 length/count fields with a huge
+  // value; the loader must refuse (length exceeds remaining bytes or
+  // count mismatch) rather than resize to petabytes.
+  const size_t u64_offsets[] = {8, 24};  // doc_count, doc_lengths size
+  for (const size_t offset : u64_offsets) {
+    std::string corrupt = bytes_;
+    for (size_t b = 0; b < 8; ++b) {
+      corrupt[offset + b] = static_cast<char>(0xFF);
+    }
+    const std::string corrupt_path = TempPath("inflated.idx");
+    WriteFile(corrupt_path, corrupt);
+    auto loaded = LoadIndex(corrupt_path);
+    EXPECT_FALSE(loaded.ok()) << "inflated u64 at offset " << offset;
+  }
+}
+
+TEST_F(IndexIoCorruptionTest, RandomByteFlipsNeverCrash) {
+  // Deterministic sweep of single-byte flips across the file. Loads may
+  // legitimately succeed when the flip hits a score-irrelevant byte that
+  // still parses (e.g. inside term text); the invariant under test is "no
+  // crash, no UB", with TSan/ASan-style failure surfacing in CI.
+  const std::string corrupt_path = TempPath("bitflip.idx");
+  for (size_t offset = 0; offset < bytes_.size();
+       offset += 1 + bytes_.size() / 193) {
+    std::string corrupt = bytes_;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x5A);
+    WriteFile(corrupt_path, corrupt);
+    auto loaded = LoadIndex(corrupt_path);
+    (void)loaded;  // outcome-agnostic: surviving is the assertion
+  }
+}
+
+TEST(IndexIoTest, MissingFileIsIOError) {
+  auto loaded = LoadIndex(TempPath("does-not-exist.idx"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace graft::index

@@ -1,0 +1,99 @@
+// SegmentedIndex persistence round-trip: saving the monolithic index with
+// index_io, reloading it, and re-segmenting must reproduce bitwise-equal
+// scores versus the pre-save segmented run — i.e. segmentation composes
+// with persistence (PR 1 covered only the monolithic save/load path).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "index/index_io.h"
+#include "index/inverted_index.h"
+#include "index/segmented_index.h"
+#include "text/corpus.h"
+
+namespace graft::index {
+namespace {
+
+constexpr const char* kSchemes[] = {
+    "AnySum",         "AnyProd", "SumBest",    "Lucene",
+    "JoinNormalized", "MeanSum", "EventModel", "BestSumMinDist"};
+
+constexpr const char* kQueries[] = {
+    "san francisco fault line",
+    "(windows emulator)WINDOW[50] (foss | \"free software\")",
+    "free software !windows",
+    "software",
+};
+
+constexpr size_t kSegments = 5;
+
+void ExpectBitIdentical(const std::vector<ma::ScoredDoc>& expected,
+                        const std::vector<ma::ScoredDoc>& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i].doc, actual[i].doc) << label << " rank " << i;
+    ASSERT_EQ(expected[i].score, actual[i].score) << label << " rank " << i;
+  }
+}
+
+TEST(SegmentedIoRoundTripTest, ReloadedResegmentedScoresBitIdentical) {
+  text::CorpusConfig config = text::WikipediaLikeConfig(300, /*seed=*/41);
+  IndexBuilder builder;
+  text::CorpusGenerator generator(config);
+  generator.Generate(
+      [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
+        builder.AddDocument(tokens);
+      });
+  const InvertedIndex original = builder.Build();
+
+  // Pre-save segmented engine.
+  auto pre_segmented = SegmentedIndex::BuildFromMonolithic(original,
+                                                           kSegments);
+  ASSERT_TRUE(pre_segmented.ok()) << pre_segmented.status();
+  core::Engine pre_engine(&original, &*pre_segmented, /*pool_threads=*/2);
+
+  // Save, reload, re-segment.
+  const std::string path = ::testing::TempDir() + "/roundtrip.idx";
+  ASSERT_TRUE(SaveIndex(original, path).ok());
+  auto reloaded = LoadIndex(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  ASSERT_EQ(reloaded->doc_count(), original.doc_count());
+  ASSERT_EQ(reloaded->term_count(), original.term_count());
+  ASSERT_EQ(reloaded->total_words(), original.total_words());
+  auto post_segmented = SegmentedIndex::BuildFromMonolithic(*reloaded,
+                                                            kSegments);
+  ASSERT_TRUE(post_segmented.ok()) << post_segmented.status();
+  core::Engine post_engine(&*reloaded, &*post_segmented, /*pool_threads=*/2);
+
+  for (const char* scheme : kSchemes) {
+    for (const char* query : kQueries) {
+      const std::string label =
+          std::string(scheme) + " / " + query;
+      // Full result sets.
+      auto expected = pre_engine.Search(query, scheme);
+      auto actual = post_engine.Search(query, scheme);
+      ASSERT_TRUE(expected.ok()) << label << ": " << expected.status();
+      ASSERT_TRUE(actual.ok()) << label << ": " << actual.status();
+      ASSERT_EQ(actual->segments_searched, kSegments) << label;
+      ExpectBitIdentical(expected->results, actual->results, label);
+
+      // Top-k (exercises the rank-processed path where admitted).
+      core::SearchOptions topk;
+      topk.top_k = 10;
+      auto expected_topk = pre_engine.Search(query, scheme, topk);
+      auto actual_topk = post_engine.Search(query, scheme, topk);
+      ASSERT_TRUE(expected_topk.ok()) << label;
+      ASSERT_TRUE(actual_topk.ok()) << label;
+      ExpectBitIdentical(expected_topk->results, actual_topk->results,
+                         label + " top-10");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graft::index

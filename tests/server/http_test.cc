@@ -1,0 +1,142 @@
+// HTTP plumbing units: URL decoding, request-head parsing (including the
+// hardening paths — every malformed input must come back as a Status),
+// response serialization, and JSON escaping.
+
+#include "server/http.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+namespace graft::server {
+namespace {
+
+TEST(UrlDecodeTest, PassThroughAndPlus) {
+  auto decoded = UrlDecode("abc-def_~.x+y");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "abc-def_~.x y");
+}
+
+TEST(UrlDecodeTest, PercentEscapes) {
+  auto decoded = UrlDecode("%28windows%20emulator%29WINDOW%5B50%5D");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "(windows emulator)WINDOW[50]");
+}
+
+TEST(UrlDecodeTest, RejectsTruncatedEscape) {
+  EXPECT_FALSE(UrlDecode("abc%2").ok());
+  EXPECT_FALSE(UrlDecode("abc%").ok());
+}
+
+TEST(UrlDecodeTest, RejectsInvalidHex) {
+  EXPECT_FALSE(UrlDecode("%zz").ok());
+  EXPECT_FALSE(UrlDecode("%4g").ok());
+}
+
+TEST(UrlEncodeTest, RoundTripsThroughDecode) {
+  const std::string original = "(foss | \"free software\")WINDOW[50] 100%";
+  auto decoded = UrlDecode(UrlEncode(original));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(ParseRequestHeadTest, ParsesLineParamsAndHeaders) {
+  auto request = ParseRequestHead(
+      "GET /search?q=free%20software&k=10&scheme=MeanSum HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "X-Trace:  abc \r\n"
+      "\r\n");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->path, "/search");
+  EXPECT_EQ(request->params.at("q"), "free software");
+  EXPECT_EQ(request->params.at("k"), "10");
+  EXPECT_EQ(request->params.at("scheme"), "MeanSum");
+  EXPECT_EQ(request->headers.at("host"), "localhost");
+  EXPECT_EQ(request->headers.at("x-trace"), "abc");  // trimmed, key lowered
+}
+
+TEST(ParseRequestHeadTest, AcceptsBareLfLineEndings) {
+  auto request = ParseRequestHead("GET /healthz HTTP/1.0\nHost: x\n\n");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->path, "/healthz");
+}
+
+TEST(ParseRequestHeadTest, ValuelessAndEmptyParams) {
+  auto request = ParseRequestHead("GET /search?q=&flag&&a=1 HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->params.at("q"), "");
+  EXPECT_EQ(request->params.at("flag"), "");
+  EXPECT_EQ(request->params.at("a"), "1");
+}
+
+TEST(ParseRequestHeadTest, RejectsMalformedInputs) {
+  // No line terminator at all.
+  EXPECT_FALSE(ParseRequestHead("GET /x HTTP/1.1").ok());
+  // Too few / too many request-line tokens.
+  EXPECT_FALSE(ParseRequestHead("GET /x\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequestHead("GET /x HTTP/1.1 extra\r\n\r\n").ok());
+  // Unsupported version.
+  EXPECT_FALSE(ParseRequestHead("GET /x HTTP/2.0\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequestHead("GET /x SPDY\r\n\r\n").ok());
+  // Non-origin-form target.
+  EXPECT_FALSE(ParseRequestHead("GET http://a/b HTTP/1.1\r\n\r\n").ok());
+  // Bad percent-escape in target.
+  EXPECT_FALSE(ParseRequestHead("GET /x?q=%zz HTTP/1.1\r\n\r\n").ok());
+  // Header line without a colon, and empty header name.
+  EXPECT_FALSE(
+      ParseRequestHead("GET /x HTTP/1.1\r\nbroken header\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequestHead("GET /x HTTP/1.1\r\n: v\r\n\r\n").ok());
+  // Empty parameter name.
+  EXPECT_FALSE(ParseRequestHead("GET /x?=v HTTP/1.1\r\n\r\n").ok());
+}
+
+TEST(SerializeResponseTest, WellFormed) {
+  const std::string wire = SerializeResponse(200, "application/json", "{}");
+  EXPECT_EQ(wire,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            "Content-Length: 2\r\nConnection: close\r\n\r\n{}");
+}
+
+TEST(SerializeResponseTest, ReasonPhrases) {
+  EXPECT_EQ(StatusReason(503), "Service Unavailable");
+  EXPECT_EQ(StatusReason(504), "Gateway Timeout");
+  EXPECT_EQ(StatusReason(418), "Unknown");
+}
+
+TEST(JsonAppendEscapedTest, EscapesControlAndSpecials) {
+  std::string out;
+  JsonAppendEscaped(&out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+}
+
+TEST(ListenerTest, EphemeralBindReportsPort) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Bind(0).ok());
+  EXPECT_GT(listener.port(), 0);
+}
+
+TEST(ListenerTest, ClientServerRoundTrip) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Bind(0).ok());
+  std::thread server([&] {
+    auto fd = listener.Accept();
+    ASSERT_TRUE(fd.ok()) << fd.status();
+    auto request = ReadRequest(*fd);
+    ASSERT_TRUE(request.ok()) << request.status();
+    EXPECT_EQ(request->path, "/ping");
+    ASSERT_TRUE(WriteResponse(*fd, 200, "text/plain", "pong").ok());
+    ::close(*fd);
+  });
+  auto response = HttpGet(listener.port(), "/ping");
+  server.join();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, "pong");
+}
+
+}  // namespace
+}  // namespace graft::server

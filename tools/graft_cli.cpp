@@ -30,8 +30,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/request.h"
 #include "index/index_io.h"
-#include "index/segmented_index.h"
 #include "sa/property_checker.h"
 #include "text/structure.h"
 
@@ -89,13 +89,9 @@ int CmdSearchOrExplain(bool explain, int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if ((arg == "--segments" || arg == "--threads") && i + 1 < argc) {
-      const long value = std::atol(argv[++i]);
-      if (value < 0) {
-        std::fprintf(stderr, "%s must be >= 0\n", arg.c_str());
-        return 2;
-      }
-      (arg == "--segments" ? segments : threads) =
-          static_cast<size_t>(value);
+      auto value = graft::core::ParseCount(argv[++i], arg);
+      if (!value.ok()) return Fail(value.status());
+      (arg == "--segments" ? segments : threads) = *value;
     } else {
       positional.push_back(argv[i]);
     }
@@ -108,38 +104,30 @@ int CmdSearchOrExplain(bool explain, int argc, char** argv) {
     return 2;
   }
   const char* index_file = positional[0];
-  const char* scheme = positional[1];
-  const char* query = positional[2];
 
-  auto loaded = graft::index::LoadIndex(index_file);
-  if (!loaded.ok()) return Fail(loaded.status());
+  // The engine pool plus the calling thread together provide `threads`
+  // workers (0 → hardware concurrency).
+  const size_t pool_threads =
+      threads == 0 ? 0 : std::max<size_t>(1, threads - 1);
+  auto bundle =
+      graft::core::LoadEngineBundle(index_file, segments, pool_threads);
+  if (!bundle.ok()) return Fail(bundle.status());
 
-  graft::StatusOr<graft::index::SegmentedIndex> segmented =
-      graft::Status::InvalidArgument("unused");
-  graft::core::SearchOptions options;
-  options.num_threads = threads;
-  std::unique_ptr<graft::core::Engine> engine;
-  if (segments > 1) {
-    segmented =
-        graft::index::SegmentedIndex::BuildFromMonolithic(*loaded, segments);
-    if (!segmented.ok()) return Fail(segmented.status());
-    // The engine pool plus the calling thread together provide `threads`
-    // workers (0 → hardware concurrency).
-    const size_t pool_threads =
-        threads == 0 ? 0 : std::max<size_t>(1, threads - 1);
-    engine = std::make_unique<graft::core::Engine>(&*loaded, &*segmented,
-                                                   pool_threads);
-  } else {
-    engine = std::make_unique<graft::core::Engine>(&*loaded);
-  }
+  graft::core::SearchRequestParams params;
+  params.scheme = positional[1];
+  params.query = positional[2];
+  params.num_threads = threads;
 
   if (explain) {
-    auto plan = engine->Explain(query, scheme);
+    auto plan = bundle->engine->Explain(params.query, params.scheme);
     if (!plan.ok()) return Fail(plan.status());
     std::fputs(plan->c_str(), stdout);
     return 0;
   }
-  auto result = engine->Search(query, scheme, options);
+  auto resolved = graft::core::ResolveRequest(*bundle->engine, params);
+  if (!resolved.ok()) return Fail(resolved.status());
+  auto result = bundle->engine->SearchQuery(resolved->query, *resolved->scheme,
+                                            resolved->options);
   if (!result.ok()) return Fail(result.status());
   std::printf("%zu documents  [%s]  (%zu segment%s)\n",
               result->results.size(), result->applied_optimizations.c_str(),

@@ -1,0 +1,134 @@
+// graft_server — serve a GRAFT index over HTTP.
+//
+//   graft_server --index FILE [--port N] [--segments N] [--threads N]
+//                [--max-inflight N] [--deadline-ms N] [--default-k N]
+//
+//   --index FILE      index built with `graft_cli index` (required)
+//   --port N          listen port on 127.0.0.1 (default 8080; 0 = ephemeral,
+//                     printed on startup)
+//   --segments N      partition the index into N segments at load time and
+//                     execute queries segment-parallel (default 1)
+//   --threads N       handler pool workers (default 0 = hardware concurrency)
+//   --max-inflight N  admission cap; connections beyond it get 503
+//                     (default 64)
+//   --deadline-ms N   default per-request deadline (default 2000)
+//   --default-k N     k when the client sends none (default 10)
+//
+// Endpoints:
+//   GET /search?q=...&scheme=MeanSum&k=10[&threads=N][&segments=N]
+//   GET /stats
+//   GET /healthz
+//
+// SIGINT/SIGTERM trigger a draining shutdown: the listener closes, every
+// admitted request is answered, then the process exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/request.h"
+#include "server/search_service.h"
+#include "text/structure.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: graft_server --index FILE [--port N] [--segments N]\n"
+      "                    [--threads N] [--max-inflight N]\n"
+      "                    [--deadline-ms N] [--default-k N]\n");
+  return 2;
+}
+
+int Fail(const graft::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)graft::text::RegisterStructuralPredicates();
+
+  std::string index_path;
+  size_t port = 8080;
+  size_t segments = 1;
+  size_t threads = 0;
+  graft::server::ServiceOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (i + 1 >= argc) return Usage();
+    const std::string value = argv[++i];
+    if (arg == "--index") {
+      index_path = value;
+      continue;
+    }
+    auto parsed = graft::core::ParseCount(value, arg);
+    if (!parsed.ok()) return Fail(parsed.status());
+    if (arg == "--port") {
+      if (*parsed > 65535) return Fail(graft::Status::InvalidArgument(
+          "--port must be <= 65535"));
+      port = *parsed;
+    } else if (arg == "--segments") {
+      segments = *parsed;
+    } else if (arg == "--threads") {
+      threads = *parsed;
+    } else if (arg == "--max-inflight") {
+      if (*parsed == 0) return Fail(graft::Status::InvalidArgument(
+          "--max-inflight must be > 0"));
+      options.max_inflight = *parsed;
+    } else if (arg == "--deadline-ms") {
+      options.default_deadline_ms = *parsed;
+    } else if (arg == "--default-k") {
+      options.default_top_k = *parsed;
+    } else {
+      return Usage();
+    }
+  }
+  if (index_path.empty()) return Usage();
+  options.port = static_cast<uint16_t>(port);
+  options.handler_threads = threads;
+
+  // Block SIGINT/SIGTERM before any thread spawns, so every service thread
+  // inherits the mask and the signals are delivered only to sigwait below.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  if (pthread_sigmask(SIG_BLOCK, &mask, nullptr) != 0) {
+    return Fail(graft::Status::Internal("pthread_sigmask failed"));
+  }
+
+  auto bundle = graft::core::LoadEngineBundle(index_path, segments, threads);
+  if (!bundle.ok()) return Fail(bundle.status());
+  std::fprintf(stderr, "loaded %s: %llu docs, %zu terms, %zu segment(s)\n",
+               index_path.c_str(),
+               static_cast<unsigned long long>(bundle->index->doc_count()),
+               bundle->index->term_count(),
+               bundle->segmented == nullptr
+                   ? size_t{1}
+                   : bundle->segmented->segment_count());
+
+  graft::server::SearchService service(bundle->engine.get(), options);
+  const graft::Status started = service.Start();
+  if (!started.ok()) return Fail(started);
+  std::fprintf(stderr,
+               "graft_server listening on 127.0.0.1:%u "
+               "(max_inflight=%zu, deadline=%llums)\n",
+               service.port(), options.max_inflight,
+               static_cast<unsigned long long>(options.default_deadline_ms));
+  std::fflush(stderr);
+
+  int signal_number = 0;
+  if (sigwait(&mask, &signal_number) != 0) {
+    return Fail(graft::Status::Internal("sigwait failed"));
+  }
+  std::fprintf(stderr, "received %s; draining...\n",
+               strsignal(signal_number));
+  service.Shutdown();
+  std::fprintf(stderr, "drained; bye\n");
+  return 0;
+}
