@@ -38,9 +38,11 @@ inline uint64_t BenchDocCount() {
 inline const index::InvertedIndex& SharedBenchIndex() {
   static const index::InvertedIndex& index = *[] {
     const uint64_t docs = BenchDocCount();
-    // Bump the version whenever WikipediaLikeConfig changes.
+    // Bump the version whenever WikipediaLikeConfig OR the index file
+    // format changes (v3 = checksummed sections; a v2 cache is rejected
+    // with kVersionMismatch and silently rebuilt here).
     const std::string cache_path =
-        "graft_bench_v2_" + std::to_string(docs) + ".idx";
+        "graft_bench_v3_" + std::to_string(docs) + ".idx";
     auto loaded = index::LoadIndex(cache_path);
     if (loaded.ok()) {
       std::fprintf(stderr, "[bench] loaded cached index %s\n",

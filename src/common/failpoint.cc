@@ -1,0 +1,306 @@
+#include "common/failpoint.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace graft::common {
+
+namespace {
+
+// Exit code a kAbort failpoint terminates with (the conventional code for
+// SIGABRT deaths); the fork/kill chaos harness asserts on it to prove the
+// injected crash actually fired.
+constexpr int kAbortExitCode = 134;
+
+StatusOr<uint64_t> ParseU64(std::string_view text, std::string_view what) {
+  if (text.empty()) {
+    return Status::InvalidArgument("failpoint spec: empty " +
+                                   std::string(what));
+  }
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("failpoint spec: bad " +
+                                     std::string(what) + " '" +
+                                     std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+// action := abort | error | error(CodeName) | delay(ms) | truncate(bytes)
+StatusOr<FailpointConfig> ParseAction(std::string_view text) {
+  std::string_view head = text;
+  std::string_view arg;
+  const size_t paren = text.find('(');
+  if (paren != std::string_view::npos) {
+    if (text.back() != ')') {
+      return Status::InvalidArgument("failpoint spec: unbalanced '(' in '" +
+                                     std::string(text) + "'");
+    }
+    head = text.substr(0, paren);
+    arg = text.substr(paren + 1, text.size() - paren - 2);
+  }
+  FailpointConfig config;
+  if (head == "abort") {
+    config.action = FailpointAction::kAbort;
+  } else if (head == "error") {
+    config.action = FailpointAction::kError;
+    config.error_code = StatusCode::kInternal;
+    if (!arg.empty()) {
+      const std::optional<StatusCode> code = StatusCodeFromName(arg);
+      if (!code.has_value() || *code == StatusCode::kOk) {
+        return Status::InvalidArgument(
+            "failpoint spec: unknown status code '" + std::string(arg) + "'");
+      }
+      config.error_code = *code;
+    }
+  } else if (head == "delay") {
+    config.action = FailpointAction::kDelay;
+    GRAFT_ASSIGN_OR_RETURN(config.delay_ms,
+                           ParseU64(arg, "delay milliseconds"));
+  } else if (head == "truncate") {
+    config.action = FailpointAction::kTruncateWrite;
+    GRAFT_ASSIGN_OR_RETURN(config.truncate_bytes,
+                           ParseU64(arg, "truncate byte count"));
+  } else {
+    return Status::InvalidArgument("failpoint spec: unknown action '" +
+                                   std::string(text) + "'");
+  }
+  return config;
+}
+
+struct Entry {
+  Failpoint* site = nullptr;
+  bool active = false;
+  FailpointConfig config;
+  uint64_t hits = 0;   // evaluations while armed
+  uint64_t fires = 0;  // evaluations that actually injected the fault
+};
+
+// The registry state outlives every static Failpoint (constructed on first
+// use during their registration, intentionally leaked so static
+// destruction order can never touch a destroyed map).
+struct RegistryState {
+  mutable std::mutex mu;
+  std::map<std::string, Entry, std::less<>> entries;
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+Entry* FindLocked(RegistryState& state, std::string_view name) {
+  auto it = state.entries.find(name);
+  return it == state.entries.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Failpoint::Failpoint(const char* name) : name_(name) {
+  FailpointRegistry::Global().Register(this);
+}
+
+Status Failpoint::Fire(std::FILE* file) {
+  return FailpointRegistry::Global().Fire(this, file);
+}
+
+void FailpointRegistry::Register(Failpoint* site) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.entries[site->name()].site = site;
+}
+
+Status FailpointRegistry::Activate(std::string_view name,
+                                   FailpointConfig config) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  Entry* entry = FindLocked(state, name);
+  if (entry == nullptr || entry->site == nullptr) {
+    return Status::NotFound(
+        "no failpoint named '" + std::string(name) +
+        "' is compiled in (build with -DGRAFT_FAILPOINTS=ON?)");
+  }
+  if (config.trigger_on_hit == 0) config.trigger_on_hit = 1;
+  entry->active = true;
+  entry->config = std::move(config);
+  entry->hits = 0;
+  entry->fires = 0;
+  entry->site->armed_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status FailpointRegistry::ActivateSpec(std::string_view spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint spec must be name=action: '" +
+                                   std::string(spec) + "'");
+  }
+  const std::string_view name = spec.substr(0, eq);
+  std::string_view action = spec.substr(eq + 1);
+  if (action == "off") {
+    if (!IsRegistered(name)) {
+      return Status::NotFound("no failpoint named '" + std::string(name) +
+                              "'");
+    }
+    Deactivate(name);
+    return Status::Ok();
+  }
+  uint64_t trigger_on_hit = 1;
+  const size_t at = action.rfind('@');
+  if (at != std::string_view::npos &&
+      action.find(')', at) == std::string_view::npos) {
+    GRAFT_ASSIGN_OR_RETURN(trigger_on_hit,
+                           ParseU64(action.substr(at + 1), "hit index"));
+    action = action.substr(0, at);
+  }
+  GRAFT_ASSIGN_OR_RETURN(FailpointConfig config, ParseAction(action));
+  config.trigger_on_hit = trigger_on_hit;
+  config.message = "injected by failpoint '" + std::string(name) + "'";
+  return Activate(name, std::move(config));
+}
+
+Status FailpointRegistry::ActivateFromEnv(const char* env_var) {
+  const char* value = std::getenv(env_var);
+  if (value == nullptr || value[0] == '\0') return Status::Ok();
+  std::string_view rest = value;
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    const std::string_view spec =
+        semi == std::string_view::npos ? rest : rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (spec.empty()) continue;
+    GRAFT_RETURN_IF_ERROR(ActivateSpec(spec));
+  }
+  return Status::Ok();
+}
+
+void FailpointRegistry::Deactivate(std::string_view name) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  Entry* entry = FindLocked(state, name);
+  if (entry == nullptr) return;
+  entry->active = false;
+  if (entry->site != nullptr) {
+    entry->site->armed_.store(false, std::memory_order_release);
+  }
+}
+
+void FailpointRegistry::DeactivateAll() {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& [name, entry] : state.entries) {
+    entry.active = false;
+    if (entry.site != nullptr) {
+      entry.site->armed_.store(false, std::memory_order_release);
+    }
+  }
+}
+
+std::vector<std::string> FailpointRegistry::RegisteredNames() const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::string> names;
+  names.reserve(state.entries.size());
+  for (const auto& [name, entry] : state.entries) {
+    if (entry.site != nullptr) names.push_back(name);
+  }
+  return names;  // std::map iteration order is already sorted
+}
+
+bool FailpointRegistry::IsRegistered(std::string_view name) const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const Entry* entry = FindLocked(state, name);
+  return entry != nullptr && entry->site != nullptr;
+}
+
+bool FailpointRegistry::IsActive(std::string_view name) const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const Entry* entry = FindLocked(state, name);
+  return entry != nullptr && entry->active;
+}
+
+uint64_t FailpointRegistry::HitCount(std::string_view name) const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const Entry* entry = FindLocked(state, name);
+  return entry == nullptr ? 0 : entry->hits;
+}
+
+Status FailpointRegistry::Fire(Failpoint* site, std::FILE* file) {
+  FailpointConfig config;
+  {
+    RegistryState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    Entry* entry = FindLocked(state, site->name());
+    // The site was disarmed between the fast check and here: proceed.
+    if (entry == nullptr || !entry->active) return Status::Ok();
+    entry->hits += 1;
+    if (entry->hits < entry->config.trigger_on_hit) return Status::Ok();
+    if (entry->config.max_fires != 0 &&
+        entry->fires >= entry->config.max_fires) {
+      return Status::Ok();
+    }
+    entry->fires += 1;
+    config = entry->config;
+  }
+  // Act outside the lock: delays must not serialize unrelated sites, and
+  // the abort path does file I/O.
+  switch (config.action) {
+    case FailpointAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(config.delay_ms));
+      return Status::Ok();
+    case FailpointAction::kError:
+      return Status(config.error_code,
+                    config.message.empty()
+                        ? "injected by failpoint '" +
+                              std::string(site->name()) + "'"
+                        : config.message);
+    case FailpointAction::kAbort:
+      // Flush the stream under test so the crash tears the file at exactly
+      // this point, then die without atexit handlers or stdio flush —
+      // everything else the process buffered is lost, as in a real crash.
+      if (file != nullptr) std::fflush(file);
+      std::fprintf(stderr, "failpoint '%s': aborting process\n",
+                   site->name());
+      std::_Exit(kAbortExitCode);
+    case FailpointAction::kTruncateWrite: {
+      if (file == nullptr) {
+        return Status::Internal("failpoint '" + std::string(site->name()) +
+                                "': truncate action on a non-write site");
+      }
+      std::fflush(file);
+      const long pos = std::ftell(file);
+      if (pos >= 0) {
+        const uint64_t size = static_cast<uint64_t>(pos);
+        const uint64_t keep =
+            size > config.truncate_bytes ? size - config.truncate_bytes : 0;
+        if (::ftruncate(::fileno(file), static_cast<off_t>(keep)) != 0) {
+          return Status::IOError("failpoint truncate: ftruncate failed");
+        }
+      }
+      return Status::IOError(config.message.empty()
+                                 ? "injected torn write at failpoint '" +
+                                       std::string(site->name()) + "'"
+                                 : config.message);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace graft::common

@@ -1,0 +1,177 @@
+// Failpoints: named fault-injection hooks compiled into hot spots of the
+// I/O and serving layers, in the style of the Rust `fail` crate and the
+// failpoint facilities in TiKV / YTsaurus.
+//
+// A call site defines a failpoint once at namespace scope and checks it
+// where the fault should strike:
+//
+//   GRAFT_DEFINE_FAILPOINT(g_fp_before_rename, "index_io.save.before_rename");
+//
+//   Status SaveIndex(...) {
+//     ...
+//     GRAFT_FAILPOINT(g_fp_before_rename);   // may return an injected error
+//     rename(tmp, path);
+//   }
+//
+// When a failpoint is inactive (the overwhelmingly common case) a check is
+// one relaxed atomic load and a predicted-not-taken branch. Tests (or an
+// operator, via the GRAFT_FAILPOINTS environment variable) activate
+// failpoints by name with one of four actions:
+//
+//   error     the check returns a configured Status, as if the underlying
+//             operation failed;
+//   delay     the check sleeps, then proceeds (latency injection);
+//   abort     the process terminates on the spot via _Exit — no stdio
+//             flush, no atexit handlers — simulating a crash / SIGKILL;
+//   truncate  (write-path checks only) the file being written is flushed
+//             and chopped by N bytes, then the check returns IOError —
+//             simulating a torn write that the caller notices.
+//
+// Spec grammar, used by ActivateSpec / ActivateFromEnv:
+//
+//   spec    := name '=' action [ '@' N ]       (fire from the Nth hit on)
+//   action  := off | abort | error | error(CodeName) | delay(ms)
+//            | truncate(bytes)
+//   env     := spec (';' spec)*                e.g.
+//              GRAFT_FAILPOINTS='index_io.save.before_sync=error(IOError)'
+//
+// Compile gating: sites are emitted only when GRAFT_FAILPOINTS_ENABLED is
+// defined (CMake option GRAFT_FAILPOINTS, default ON). With the option
+// OFF the macros expand to nothing, the library contains no sites, and
+// behavior is byte-identical to a build that never heard of failpoints;
+// the registry still links so activation attempts fail with a clear
+// NotFound instead of an undefined symbol.
+
+#ifndef GRAFT_COMMON_FAILPOINT_H_
+#define GRAFT_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace graft::common {
+
+enum class FailpointAction {
+  kError,          // Check() returns the configured Status
+  kDelay,          // Check() sleeps delay_ms, then proceeds
+  kAbort,          // Check() terminates the process immediately
+  kTruncateWrite,  // CheckWrite() truncates the file, then returns IOError
+};
+
+struct FailpointConfig {
+  FailpointAction action = FailpointAction::kError;
+  StatusCode error_code = StatusCode::kInternal;
+  std::string message;          // appended to the injected error
+  uint64_t delay_ms = 0;        // kDelay
+  uint64_t truncate_bytes = 0;  // kTruncateWrite: bytes chopped off the tail
+  // 1-based hit index on which the failpoint starts firing; hits before it
+  // pass through untouched (e.g. 3 = survive two evaluations, fail from
+  // the third on). Lets chaos tests crash mid-loop, not just at entry.
+  uint64_t trigger_on_hit = 1;
+  // 0 = keep firing forever once triggered; N = fire at most N times, then
+  // pass through again.
+  uint64_t max_fires = 0;
+};
+
+class FailpointRegistry;
+
+// One named fault-injection site. Define via GRAFT_DEFINE_FAILPOINT at
+// namespace scope (registration happens during static initialization, so
+// the registry can enumerate every site before any code runs).
+class Failpoint {
+ public:
+  explicit Failpoint(const char* name);
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  const char* name() const { return name_; }
+
+  // Evaluates the failpoint: Ok to proceed, non-ok for an injected error.
+  // kAbort configs terminate the process inside this call.
+  Status Check() { return armed() ? Fire(nullptr) : Status::Ok(); }
+
+  // Write-path variant: `file` is the stream being produced. kAbort
+  // flushes it first (so the injected crash tears the file at exactly this
+  // point rather than at the last stdio flush); kTruncateWrite flushes,
+  // chops `truncate_bytes` off, and returns IOError.
+  Status CheckWrite(std::FILE* file) {
+    return armed() ? Fire(file) : Status::Ok();
+  }
+
+ private:
+  friend class FailpointRegistry;
+
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+  Status Fire(std::FILE* file);
+
+  const char* name_;
+  std::atomic<bool> armed_{false};
+};
+
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  // Arms `name` with `config`. NotFound if no such site is compiled in.
+  Status Activate(std::string_view name, FailpointConfig config);
+
+  // Parses and applies one spec (grammar above). "name=off" deactivates.
+  Status ActivateSpec(std::string_view spec);
+
+  // Applies every ';'-separated spec in the environment variable; an
+  // unset/empty variable is Ok (the common production case).
+  Status ActivateFromEnv(const char* env_var = "GRAFT_FAILPOINTS");
+
+  void Deactivate(std::string_view name);
+  void DeactivateAll();
+
+  // Every compiled-in site, sorted by name. The chaos harness iterates
+  // this to crash a writer at each registered point in turn.
+  std::vector<std::string> RegisteredNames() const;
+  bool IsRegistered(std::string_view name) const;
+  bool IsActive(std::string_view name) const;
+
+  // Total evaluations of `name` while armed (diagnostic for tests).
+  uint64_t HitCount(std::string_view name) const;
+
+ private:
+  friend class Failpoint;
+  FailpointRegistry() = default;
+
+  void Register(Failpoint* site);
+  Status Fire(Failpoint* site, std::FILE* file);
+};
+
+}  // namespace graft::common
+
+#ifdef GRAFT_FAILPOINTS_ENABLED
+#define GRAFT_DEFINE_FAILPOINT(var, name_literal) \
+  ::graft::common::Failpoint var { name_literal }
+#define GRAFT_FAILPOINT(var)                         \
+  do {                                               \
+    ::graft::Status graft_fp_status_ = (var).Check(); \
+    if (!graft_fp_status_.ok()) return graft_fp_status_; \
+  } while (false)
+#define GRAFT_FAILPOINT_WRITE(var, file)                        \
+  do {                                                          \
+    ::graft::Status graft_fp_status_ = (var).CheckWrite(file);  \
+    if (!graft_fp_status_.ok()) return graft_fp_status_;        \
+  } while (false)
+#else
+#define GRAFT_DEFINE_FAILPOINT(var, name_literal) \
+  static_assert(sizeof(name_literal) > 1, "failpoint name required")
+#define GRAFT_FAILPOINT(var) \
+  do {                       \
+  } while (false)
+#define GRAFT_FAILPOINT_WRITE(var, file) \
+  do {                                   \
+  } while (false)
+#endif  // GRAFT_FAILPOINTS_ENABLED
+
+#endif  // GRAFT_COMMON_FAILPOINT_H_

@@ -24,8 +24,24 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kVersionMismatch:
+      return "VersionMismatch";
   }
   return "Unknown";
+}
+
+std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kDataLoss, StatusCode::kIOError,
+        StatusCode::kCorruption, StatusCode::kVersionMismatch}) {
+    if (StatusCodeName(code) == name) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::ToString() const {

@@ -29,10 +29,22 @@ enum class StatusCode {
   kInternal = 7,
   kDataLoss = 8,
   kIOError = 9,
+  // Stored data failed an integrity check (checksum mismatch, impossible
+  // structural invariant). Distinct from kDataLoss, which the I/O layer
+  // reserves for truncation / short reads, so callers can report the
+  // failure class (corrupt vs. torn vs. incompatible) without string
+  // matching.
+  kCorruption = 10,
+  // Stored data carries a format version this build does not read.
+  kVersionMismatch = 11,
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
 std::string_view StatusCodeName(StatusCode code);
+
+// Inverse of StatusCodeName ("DataLoss" -> kDataLoss); nullopt for names
+// that match no code. Used by the failpoint spec parser.
+std::optional<StatusCode> StatusCodeFromName(std::string_view name);
 
 class Status {
  public:
@@ -73,6 +85,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,9 +2,19 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "index/index_io.h"
 
 namespace graft::core {
+
+namespace {
+
+// Covers the whole bundle-construction path (load + partition + engine):
+// the hot-reload tests arm this to prove a failed reload degrades
+// gracefully instead of taking the service down.
+GRAFT_DEFINE_FAILPOINT(g_fp_load_bundle, "core.load_bundle");
+
+}  // namespace
 
 StatusOr<ResolvedRequest> ResolveRequest(const Engine& engine,
                                          const SearchRequestParams& params) {
@@ -77,6 +87,7 @@ StatusOr<EngineBundle> FinishBundle(EngineBundle bundle, size_t segments,
 
 StatusOr<EngineBundle> LoadEngineBundle(const std::string& index_path,
                                         size_t segments, size_t pool_threads) {
+  GRAFT_FAILPOINT(g_fp_load_bundle);
   GRAFT_ASSIGN_OR_RETURN(index::InvertedIndex loaded,
                          index::LoadIndex(index_path));
   EngineBundle bundle;

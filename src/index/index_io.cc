@@ -1,20 +1,37 @@
 #include "index/index_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <vector>
 
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+
 namespace graft::index {
 
 namespace {
 
-// 7-byte magic + 1 format-version byte ("GRFTIDX" '2'). Bump the version
+GRAFT_DEFINE_FAILPOINT(g_fp_save_open_tmp, "index_io.save.open_tmp");
+GRAFT_DEFINE_FAILPOINT(g_fp_save_header, "index_io.save.header");
+GRAFT_DEFINE_FAILPOINT(g_fp_save_term, "index_io.save.term");
+GRAFT_DEFINE_FAILPOINT(g_fp_save_before_sync, "index_io.save.before_sync");
+GRAFT_DEFINE_FAILPOINT(g_fp_save_before_rename,
+                       "index_io.save.before_rename");
+GRAFT_DEFINE_FAILPOINT(g_fp_save_before_dirsync,
+                       "index_io.save.before_dirsync");
+GRAFT_DEFINE_FAILPOINT(g_fp_load_open, "index_io.load.open");
+GRAFT_DEFINE_FAILPOINT(g_fp_load_verify, "index_io.load.verify");
+
+// 7-byte magic + 1 format-version byte ("GRFTIDX" '3'). Bump the version
 // character when the layout changes; LoadIndex rejects other versions
-// with a distinct message instead of misparsing them.
+// with kVersionMismatch instead of misparsing them.
 constexpr char kMagicPrefix[7] = {'G', 'R', 'F', 'T', 'I', 'D', 'X'};
-constexpr char kFormatVersion = '2';
+constexpr char kFormatVersion = '3';
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -23,56 +40,112 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-Status WriteBytes(std::FILE* f, const void* data, size_t size) {
-  if (size != 0 && std::fwrite(data, 1, size, f) != size) {
-    return Status::IOError("short write");
+// ---------------------------------------------------------------------------
+// Checksummed writer: accumulates CRC32C over everything written since the
+// last EmitCrc(), which stamps the running checksum (itself excluded) and
+// starts the next section.
+
+class CrcWriter {
+ public:
+  explicit CrcWriter(std::FILE* f) : f_(f) {}
+
+  Status WriteBytes(const void* data, size_t size) {
+    if (size != 0 && std::fwrite(data, 1, size, f_) != size) {
+      return Status::IOError("short write");
+    }
+    crc_ = common::Crc32cExtend(crc_, data, size);
+    return Status::Ok();
   }
-  return Status::Ok();
-}
 
-Status ReadBytes(std::FILE* f, void* data, size_t size) {
-  if (size != 0 && std::fread(data, 1, size, f) != size) {
-    return Status::DataLoss("short read or truncated index file");
+  template <typename T>
+  Status WriteScalar(T value) {
+    return WriteBytes(&value, sizeof(T));
   }
-  return Status::Ok();
-}
 
-template <typename T>
-Status WriteScalar(std::FILE* f, T value) {
-  return WriteBytes(f, &value, sizeof(T));
-}
-
-template <typename T>
-Status ReadScalar(std::FILE* f, T* value) {
-  return ReadBytes(f, value, sizeof(T));
-}
-
-template <typename T>
-Status WriteVector(std::FILE* f, const std::vector<T>& v) {
-  GRAFT_RETURN_IF_ERROR(WriteScalar<uint64_t>(f, v.size()));
-  return WriteBytes(f, v.data(), v.size() * sizeof(T));
-}
-
-// Reads a length-prefixed array, validating the declared length against
-// the bytes actually left in the file BEFORE allocating — a corrupt or
-// truncated header can therefore never trigger a multi-gigabyte resize or
-// an out-of-bounds read; it fails cleanly with DataLoss.
-template <typename T>
-Status ReadVector(std::FILE* f, std::vector<T>* v, uint64_t file_size) {
-  uint64_t size = 0;
-  GRAFT_RETURN_IF_ERROR(ReadScalar(f, &size));
-  const long pos = std::ftell(f);
-  if (pos < 0) {
-    return Status::IOError("ftell failed while reading index file");
+  template <typename T>
+  Status WriteVector(const std::vector<T>& v) {
+    GRAFT_RETURN_IF_ERROR(WriteScalar<uint64_t>(v.size()));
+    return WriteBytes(v.data(), v.size() * sizeof(T));
   }
-  const uint64_t remaining = file_size - static_cast<uint64_t>(pos);
-  if (size > remaining / sizeof(T)) {
-    return Status::DataLoss(
-        "vector length exceeds remaining index file bytes");
+
+  Status EmitCrc() {
+    const uint32_t crc = crc_;
+    crc_ = 0;
+    if (std::fwrite(&crc, 1, sizeof(crc), f_) != sizeof(crc)) {
+      return Status::IOError("short write");
+    }
+    return Status::Ok();
   }
-  v->resize(size);
-  return ReadBytes(f, v->data(), size * sizeof(T));
-}
+
+ private:
+  std::FILE* f_;
+  uint32_t crc_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Checksummed reader: mirrors CrcWriter. VerifyCrc() reads the stamped
+// checksum and compares it against the running one BEFORE the caller uses
+// the section's content.
+
+class CrcReader {
+ public:
+  CrcReader(std::FILE* f, uint64_t file_size)
+      : f_(f), file_size_(file_size) {}
+
+  Status ReadBytes(void* data, size_t size) {
+    if (size != 0 && std::fread(data, 1, size, f_) != size) {
+      return Status::DataLoss("short read or truncated index file");
+    }
+    crc_ = common::Crc32cExtend(crc_, data, size);
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status ReadScalar(T* value) {
+    return ReadBytes(value, sizeof(T));
+  }
+
+  // Reads a length-prefixed array, validating the declared length against
+  // the bytes actually left in the file BEFORE allocating — a corrupt or
+  // truncated header can therefore never trigger a multi-gigabyte resize
+  // or an out-of-bounds read; it fails cleanly with DataLoss.
+  template <typename T>
+  Status ReadVector(std::vector<T>* v) {
+    uint64_t size = 0;
+    GRAFT_RETURN_IF_ERROR(ReadScalar(&size));
+    const long pos = std::ftell(f_);
+    if (pos < 0) {
+      return Status::IOError("ftell failed while reading index file");
+    }
+    const uint64_t remaining = file_size_ - static_cast<uint64_t>(pos);
+    if (size > remaining / sizeof(T)) {
+      return Status::DataLoss(
+          "vector length exceeds remaining index file bytes");
+    }
+    v->resize(size);
+    return ReadBytes(v->data(), size * sizeof(T));
+  }
+
+  Status VerifyCrc(const char* section) {
+    const uint32_t computed = crc_;
+    crc_ = 0;
+    uint32_t stored = 0;
+    if (std::fread(&stored, 1, sizeof(stored), f_) != sizeof(stored)) {
+      return Status::DataLoss("index file truncated before checksum of " +
+                              std::string(section));
+    }
+    if (stored != computed) {
+      return Status::Corruption("checksum mismatch in " +
+                                std::string(section));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::FILE* f_;
+  uint64_t file_size_;
+  uint32_t crc_ = 0;
+};
 
 // Upper bound used to reject corrupt counts whose payloads are validated
 // element-by-element rather than as one block read.
@@ -92,42 +165,110 @@ StatusOr<uint64_t> FileSize(std::FILE* f) {
   return static_cast<uint64_t>(size);
 }
 
-}  // namespace
-
-Status SaveIndex(const InvertedIndex& index, const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) {
-    return Status::IOError("cannot open for write: " + path);
+// Writes the full v3 image to an already-open stream.
+Status WriteIndexBody(const InvertedIndex& index, std::FILE* f) {
+  CrcWriter w(f);
+  // The magic+version prologue is verified by direct comparison on load,
+  // not by CRC; reset the accumulator so section 1 starts after it.
+  if (std::fwrite(kMagicPrefix, 1, sizeof(kMagicPrefix), f) !=
+          sizeof(kMagicPrefix) ||
+      std::fwrite(&kFormatVersion, 1, 1, f) != 1) {
+    return Status::IOError("short write");
   }
-  std::FILE* f = file.get();
 
-  GRAFT_RETURN_IF_ERROR(WriteBytes(f, kMagicPrefix, sizeof(kMagicPrefix)));
-  GRAFT_RETURN_IF_ERROR(WriteScalar<char>(f, kFormatVersion));
-  GRAFT_RETURN_IF_ERROR(WriteScalar<uint64_t>(f, index.doc_count()));
-  GRAFT_RETURN_IF_ERROR(WriteScalar<uint64_t>(f, index.total_words()));
-  GRAFT_RETURN_IF_ERROR(WriteVector(f, index.doc_lengths()));
+  GRAFT_RETURN_IF_ERROR(w.WriteScalar<uint64_t>(index.doc_count()));
+  GRAFT_RETURN_IF_ERROR(w.WriteScalar<uint64_t>(index.total_words()));
+  GRAFT_RETURN_IF_ERROR(w.WriteVector(index.doc_lengths()));
+  GRAFT_RETURN_IF_ERROR(w.EmitCrc());
+  GRAFT_FAILPOINT_WRITE(g_fp_save_header, f);
 
-  GRAFT_RETURN_IF_ERROR(WriteScalar<uint64_t>(f, index.term_count()));
+  GRAFT_RETURN_IF_ERROR(w.WriteScalar<uint64_t>(index.term_count()));
+  GRAFT_RETURN_IF_ERROR(w.EmitCrc());
+
   for (TermId term = 0; term < index.term_count(); ++term) {
+    GRAFT_FAILPOINT_WRITE(g_fp_save_term, f);
     const std::string& text = index.TermText(term);
-    GRAFT_RETURN_IF_ERROR(WriteScalar<uint32_t>(
-        f, static_cast<uint32_t>(text.size())));
-    GRAFT_RETURN_IF_ERROR(WriteBytes(f, text.data(), text.size()));
-    const PostingList& list = index.postings(term);
-    GRAFT_RETURN_IF_ERROR(WriteVector(f, list.raw_docs()));
-    GRAFT_RETURN_IF_ERROR(WriteVector(f, list.raw_tfs()));
-    GRAFT_RETURN_IF_ERROR(WriteVector(f, list.raw_offset_starts()));
-    GRAFT_RETURN_IF_ERROR(WriteVector(f, list.raw_encoded_offsets()));
     GRAFT_RETURN_IF_ERROR(
-        WriteScalar<uint64_t>(f, list.collection_frequency()));
-  }
-  if (std::fflush(f) != 0) {
-    return Status::IOError("flush failed: " + path);
+        w.WriteScalar<uint32_t>(static_cast<uint32_t>(text.size())));
+    GRAFT_RETURN_IF_ERROR(w.WriteBytes(text.data(), text.size()));
+    const PostingList& list = index.postings(term);
+    GRAFT_RETURN_IF_ERROR(w.WriteVector(list.raw_docs()));
+    GRAFT_RETURN_IF_ERROR(w.WriteVector(list.raw_tfs()));
+    GRAFT_RETURN_IF_ERROR(w.WriteVector(list.raw_offset_starts()));
+    GRAFT_RETURN_IF_ERROR(w.WriteVector(list.raw_encoded_offsets()));
+    GRAFT_RETURN_IF_ERROR(
+        w.WriteScalar<uint64_t>(list.collection_frequency()));
+    GRAFT_RETURN_IF_ERROR(w.EmitCrc());
   }
   return Status::Ok();
 }
 
+// Fsyncs the directory containing `path` so the rename itself is durable
+// (a crash after rename but before the directory hits disk could otherwise
+// resurrect the old generation — acceptable — or lose the entry on some
+// filesystems — not acceptable).
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory for fsync: " + dir);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("directory fsync failed: " + dir);
+  }
+  return Status::Ok();
+}
+
+// The fallible middle of SaveIndex, factored out so the caller can unlink
+// the temp file on ANY failure path with a single cleanup site.
+Status WriteTempAndRename(const InvertedIndex& index,
+                          const std::string& tmp_path,
+                          const std::string& path) {
+  FilePtr file(std::fopen(tmp_path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open for write: " + tmp_path);
+  }
+  std::FILE* f = file.get();
+  GRAFT_FAILPOINT_WRITE(g_fp_save_open_tmp, f);
+  GRAFT_RETURN_IF_ERROR(WriteIndexBody(index, f));
+  GRAFT_FAILPOINT_WRITE(g_fp_save_before_sync, f);
+  if (std::fflush(f) != 0) {
+    return Status::IOError("flush failed: " + tmp_path);
+  }
+  if (::fsync(::fileno(f)) != 0) {
+    return Status::IOError("fsync failed: " + tmp_path);
+  }
+  file.reset();  // close before rename
+  GRAFT_FAILPOINT(g_fp_save_before_rename);
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename failed: " + tmp_path + " -> " + path);
+  }
+  // From here the new generation is visible; only durability of the
+  // directory entry remains.
+  GRAFT_FAILPOINT(g_fp_save_before_dirsync);
+  return SyncParentDir(path);
+}
+
+}  // namespace
+
+Status SaveIndex(const InvertedIndex& index, const std::string& path) {
+  // Deterministic temp name: a leftover from a crashed writer is simply
+  // overwritten by the next save, so torn temp files never accumulate.
+  const std::string tmp_path = path + ".tmp";
+  const Status status = WriteTempAndRename(index, tmp_path, path);
+  if (!status.ok()) {
+    std::remove(tmp_path.c_str());  // best effort; `path` is untouched
+  }
+  return status;
+}
+
 StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
+  GRAFT_FAILPOINT(g_fp_load_open);
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) {
     return Status::IOError("cannot open for read: " + path);
@@ -137,67 +278,78 @@ StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
   GRAFT_ASSIGN_OR_RETURN(const uint64_t file_size, FileSize(f));
 
   char magic[8];
-  GRAFT_RETURN_IF_ERROR(ReadBytes(f, magic, sizeof(magic)));
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic)) {
+    return Status::DataLoss("index file shorter than its magic: " + path);
+  }
   if (std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
     return Status::DataLoss("bad magic; not a GRAFT index file: " + path);
   }
   if (magic[7] != kFormatVersion) {
-    return Status::DataLoss(
+    return Status::VersionMismatch(
         std::string("unsupported index format version '") + magic[7] +
         "' (this build reads version '" + kFormatVersion + "'): " + path);
   }
 
+  CrcReader r(f, file_size);
   InvertedIndex index;
   uint64_t doc_count = 0;
   uint64_t total_words = 0;
-  GRAFT_RETURN_IF_ERROR(ReadScalar(f, &doc_count));
-  GRAFT_RETURN_IF_ERROR(ReadScalar(f, &total_words));
+  GRAFT_RETURN_IF_ERROR(r.ReadScalar(&doc_count));
+  GRAFT_RETURN_IF_ERROR(r.ReadScalar(&total_words));
   std::vector<uint32_t> doc_lengths;
-  GRAFT_RETURN_IF_ERROR(ReadVector(f, &doc_lengths, file_size));
+  GRAFT_RETURN_IF_ERROR(r.ReadVector(&doc_lengths));
+  GRAFT_RETURN_IF_ERROR(r.VerifyCrc("header section"));
   if (doc_lengths.size() != doc_count) {
-    return Status::DataLoss("doc length array does not match doc count");
+    return Status::Corruption("doc length array does not match doc count");
   }
   index.SetDocLengths(std::move(doc_lengths), total_words);
 
   uint64_t term_count = 0;
-  GRAFT_RETURN_IF_ERROR(ReadScalar(f, &term_count));
+  GRAFT_RETURN_IF_ERROR(r.ReadScalar(&term_count));
+  GRAFT_RETURN_IF_ERROR(r.VerifyCrc("term directory"));
   if (term_count > kSanityCap || term_count > file_size) {
-    return Status::DataLoss("implausible term count");
+    return Status::Corruption("implausible term count");
   }
   for (uint64_t i = 0; i < term_count; ++i) {
     uint32_t text_len = 0;
-    GRAFT_RETURN_IF_ERROR(ReadScalar(f, &text_len));
+    GRAFT_RETURN_IF_ERROR(r.ReadScalar(&text_len));
     if (text_len > (1u << 20)) {
-      return Status::DataLoss("implausible term length");
+      return Status::Corruption("implausible term length");
     }
     std::string text(text_len, '\0');
-    GRAFT_RETURN_IF_ERROR(ReadBytes(f, text.data(), text_len));
-    const TermId term = index.InternTerm(text);
-    if (term != i) {
-      return Status::DataLoss("duplicate term in index file: " + text);
-    }
+    GRAFT_RETURN_IF_ERROR(r.ReadBytes(text.data(), text_len));
 
     std::vector<DocId> docs;
     std::vector<uint32_t> tfs;
     std::vector<uint64_t> starts;
     std::vector<uint8_t> encoded;
     uint64_t total_positions = 0;
-    GRAFT_RETURN_IF_ERROR(ReadVector(f, &docs, file_size));
-    GRAFT_RETURN_IF_ERROR(ReadVector(f, &tfs, file_size));
-    GRAFT_RETURN_IF_ERROR(ReadVector(f, &starts, file_size));
-    GRAFT_RETURN_IF_ERROR(ReadVector(f, &encoded, file_size));
-    GRAFT_RETURN_IF_ERROR(ReadScalar(f, &total_positions));
+    GRAFT_RETURN_IF_ERROR(r.ReadVector(&docs));
+    GRAFT_RETURN_IF_ERROR(r.ReadVector(&tfs));
+    GRAFT_RETURN_IF_ERROR(r.ReadVector(&starts));
+    GRAFT_RETURN_IF_ERROR(r.ReadVector(&encoded));
+    GRAFT_RETURN_IF_ERROR(r.ReadScalar(&total_positions));
+    // Verify the section's checksum BEFORE mutating the index with its
+    // content — a term record either enters the index intact or not at
+    // all.
+    GRAFT_RETURN_IF_ERROR(
+        r.VerifyCrc(("term record " + std::to_string(i)).c_str()));
     if (tfs.size() != docs.size()) {
-      return Status::DataLoss("tf array does not match doc array");
+      return Status::Corruption("tf array does not match doc array");
     }
     if (starts.size() != docs.size() + 1 ||
         (!starts.empty() && starts.back() != encoded.size())) {
-      return Status::DataLoss("offset index does not match encoded bytes");
+      return Status::Corruption("offset index does not match encoded bytes");
+    }
+    const TermId term = index.InternTerm(text);
+    if (term != i) {
+      return Status::Corruption("duplicate term in index file: " + text);
     }
     index.mutable_postings(term)->RestoreFrom(
         std::move(docs), std::move(tfs), std::move(starts),
         std::move(encoded), total_positions);
   }
+  GRAFT_FAILPOINT(g_fp_load_verify);
   return index;
 }
 

@@ -1,19 +1,36 @@
-// Binary persistence for the inverted index.
+// Binary persistence for the inverted index — crash-safe and
+// integrity-checked.
 //
 // Format (little-endian; magic "GRFTIDX" + one version byte, currently
-// '2'; arrays are u64 length-prefixed):
-//   "GRFTIDX" '2' | u64 doc_count | u64 total_words
-//   | u32[] doc_lengths
-//   | u64 term_count, then per term:
+// '3'; arrays are u64 length-prefixed; every section is followed by a u32
+// CRC32C of the section's bytes):
+//   "GRFTIDX" '3'
+//   | u64 doc_count | u64 total_words | u32[] doc_lengths | u32 crc
+//   | u64 term_count | u32 crc
+//   then per term (one checksummed section each):
 //       u32 text_len | bytes text
 //       u32[] docs | u32[] tfs | u64[] offset_starts
-//       | u8[] delta-encoded offsets | u64 collection_frequency
+//       | u8[] delta-encoded offsets | u64 collection_frequency | u32 crc
 //
-// LoadIndex is hardened against corrupt or truncated input: the version
-// byte is checked, every declared array length is validated against the
-// bytes remaining in the file before allocation, and cross-array
-// invariants (tfs vs docs, offset_starts vs encoded bytes) are verified —
-// any violation returns DataLoss, never undefined behavior.
+// SaveIndex is atomic with respect to crashes: it writes to `path + ".tmp"`,
+// fsyncs the data, renames over `path`, and fsyncs the parent directory.
+// A writer killed at ANY point (the fork/kill chaos harness exercises
+// every registered failpoint) leaves `path` either untouched or holding
+// the complete new generation — never a torn mix. Registered failpoints:
+// index_io.save.{open_tmp,header,term,before_sync,before_rename,
+// before_dirsync} and index_io.load.{open,verify}.
+//
+// LoadIndex is hardened against corrupt or truncated input and reports a
+// distinct failure class per Status code:
+//   * kVersionMismatch — magic matches but the version byte is not '3'
+//     (e.g. an index written by an older build);
+//   * kDataLoss       — the file ends early (short read, or a declared
+//     array length exceeding the bytes remaining): a torn/truncated file;
+//   * kCorruption     — the bytes are all there but wrong: a section CRC
+//     mismatch or an impossible structural invariant (bit rot, bad media).
+// Every declared length is validated against the bytes remaining BEFORE
+// allocation, and section CRCs are verified before their content is used,
+// so corrupt input can never cause UB or a giant allocation.
 
 #ifndef GRAFT_INDEX_INDEX_IO_H_
 #define GRAFT_INDEX_INDEX_IO_H_

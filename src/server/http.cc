@@ -191,9 +191,10 @@ std::string_view StatusReason(int status_code) {
 }
 
 std::string SerializeResponse(int status_code, std::string_view content_type,
-                              std::string_view body) {
+                              std::string_view body,
+                              std::string_view extra_headers) {
   std::string out;
-  out.reserve(body.size() + 128);
+  out.reserve(body.size() + 128 + extra_headers.size());
   out += "HTTP/1.1 ";
   out += std::to_string(status_code);
   out += ' ';
@@ -202,7 +203,9 @@ std::string SerializeResponse(int status_code, std::string_view content_type,
   out += content_type;
   out += "\r\nContent-Length: ";
   out += std::to_string(body.size());
-  out += "\r\nConnection: close\r\n\r\n";
+  out += "\r\nConnection: close\r\n";
+  out += extra_headers;  // each entry CRLF-terminated by the caller
+  out += "\r\n";
   out += body;
   return out;
 }
@@ -339,8 +342,9 @@ StatusOr<HttpRequest> ReadRequest(int fd) {
 }
 
 Status WriteResponse(int fd, int status_code, std::string_view content_type,
-                     std::string_view body) {
-  return WriteAll(fd, SerializeResponse(status_code, content_type, body));
+                     std::string_view body, std::string_view extra_headers) {
+  return WriteAll(
+      fd, SerializeResponse(status_code, content_type, body, extra_headers));
 }
 
 std::string UrlEncode(std::string_view text) {
@@ -428,6 +432,24 @@ StatusOr<HttpClientResponse> HttpGet(uint16_t port, std::string_view target,
   }
   if (body_start == std::string::npos) {
     return Status::DataLoss("HTTP response missing header terminator");
+  }
+  // Capture response headers (lower-cased names) so clients and tests can
+  // assert on them, e.g. Retry-After on 503/504.
+  const std::string_view head(raw.data(), body_start);
+  size_t line_start = head.find('\n');
+  while (line_start != std::string_view::npos && line_start + 1 < head.size()) {
+    const size_t line_end_raw = head.find('\n', line_start + 1);
+    const size_t line_end =
+        line_end_raw == std::string_view::npos ? head.size() : line_end_raw;
+    std::string_view line = head.substr(line_start + 1, line_end - line_start - 1);
+    line = StripCr(line);
+    const size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string_view value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+      response.headers[ToLower(line.substr(0, colon))] = std::string(value);
+    }
+    line_start = line_end_raw;
   }
   response.body = raw.substr(body_start + skip);
   return response;

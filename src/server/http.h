@@ -47,8 +47,11 @@ StatusOr<std::string> UrlDecode(std::string_view text);
 StatusOr<HttpRequest> ParseRequestHead(std::string_view head);
 
 // Serializes a response with Content-Length and Connection: close.
+// `extra_headers`, if non-empty, is spliced verbatim into the header block
+// and must be CRLF-terminated (e.g. "Retry-After: 1\r\n").
 std::string SerializeResponse(int status_code, std::string_view content_type,
-                              std::string_view body);
+                              std::string_view body,
+                              std::string_view extra_headers = {});
 
 // Reason phrase for the handful of codes the service emits ("OK",
 // "Bad Request", ...); "Unknown" otherwise.
@@ -99,13 +102,15 @@ StatusOr<HttpRequest> ReadRequest(int fd);
 
 // Writes the full serialized response to `fd`. Does not close the fd.
 Status WriteResponse(int fd, int status_code, std::string_view content_type,
-                     std::string_view body);
+                     std::string_view body,
+                     std::string_view extra_headers = {});
 
 // --- client side (tests + load generator) ---
 
 struct HttpClientResponse {
   int status_code = 0;
   std::string body;
+  std::map<std::string, std::string> headers;  // keys lower-cased
 };
 
 // One blocking GET against 127.0.0.1:`port`. `target` is the raw

@@ -7,16 +7,26 @@
 #include <cerrno>
 #include <cstdio>
 
+#include "common/failpoint.h"
+
 namespace graft::server {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Injectable between the successful load and the generation swap, so tests
+// can hold a reload failure at the last possible moment.
+GRAFT_DEFINE_FAILPOINT(g_fp_reload_swap, "service.reload.swap");
+
 uint64_t MicrosSince(Clock::time_point t0) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
           .count());
+}
+
+std::string RetryAfterHeader(unsigned seconds) {
+  return "Retry-After: " + std::to_string(seconds) + "\r\n";
 }
 
 // Answers a connection that will not be handled (admission rejection or
@@ -25,8 +35,10 @@ uint64_t MicrosSince(Clock::time_point t0) {
 // before the client reads it, so: write the response, half-close (FIN),
 // then drain briefly until the client's FIN — bounded at ~50ms so a
 // stalled peer cannot wedge the accept thread.
-void RejectConnection(int fd, const std::string& body) {
-  (void)WriteResponse(fd, 503, "application/json", body);
+void RejectConnection(int fd, const std::string& body,
+                      unsigned retry_after_s) {
+  (void)WriteResponse(fd, 503, "application/json", body,
+                      RetryAfterHeader(retry_after_s));
   ::shutdown(fd, SHUT_WR);
   char drain[1024];
   for (int spin = 0; spin < 50; ++spin) {
@@ -88,7 +100,22 @@ std::string SearchService::FormatResultsFragment(
 
 SearchService::SearchService(const core::Engine* engine,
                              ServiceOptions options)
-    : engine_(engine), options_(options) {}
+    : options_(std::move(options)),
+      // Non-owning: the caller guarantees lifetime, so the deleter is a
+      // no-op. Reload would drop that guarantee, hence reloadable_ = false.
+      engine_(std::shared_ptr<const core::Engine>(engine,
+                                                  [](const core::Engine*) {})),
+      reloadable_(false) {}
+
+SearchService::SearchService(std::shared_ptr<const core::EngineBundle> bundle,
+                             ServiceOptions options)
+    : options_(std::move(options)),
+      // Alias into the bundle: the snapshot's control block owns the whole
+      // bundle, so index + segments + engine die together, after the last
+      // in-flight request lets go.
+      engine_(std::shared_ptr<const core::Engine>(bundle,
+                                                  bundle->engine.get())),
+      reloadable_(!options_.index_path.empty()) {}
 
 SearchService::~SearchService() { Shutdown(); }
 
@@ -122,6 +149,44 @@ void SearchService::Shutdown() {
   started_ = false;
 }
 
+Status SearchService::Reload() {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  if (!reloadable_) {
+    return Status::InvalidArgument(
+        "reload unsupported: service was built without an index_path");
+  }
+  // Everything up to the store is fallible and leaves no trace: the old
+  // generation keeps serving until the one atomic swap below.
+  const auto fail = [this](const Status& status) {
+    degraded_.store(true, std::memory_order_release);
+    last_reload_error_ = std::string(StatusCodeName(status.code())) + ": " +
+                         std::string(status.message());
+    stats_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  };
+  StatusOr<core::EngineBundle> loaded = core::LoadEngineBundle(
+      options_.index_path, options_.segments, options_.engine_threads);
+  if (!loaded.ok()) return fail(loaded.status());
+#ifdef GRAFT_FAILPOINTS_ENABLED
+  {
+    const Status injected = g_fp_reload_swap.Check();
+    if (!injected.ok()) return fail(injected);
+  }
+#endif
+  auto bundle =
+      std::make_shared<const core::EngineBundle>(std::move(loaded).value());
+  std::shared_ptr<const core::Engine> snapshot(bundle, bundle->engine.get());
+  {
+    std::lock_guard<std::mutex> engine_lock(engine_mu_);
+    engine_ = std::move(snapshot);
+  }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  degraded_.store(false, std::memory_order_release);
+  last_reload_error_.clear();
+  stats_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
 void SearchService::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     StatusOr<int> accepted = listener_.Accept(options_.io_timeout_ms);
@@ -146,7 +211,7 @@ void SearchService::AcceptLoop() {
           inflight > options_.max_inflight
               ? Status::FailedPrecondition("server overloaded; retry")
               : Status::FailedPrecondition("server shutting down");
-      RejectConnection(fd, ErrorBody(reason));
+      RejectConnection(fd, ErrorBody(reason), options_.retry_after_s);
       stats_.RecordResponseCode(503);
       if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(drain_mu_);
@@ -171,8 +236,11 @@ void SearchService::HandleConnection(int fd, Clock::time_point admitted) {
   } else {
     response = Handle(*request, queued_micros);
   }
+  const std::string extra_headers =
+      response.retry_after_s > 0 ? RetryAfterHeader(response.retry_after_s)
+                                 : std::string();
   (void)WriteResponse(fd, response.status_code, response.content_type,
-                      response.body);
+                      response.body, extra_headers);
   ::close(fd);
   stats_.RecordResponseCode(response.status_code);
   if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -192,6 +260,7 @@ Response SearchService::Handle(const HttpRequest& request,
   }
   if (request.path == "/healthz") return HandleHealthz();
   if (request.path == "/stats") return HandleStats();
+  if (request.path == "/admin/reload") return HandleReload();
   if (request.path == "/search") return HandleSearch(request, queued_micros);
   response.status_code = 404;
   response.body =
@@ -200,13 +269,18 @@ Response SearchService::Handle(const HttpRequest& request,
 }
 
 Response SearchService::HandleHealthz() const {
+  const std::shared_ptr<const core::Engine> engine = SnapshotEngine();
   Response response;
-  response.body = "{\"status\":\"ok\",\"docs\":";
-  response.body += std::to_string(engine_->index().doc_count());
+  response.body = "{\"status\":\"";
+  response.body += degraded() ? "degraded" : "ok";
+  response.body += "\",\"docs\":";
+  response.body += std::to_string(engine->index().doc_count());
   response.body += ",\"segments\":";
-  response.body += std::to_string(engine_->segmented() == nullptr
+  response.body += std::to_string(engine->segmented() == nullptr
                                       ? 1
-                                      : engine_->segmented()->segment_count());
+                                      : engine->segmented()->segment_count());
+  response.body += ",\"generation\":";
+  response.body += std::to_string(generation());
   response.body += "}";
   return response;
 }
@@ -214,10 +288,41 @@ Response SearchService::HandleHealthz() const {
 Response SearchService::HandleStats() const {
   Response response;
   std::string body = stats_.ToJson();
-  // Splice uptime into the stats object.
+  // Splice uptime + reload state into the stats object.
   body.pop_back();  // trailing '}'
   body += ",\"uptime_s\":";
   body += std::to_string(MicrosSince(started_at_) / 1000000);
+  body += ",\"index_generation\":";
+  body += std::to_string(generation());
+  body += ",\"degraded\":";
+  body += degraded() ? "true" : "false";
+  body += ",\"last_reload_error\":\"";
+  {
+    std::lock_guard<std::mutex> lock(reload_mu_);
+    JsonAppendEscaped(&body, last_reload_error_);
+  }
+  body += "\"}";
+  response.body = std::move(body);
+  return response;
+}
+
+Response SearchService::HandleReload() {
+  Response response;
+  const Status status = Reload();
+  std::string body = "{\"reloaded\":";
+  body += status.ok() ? "true" : "false";
+  body += ",\"generation\":";
+  body += std::to_string(generation());
+  body += ",\"degraded\":";
+  body += degraded() ? "true" : "false";
+  if (!status.ok()) {
+    response.status_code = HttpCodeForStatus(status) == 400 ? 400 : 500;
+    body += ",\"error\":\"";
+    JsonAppendEscaped(&body, StatusCodeName(status.code()));
+    body += "\",\"message\":\"";
+    JsonAppendEscaped(&body, status.message());
+    body += "\"";
+  }
   body += "}";
   response.body = std::move(body);
   return response;
@@ -284,8 +389,13 @@ Response SearchService::HandleSearch(const HttpRequest& request,
     return response;
   }
 
+  // Pin the engine generation once: a reload that lands mid-request swaps
+  // the service's pointer but cannot touch this snapshot, and the control
+  // block keeps the whole old bundle alive until we return.
+  const std::shared_ptr<const core::Engine> engine = SnapshotEngine();
+
   StatusOr<core::ResolvedRequest> resolved =
-      core::ResolveRequest(*engine_, params);
+      core::ResolveRequest(*engine, params);
   if (!resolved.ok()) {
     response.status_code = HttpCodeForStatus(resolved.status());
     response.body = ErrorBody(resolved.status());
@@ -304,6 +414,7 @@ Response SearchService::HandleSearch(const HttpRequest& request,
   };
   if (elapsed_ms() >= deadline_ms) {
     response.status_code = 504;
+    response.retry_after_s = options_.retry_after_s;
     response.body = ErrorBody(Status::FailedPrecondition(
         "deadline of " + std::to_string(deadline_ms) +
         "ms elapsed before execution"));
@@ -312,7 +423,7 @@ Response SearchService::HandleSearch(const HttpRequest& request,
   }
 
   const Clock::time_point engine_start = Clock::now();
-  StatusOr<core::SearchResult> result = engine_->SearchQuery(
+  StatusOr<core::SearchResult> result = engine->SearchQuery(
       resolved->query, *resolved->scheme, resolved->options);
   const uint64_t engine_micros = MicrosSince(engine_start);
 
@@ -326,6 +437,7 @@ Response SearchService::HandleSearch(const HttpRequest& request,
   if (elapsed_ms() >= deadline_ms) {
     // The engine is not preemptible; the honest answer is a late 504.
     response.status_code = 504;
+    response.retry_after_s = options_.retry_after_s;
     response.body = ErrorBody(Status::FailedPrecondition(
         "deadline of " + std::to_string(deadline_ms) +
         "ms exceeded during execution"));

@@ -5,8 +5,10 @@
 //              [&deadline_ms=<n>]
 //       -> 200 JSON: ranked results with scores, timings, and
 //          segments_searched; 400/404 on any malformed input.
-//   GET /stats   -> 200 JSON: cumulative counters + latency percentiles.
-//   GET /healthz -> 200 {"status":"ok",...} (serving) — used by probes.
+//   GET /stats   -> 200 JSON: cumulative counters + latency percentiles
+//                   + reload generation / degraded state.
+//   GET /healthz -> 200 {"status":"ok"|"degraded",...} — used by probes.
+//   GET /admin/reload -> swap in a freshly loaded engine (see below).
 //
 // Concurrency model (mirrors DESIGN.md §2c):
 //   * one blocking accept thread; each accepted connection is one request
@@ -20,13 +22,25 @@
 //     deadline elapsed while queued is answered 504 without touching the
 //     engine, and one that exceeds it during execution is answered 504
 //     after the fact (the engine is not preemptible mid-query);
+//   * 503 and 504 responses carry a Retry-After header so well-behaved
+//     clients back off instead of hammering an overloaded server;
 //   * Shutdown() stops accepting, drains every admitted request to a
 //     written response, then joins the pool — in-flight work is never
 //     dropped (SIGINT/SIGTERM in graft_server map to exactly this).
 //
-// The Engine is shared by all handlers without locking: Engine::Search is
-// const and thread-safe (inter-query parallelism), and scores are
-// bit-identical to direct engine calls — tests/server pins that down.
+// Hot reload (DESIGN.md §2d): the engine is held behind a mutex-guarded
+// shared_ptr snapshot (one uncontended pointer copy per request — noise
+// next to parsing and execution, and clean under TSan, unlike
+// std::atomic<shared_ptr>'s lock-bit protocol).
+// Every request pins the generation it started on, so
+// Reload() — driven by GET /admin/reload or SIGHUP in graft_server — swaps
+// in a freshly loaded EngineBundle under full load with zero dropped
+// requests; the old generation is destroyed when its last in-flight
+// request finishes. Scores are bit-identical across the swap because the
+// index file defines them. A FAILED reload (missing/corrupt/torn file, or
+// an injected failpoint) leaves the current generation serving and flips
+// the service into a visible "degraded" state on /stats + /healthz — the
+// process never dies and never serves wrong data.
 
 #ifndef GRAFT_SERVER_SEARCH_SERVICE_H_
 #define GRAFT_SERVER_SEARCH_SERVICE_H_
@@ -67,6 +81,14 @@ struct ServiceOptions {
   size_t max_top_k = 10000;
   // Per-connection socket send/receive timeout.
   int io_timeout_ms = 5000;
+  // Seconds advertised in the Retry-After header of 503/504 responses.
+  unsigned retry_after_s = 1;
+  // Reload source: when non-empty, /admin/reload (and SIGHUP in
+  // graft_server) reloads the bundle from this file with the partitioning
+  // below. Empty = reload unsupported (e.g. in-memory test engines).
+  std::string index_path;
+  size_t segments = 1;        // reload partitioning (LoadEngineBundle arg)
+  size_t engine_threads = 0;  // reload engine pool workers
   // Test hook: artificial delay (before the engine call) per /search, so
   // overload and deadline paths are deterministic to test. 0 in
   // production.
@@ -78,12 +100,22 @@ struct Response {
   int status_code = 200;
   std::string content_type = "application/json";
   std::string body;
+  // Non-zero => a "Retry-After: <n>" header is attached (503/504).
+  unsigned retry_after_s = 0;
 };
 
 class SearchService {
  public:
-  // `engine` must outlive the service.
+  // Non-owning: `engine` must outlive the service. Reload is unsupported
+  // in this mode regardless of options.index_path.
   SearchService(const core::Engine* engine, ServiceOptions options);
+
+  // Owning: the service keeps the bundle (and every predecessor still
+  // pinned by in-flight requests) alive via shared_ptr. Reload swaps it
+  // for a fresh LoadEngineBundle(options.index_path, ...) product.
+  SearchService(std::shared_ptr<const core::EngineBundle> bundle,
+                ServiceOptions options);
+
   ~SearchService();
 
   SearchService(const SearchService&) = delete;
@@ -96,10 +128,26 @@ class SearchService {
   // Idempotent; called by the destructor if still running.
   void Shutdown();
 
+  // Loads a new EngineBundle from options.index_path and atomically swaps
+  // it in (generation + 1). On failure the current generation keeps
+  // serving, the degraded flag is raised, and the error is returned (and
+  // surfaced on /stats). Thread-safe; concurrent reloads serialize.
+  Status Reload();
+
   // Valid after Start(); the actual bound port.
   uint16_t port() const { return listener_.port(); }
 
   const ServerStats& stats() const { return stats_; }
+
+  // Monotonic engine generation: 1 after construction, +1 per successful
+  // reload.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // True while the most recent reload attempt failed (old generation still
+  // serving).
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
 
   // Routes one parsed request to a response. Pure apart from stats
   // recording; exposed so tests can drive the handler without sockets.
@@ -120,9 +168,30 @@ class SearchService {
   Response HandleSearch(const HttpRequest& request, uint64_t queued_micros);
   Response HandleStats() const;
   Response HandleHealthz() const;
+  Response HandleReload();
 
-  const core::Engine* engine_;
+  // The engine generation a request executes against: pinned once at the
+  // top of the handler so a mid-request reload cannot mix generations.
+  std::shared_ptr<const core::Engine> SnapshotEngine() const {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    return engine_;
+  }
+
   const ServiceOptions options_;
+
+  // Current engine, possibly aliasing into owned (reloadable) bundle
+  // storage; the shared_ptr's control block keeps the whole bundle alive
+  // for as long as any request still holds the snapshot. engine_mu_ covers
+  // only the pointer copy/swap, never a load or a search.
+  mutable std::mutex engine_mu_;
+  std::shared_ptr<const core::Engine> engine_;
+
+  mutable std::mutex reload_mu_;    // serializes Reload(); guards the below
+  std::string last_reload_error_;   // empty unless degraded
+  const bool reloadable_;           // owning ctor + non-empty index_path
+
+  std::atomic<uint64_t> generation_{1};
+  std::atomic<bool> degraded_{false};
 
   TcpListener listener_;
   std::unique_ptr<common::ThreadPool> pool_;

@@ -158,6 +158,10 @@ std::string ServerStats::ToJson() const {
   out += std::to_string(deadline_exceeded.load(std::memory_order_relaxed));
   out += ",\"malformed_requests\":";
   out += std::to_string(malformed_requests.load(std::memory_order_relaxed));
+  out += ",\"reloads_ok\":";
+  out += std::to_string(reloads_ok.load(std::memory_order_relaxed));
+  out += ",\"reloads_failed\":";
+  out += std::to_string(reloads_failed.load(std::memory_order_relaxed));
   out += ",\"search_latency\":";
   out += search_latency.ToJson();
   out += ",\"scheme_counts\":";

@@ -76,6 +76,10 @@ struct ServerStats {
   std::atomic<uint64_t> rejected_overload{0};     // 503 (admission/shutdown)
   std::atomic<uint64_t> deadline_exceeded{0};     // 504
   std::atomic<uint64_t> malformed_requests{0};    // unparsable HTTP (also 4xx)
+  // Hot-reload outcomes (/admin/reload + SIGHUP); not part of the
+  // request-outcome identity above.
+  std::atomic<uint64_t> reloads_ok{0};
+  std::atomic<uint64_t> reloads_failed{0};
   LatencyHistogram search_latency;                // /search only, all codes
   SchemeCounters scheme_counts;
 

@@ -1,0 +1,221 @@
+// Failpoint registry semantics: registration, spec parsing, arming,
+// trigger/hit accounting, and each injection action. The whole file is
+// compiled only when failpoints are (GRAFT_FAILPOINTS=ON, the default) —
+// with the option OFF there is nothing to test and nothing linked.
+
+#ifdef GRAFT_FAILPOINTS_ENABLED
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+
+namespace graft::common {
+namespace {
+
+// Failpoints register during static initialization, exactly as production
+// sites in index_io.cc do.
+GRAFT_DEFINE_FAILPOINT(g_fp_alpha, "test.failpoint.alpha");
+GRAFT_DEFINE_FAILPOINT(g_fp_beta, "test.failpoint.beta");
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().DeactivateAll(); }
+
+  FailpointRegistry& registry() { return FailpointRegistry::Global(); }
+};
+
+TEST_F(FailpointTest, StaticDefinitionRegisters) {
+  EXPECT_TRUE(registry().IsRegistered("test.failpoint.alpha"));
+  EXPECT_TRUE(registry().IsRegistered("test.failpoint.beta"));
+  EXPECT_FALSE(registry().IsRegistered("test.failpoint.nonexistent"));
+
+  const std::vector<std::string> names = registry().RegisteredNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.failpoint.alpha"),
+            names.end());
+  // The production save-path sites must be compiled in too — the chaos
+  // harness iterates them.
+  EXPECT_TRUE(registry().IsRegistered("index_io.save.before_rename"));
+}
+
+TEST_F(FailpointTest, InactiveCheckIsOkAndCountsNothing) {
+  EXPECT_TRUE(g_fp_alpha.Check().ok());
+  EXPECT_FALSE(registry().IsActive("test.failpoint.alpha"));
+  EXPECT_EQ(registry().HitCount("test.failpoint.alpha"), 0u);
+}
+
+TEST_F(FailpointTest, ActivateInjectsConfiguredError) {
+  FailpointConfig config;
+  config.action = FailpointAction::kError;
+  config.error_code = StatusCode::kFailedPrecondition;
+  config.message = "boom";
+  ASSERT_TRUE(registry().Activate("test.failpoint.alpha", config).ok());
+  EXPECT_TRUE(registry().IsActive("test.failpoint.alpha"));
+
+  const Status injected = g_fp_alpha.Check();
+  EXPECT_EQ(injected.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(injected.message(), "boom");
+  // Other sites are unaffected.
+  EXPECT_TRUE(g_fp_beta.Check().ok());
+
+  registry().Deactivate("test.failpoint.alpha");
+  EXPECT_TRUE(g_fp_alpha.Check().ok());
+}
+
+TEST_F(FailpointTest, ActivateUnknownNameIsNotFound) {
+  FailpointConfig config;
+  EXPECT_EQ(registry().Activate("test.failpoint.nonexistent", config).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FailpointTest, SpecGrammar) {
+  // Plain error defaults to kInternal with a message naming the site.
+  ASSERT_TRUE(registry().ActivateSpec("test.failpoint.alpha=error").ok());
+  Status injected = g_fp_alpha.Check();
+  EXPECT_EQ(injected.code(), StatusCode::kInternal);
+  EXPECT_NE(injected.message().find("test.failpoint.alpha"),
+            std::string::npos);
+
+  // error(CodeName) selects the status code by its StatusCodeName.
+  ASSERT_TRUE(
+      registry().ActivateSpec("test.failpoint.alpha=error(IOError)").ok());
+  EXPECT_EQ(g_fp_alpha.Check().code(), StatusCode::kIOError);
+  ASSERT_TRUE(
+      registry().ActivateSpec("test.failpoint.alpha=error(DataLoss)").ok());
+  EXPECT_EQ(g_fp_alpha.Check().code(), StatusCode::kDataLoss);
+
+  // off deactivates.
+  ASSERT_TRUE(registry().ActivateSpec("test.failpoint.alpha=off").ok());
+  EXPECT_FALSE(registry().IsActive("test.failpoint.alpha"));
+  EXPECT_TRUE(g_fp_alpha.Check().ok());
+
+  // Malformed specs are InvalidArgument, unknown names NotFound.
+  EXPECT_EQ(registry().ActivateSpec("no-equals-sign").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry().ActivateSpec("test.failpoint.alpha=explode").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry().ActivateSpec("test.failpoint.alpha=error(Bogus)")
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry().ActivateSpec("test.failpoint.alpha=delay(abc)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry().ActivateSpec("test.failpoint.ghost=error").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FailpointTest, TriggerOnNthHit) {
+  // "@3": survive two evaluations, fire from the third on.
+  ASSERT_TRUE(
+      registry().ActivateSpec("test.failpoint.alpha=error(IOError)@3").ok());
+  EXPECT_TRUE(g_fp_alpha.Check().ok());
+  EXPECT_TRUE(g_fp_alpha.Check().ok());
+  EXPECT_EQ(g_fp_alpha.Check().code(), StatusCode::kIOError);
+  EXPECT_EQ(g_fp_alpha.Check().code(), StatusCode::kIOError);
+  EXPECT_EQ(registry().HitCount("test.failpoint.alpha"), 4u);
+}
+
+TEST_F(FailpointTest, MaxFiresLimitsInjections) {
+  FailpointConfig config;
+  config.action = FailpointAction::kError;
+  config.error_code = StatusCode::kIOError;
+  config.max_fires = 2;
+  ASSERT_TRUE(registry().Activate("test.failpoint.alpha", config).ok());
+  EXPECT_FALSE(g_fp_alpha.Check().ok());
+  EXPECT_FALSE(g_fp_alpha.Check().ok());
+  // Budget exhausted: passes through again.
+  EXPECT_TRUE(g_fp_alpha.Check().ok());
+  EXPECT_TRUE(g_fp_alpha.Check().ok());
+}
+
+TEST_F(FailpointTest, DelayActionSleepsThenProceeds) {
+  ASSERT_TRUE(registry().ActivateSpec("test.failpoint.alpha=delay(30)").ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(g_fp_alpha.Check().ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 25);
+}
+
+TEST_F(FailpointTest, TruncateWriteChopsTheTail) {
+  const std::string path = ::testing::TempDir() + "/failpoint_truncate.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char payload[16] = "0123456789abcde";
+  ASSERT_EQ(std::fwrite(payload, 1, sizeof(payload), f), sizeof(payload));
+
+  ASSERT_TRUE(
+      registry().ActivateSpec("test.failpoint.alpha=truncate(6)").ok());
+  const Status injected = g_fp_alpha.CheckWrite(f);
+  EXPECT_EQ(injected.code(), StatusCode::kIOError);
+  std::fclose(f);
+
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  ASSERT_EQ(std::fseek(in, 0, SEEK_END), 0);
+  EXPECT_EQ(std::ftell(in), static_cast<long>(sizeof(payload) - 6));
+  std::fclose(in);
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, TruncateOnNonWriteSiteIsInternal) {
+  ASSERT_TRUE(
+      registry().ActivateSpec("test.failpoint.alpha=truncate(1)").ok());
+  EXPECT_EQ(g_fp_alpha.Check().code(), StatusCode::kInternal);
+}
+
+TEST_F(FailpointTest, ActivateFromEnvAppliesEverySpec) {
+  ASSERT_EQ(::setenv("GRAFT_FAILPOINTS_TEST_ENV",
+                     "test.failpoint.alpha=error(Unimplemented);"
+                     "test.failpoint.beta=delay(1)",
+                     /*overwrite=*/1),
+            0);
+  ASSERT_TRUE(
+      registry().ActivateFromEnv("GRAFT_FAILPOINTS_TEST_ENV").ok());
+  EXPECT_EQ(g_fp_alpha.Check().code(), StatusCode::kUnimplemented);
+  EXPECT_TRUE(registry().IsActive("test.failpoint.beta"));
+
+  // A bad spec in the variable fails fast with InvalidArgument.
+  ASSERT_EQ(::setenv("GRAFT_FAILPOINTS_TEST_ENV", "garbage", 1), 0);
+  EXPECT_EQ(registry().ActivateFromEnv("GRAFT_FAILPOINTS_TEST_ENV").code(),
+            StatusCode::kInvalidArgument);
+
+  // Unset or empty is the production default: Ok, nothing armed.
+  ASSERT_EQ(::unsetenv("GRAFT_FAILPOINTS_TEST_ENV"), 0);
+  EXPECT_TRUE(registry().ActivateFromEnv("GRAFT_FAILPOINTS_TEST_ENV").ok());
+}
+
+TEST_F(FailpointTest, AbortActionKillsTheProcess) {
+  // Fork so the _Exit(134) takes down the child, not the test runner —
+  // the same technique the index_io chaos harness uses at scale.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FailpointConfig config;
+    config.action = FailpointAction::kAbort;
+    if (!FailpointRegistry::Global()
+             .Activate("test.failpoint.alpha", config)
+             .ok()) {
+      std::_Exit(99);
+    }
+    (void)g_fp_alpha.Check();  // must not return
+    std::_Exit(98);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 134);
+}
+
+}  // namespace
+}  // namespace graft::common
+
+#endif  // GRAFT_FAILPOINTS_ENABLED

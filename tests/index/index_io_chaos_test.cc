@@ -1,0 +1,249 @@
+// Crash-safety proof for SaveIndex's write-temp / fsync / atomic-rename
+// protocol: a forked child process crashes (failpoint abort == _Exit, no
+// flush, no cleanup) at EVERY registered save-path failpoint — including
+// mid-way through the term loop — and the parent then asserts the
+// on-disk invariant:
+//
+//   the index file is byte-for-byte EITHER the old generation OR the
+//   complete new generation, and LoadIndex succeeds on it.
+//
+// SaveIndex output is deterministic for a given index, so byte equality
+// (not just "loads fine") is the strongest checkable form of atomicity.
+// Torn temp files may exist after a crash; they must never be visible at
+// the real path and must not break the next successful save.
+
+#ifdef GRAFT_FAILPOINTS_ENABLED
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "index/index_io.h"
+#include "index/inverted_index.h"
+#include "text/corpus.h"
+
+namespace graft::index {
+namespace {
+
+// PID-unique: parallel ctest processes share TempDir.
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/graft_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+InvertedIndex BuildIndex(uint64_t docs, uint64_t seed) {
+  text::CorpusConfig config = text::WikipediaLikeConfig(docs, seed);
+  IndexBuilder builder;
+  text::CorpusGenerator generator(config);
+  generator.Generate(
+      [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
+        builder.AddDocument(tokens);
+      });
+  return builder.Build();
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::string();
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// Runs SaveIndex(new_index, path) in a forked child with `failpoint`
+// armed to abort on hit `trigger_on_hit`. Returns the child's exit
+// status; 134 means the injected crash fired, 0 means the save outran the
+// trigger (hit count never reached it).
+int CrashingSave(const InvertedIndex& new_index, const std::string& path,
+                 const std::string& failpoint, uint64_t trigger_on_hit) {
+  const pid_t pid = ::fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    common::FailpointConfig config;
+    config.action = common::FailpointAction::kAbort;
+    config.trigger_on_hit = trigger_on_hit;
+    if (!common::FailpointRegistry::Global().Activate(failpoint, config)
+             .ok()) {
+      std::_Exit(99);
+    }
+    const Status saved = SaveIndex(new_index, path);
+    // Reaching here means the failpoint never fired (e.g. trigger index
+    // beyond the term count): the save must then have fully succeeded.
+    std::_Exit(saved.ok() ? 0 : 98);
+  }
+  int wstatus = 0;
+  EXPECT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  EXPECT_TRUE(WIFEXITED(wstatus));
+  return WEXITSTATUS(wstatus);
+}
+
+class IndexIoChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    old_index_ = BuildIndex(40, /*seed=*/11);
+    new_index_ = BuildIndex(55, /*seed=*/22);
+    path_ = TempPath("chaos.idx");
+
+    // Establish the old generation and capture its exact bytes.
+    ASSERT_TRUE(SaveIndex(old_index_, path_).ok());
+    old_bytes_ = ReadFileOrEmpty(path_);
+    ASSERT_FALSE(old_bytes_.empty());
+
+    // Capture the new generation's exact bytes via a scratch save.
+    const std::string scratch = TempPath("chaos_new.idx");
+    ASSERT_TRUE(SaveIndex(new_index_, scratch).ok());
+    new_bytes_ = ReadFileOrEmpty(scratch);
+    ASSERT_FALSE(new_bytes_.empty());
+    ASSERT_NE(old_bytes_, new_bytes_);
+    std::remove(scratch.c_str());
+  }
+
+  void TearDown() override {
+    common::FailpointRegistry::Global().DeactivateAll();
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  // The core invariant checked after every injected crash.
+  void ExpectIntactGeneration(const std::string& context) {
+    const std::string bytes = ReadFileOrEmpty(path_);
+    EXPECT_TRUE(bytes == old_bytes_ || bytes == new_bytes_)
+        << context << ": index file is neither the old nor the new "
+        << "generation (" << bytes.size() << " bytes; old "
+        << old_bytes_.size() << ", new " << new_bytes_.size() << ")";
+    auto loaded = LoadIndex(path_);
+    EXPECT_TRUE(loaded.ok()) << context << ": " << loaded.status();
+    if (loaded.ok()) {
+      EXPECT_TRUE(loaded->doc_count() == old_index_.doc_count() ||
+                  loaded->doc_count() == new_index_.doc_count());
+    }
+  }
+
+  InvertedIndex old_index_;
+  InvertedIndex new_index_;
+  std::string path_;
+  std::string old_bytes_;
+  std::string new_bytes_;
+};
+
+TEST_F(IndexIoChaosTest, CrashAtEverySaveFailpointKeepsAGenerationIntact) {
+  const std::vector<std::string> names =
+      common::FailpointRegistry::Global().RegisteredNames();
+  size_t save_sites = 0;
+  for (const std::string& name : names) {
+    if (name.rfind("index_io.save.", 0) != 0) continue;
+    ++save_sites;
+    const int exit_code = CrashingSave(new_index_, path_, name,
+                                       /*trigger_on_hit=*/1);
+    EXPECT_EQ(exit_code, 134) << "crash at " << name << " did not fire";
+    ExpectIntactGeneration("crash at " + name);
+    // Restore the old generation so every site starts from the same state.
+    ASSERT_TRUE(SaveIndex(old_index_, path_).ok());
+    ASSERT_EQ(ReadFileOrEmpty(path_), old_bytes_);
+  }
+  // The harness is only meaningful if it actually exercised the protocol.
+  EXPECT_GE(save_sites, 6u);
+}
+
+TEST_F(IndexIoChaosTest, CrashMidTermLoopSweep) {
+  // Crash on the 1st, 2nd, 5th, 17th, ... hit of the per-term failpoint:
+  // the temp file is torn at a different spot each time, and the real
+  // path must stay byte-identical to the old generation throughout.
+  for (const uint64_t hit : {1u, 2u, 5u, 17u, 50u, 200u}) {
+    const int exit_code = CrashingSave(new_index_, path_,
+                                       "index_io.save.term", hit);
+    if (exit_code == 0) {
+      // Trigger index beyond the term count: the save completed, so the
+      // file must now be exactly the new generation. Reset and stop.
+      EXPECT_EQ(ReadFileOrEmpty(path_), new_bytes_);
+      ASSERT_TRUE(SaveIndex(old_index_, path_).ok());
+      continue;
+    }
+    EXPECT_EQ(exit_code, 134) << "hit " << hit;
+    EXPECT_EQ(ReadFileOrEmpty(path_), old_bytes_)
+        << "old generation disturbed by crash at term hit " << hit;
+    ExpectIntactGeneration("crash at term hit " + std::to_string(hit));
+  }
+}
+
+TEST_F(IndexIoChaosTest, CrashAfterRenameLeavesNewGeneration) {
+  // Past the rename the new generation is committed: a crash before the
+  // directory sync may cost durability of the rename on a real power
+  // failure, but the visible file is the complete new index.
+  const int exit_code = CrashingSave(new_index_, path_,
+                                     "index_io.save.before_dirsync",
+                                     /*trigger_on_hit=*/1);
+  ASSERT_EQ(exit_code, 134);
+  EXPECT_EQ(ReadFileOrEmpty(path_), new_bytes_);
+  auto loaded = LoadIndex(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->doc_count(), new_index_.doc_count());
+}
+
+TEST_F(IndexIoChaosTest, LeftoverTempFileIsHarmless) {
+  // Crash mid-body: a torn .tmp may remain. The next save must succeed,
+  // overwrite it, and remove it.
+  const int exit_code = CrashingSave(new_index_, path_,
+                                     "index_io.save.term",
+                                     /*trigger_on_hit=*/3);
+  ASSERT_EQ(exit_code, 134);
+  ASSERT_TRUE(SaveIndex(new_index_, path_).ok());
+  EXPECT_EQ(ReadFileOrEmpty(path_), new_bytes_);
+  EXPECT_FALSE(FileExists(path_ + ".tmp"));
+}
+
+TEST_F(IndexIoChaosTest, InjectedTornWriteFailsCleanlyAndKeepsOldIndex) {
+  // truncate(N) simulates a short write the writer notices: SaveIndex
+  // must return IOError, leave the old generation untouched, and clean up
+  // its temp file — no fork needed, the process survives.
+  ASSERT_TRUE(common::FailpointRegistry::Global()
+                  .ActivateSpec("index_io.save.before_sync=truncate(16)")
+                  .ok());
+  const Status saved = SaveIndex(new_index_, path_);
+  EXPECT_EQ(saved.code(), StatusCode::kIOError);
+  common::FailpointRegistry::Global().DeactivateAll();
+  EXPECT_EQ(ReadFileOrEmpty(path_), old_bytes_);
+  EXPECT_FALSE(FileExists(path_ + ".tmp"));
+}
+
+TEST_F(IndexIoChaosTest, InjectedErrorsOnEverySaveSiteKeepOldIndex) {
+  for (const std::string& name :
+       common::FailpointRegistry::Global().RegisteredNames()) {
+    if (name.rfind("index_io.save.", 0) != 0) continue;
+    ASSERT_TRUE(common::FailpointRegistry::Global()
+                    .ActivateSpec(name + "=error(IOError)")
+                    .ok());
+    const Status saved = SaveIndex(new_index_, path_);
+    common::FailpointRegistry::Global().DeactivateAll();
+    if (name == "index_io.save.before_dirsync") {
+      // Fired after the commit point: the error surfaces but the new
+      // generation is already visible.
+      EXPECT_EQ(saved.code(), StatusCode::kIOError) << name;
+      EXPECT_EQ(ReadFileOrEmpty(path_), new_bytes_) << name;
+      ASSERT_TRUE(SaveIndex(old_index_, path_).ok());
+      continue;
+    }
+    EXPECT_EQ(saved.code(), StatusCode::kIOError) << name;
+    EXPECT_EQ(ReadFileOrEmpty(path_), old_bytes_)
+        << "old generation disturbed by error at " << name;
+    EXPECT_FALSE(FileExists(path_ + ".tmp")) << name;
+  }
+}
+
+}  // namespace
+}  // namespace graft::index
+
+#endif  // GRAFT_FAILPOINTS_ENABLED

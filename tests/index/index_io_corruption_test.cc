@@ -2,8 +2,17 @@
 // length-inflated index files must all come back as a clean non-ok Status
 // — never a crash, never undefined behavior, and never a giant
 // allocation driven by a corrupt length field.
+//
+// The v3 format checksums every section (CRC32C), so the contract is
+// stronger than "doesn't crash": EVERY corrupted or truncated file is
+// rejected, with the failure class encoded in the status code —
+//   kDataLoss        truncation / short read / bad magic
+//   kVersionMismatch format-version skew
+//   kCorruption      checksum mismatch or impossible structure
 
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -17,8 +26,11 @@
 namespace graft::index {
 namespace {
 
+// PID-unique: ctest runs each test of this suite as its own process, in
+// parallel, against the same TempDir — shared names would race.
 std::string TempPath(const char* name) {
-  return ::testing::TempDir() + "/" + name;
+  return ::testing::TempDir() + "/graft_" + std::to_string(::getpid()) +
+         "_" + name;
 }
 
 InvertedIndex BuildSmallIndex() {
@@ -79,9 +91,26 @@ TEST_F(IndexIoCorruptionTest, TruncationAtEveryRegionFailsCleanly) {
     ASSERT_LT(cut, bytes_.size());
     WriteFile(truncated_path, bytes_.substr(0, cut));
     auto loaded = LoadIndex(truncated_path);
-    EXPECT_FALSE(loaded.ok()) << "truncation at " << cut
+    ASSERT_FALSE(loaded.ok()) << "truncation at " << cut
                               << " unexpectedly loaded";
+    // Truncation is kDataLoss, except when the shrunken file trips the
+    // term-count plausibility check first (kCorruption) — never any other
+    // class, and never kVersionMismatch (the version byte is intact).
+    EXPECT_TRUE(loaded.status().code() == StatusCode::kDataLoss ||
+                loaded.status().code() == StatusCode::kCorruption)
+        << "truncation at " << cut << ": " << loaded.status();
   }
+}
+
+TEST_F(IndexIoCorruptionTest, MidPayloadTruncationIsDataLoss) {
+  // Chop the file in the middle of the postings region: the loader hits a
+  // short read and must say so with kDataLoss specifically.
+  const std::string truncated_path = TempPath("truncated_tail.idx");
+  WriteFile(truncated_path, bytes_.substr(0, bytes_.size() - 9));
+  auto loaded = LoadIndex(truncated_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+      << loaded.status();
 }
 
 TEST_F(IndexIoCorruptionTest, BadMagicRejected) {
@@ -102,7 +131,7 @@ TEST_F(IndexIoCorruptionTest, WrongFormatVersionRejectedDistinctly) {
   WriteFile(corrupt_path, corrupt);
   auto loaded = LoadIndex(corrupt_path);
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kVersionMismatch);
   EXPECT_NE(loaded.status().message().find("format version"),
             std::string::npos)
       << loaded.status().message();
@@ -125,20 +154,65 @@ TEST_F(IndexIoCorruptionTest, InflatedLengthFieldsRejectedBeforeAllocating) {
   }
 }
 
-TEST_F(IndexIoCorruptionTest, RandomByteFlipsNeverCrash) {
-  // Deterministic sweep of single-byte flips across the file. Loads may
-  // legitimately succeed when the flip hits a score-irrelevant byte that
-  // still parses (e.g. inside term text); the invariant under test is "no
-  // crash, no UB", with TSan/ASan-style failure surfacing in CI.
+TEST_F(IndexIoCorruptionTest, EveryByteFlipIsRejectedWithTheRightClass) {
+  // Deterministic sweep of single-byte flips across the file. With v3's
+  // per-section CRC32C, every byte of the file is covered by the magic
+  // comparison, the version check, or a checksum — so EVERY flip must be
+  // rejected, and the status code must name the right failure class:
+  //   offsets 0..6  magic          -> kDataLoss
+  //   offset  7     version byte   -> kVersionMismatch
+  //   offsets 8..   section data   -> kCorruption (checksum/structure) or
+  //                                   kDataLoss (a flipped length field
+  //                                   can fail the remaining-bytes check
+  //                                   before its section CRC is reached)
   const std::string corrupt_path = TempPath("bitflip.idx");
-  for (size_t offset = 0; offset < bytes_.size();
-       offset += 1 + bytes_.size() / 193) {
+  const size_t stride = 1 + bytes_.size() / 509;
+  std::vector<size_t> offsets;
+  for (size_t offset = 0; offset < 48 && offset < bytes_.size(); ++offset) {
+    offsets.push_back(offset);  // dense over magic/version/header scalars
+  }
+  for (size_t offset = 48; offset < bytes_.size(); offset += stride) {
+    offsets.push_back(offset);
+  }
+  offsets.push_back(bytes_.size() - 1);  // inside the final section CRC
+  for (const size_t offset : offsets) {
     std::string corrupt = bytes_;
     corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x5A);
     WriteFile(corrupt_path, corrupt);
     auto loaded = LoadIndex(corrupt_path);
-    (void)loaded;  // outcome-agnostic: surviving is the assertion
+    ASSERT_FALSE(loaded.ok())
+        << "flip at offset " << offset << " went undetected";
+    const StatusCode code = loaded.status().code();
+    if (offset < 7) {
+      EXPECT_EQ(code, StatusCode::kDataLoss) << "offset " << offset;
+    } else if (offset == 7) {
+      EXPECT_EQ(code, StatusCode::kVersionMismatch) << "offset " << offset;
+    } else {
+      EXPECT_TRUE(code == StatusCode::kCorruption ||
+                  code == StatusCode::kDataLoss)
+          << "offset " << offset << ": " << loaded.status();
+    }
   }
+}
+
+TEST_F(IndexIoCorruptionTest, ChecksumByteFlipIsCorruption) {
+  // The 4 bytes right after the doc-length payload are the header
+  // section's stored CRC; flipping one must read back as kCorruption with
+  // a message naming the section.
+  const size_t doc_lengths_offset = 8 + 8 + 8 + 8;  // magic+ver, 2 u64s, len
+  const size_t header_crc_offset = doc_lengths_offset + 60 * sizeof(uint32_t);
+  ASSERT_LT(header_crc_offset + 3, bytes_.size());
+  std::string corrupt = bytes_;
+  corrupt[header_crc_offset] =
+      static_cast<char>(corrupt[header_crc_offset] ^ 0xFF);
+  const std::string corrupt_path = TempPath("badcrc.idx");
+  WriteFile(corrupt_path, corrupt);
+  auto loaded = LoadIndex(corrupt_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("header section"),
+            std::string::npos)
+      << loaded.status().message();
 }
 
 TEST(IndexIoTest, MissingFileIsIOError) {

@@ -272,6 +272,12 @@ TEST(SearchServiceTest, OverloadGetsFast503NotUnboundedQueue) {
         ok_count.fetch_add(1);
       } else if (response->status_code == 503) {
         rejected_count.fetch_add(1);
+        // Overload rejections must tell the client when to come back.
+        const auto retry_after = response->headers.find("retry-after");
+        if (retry_after == response->headers.end() ||
+            retry_after->second != "1") {
+          other.fetch_add(1);
+        }
       } else {
         other.fetch_add(1);
       }
@@ -298,6 +304,10 @@ TEST(SearchServiceTest, DeadlineExceededAnswers504) {
       SearchTarget("software", "MeanSum", 5) + "&deadline_ms=10");
   ASSERT_TRUE(response.ok()) << response.status();
   EXPECT_EQ(response->status_code, 504) << response->body;
+  // 504s carry Retry-After just like overload 503s.
+  const auto retry_after = response->headers.find("retry-after");
+  ASSERT_NE(retry_after, response->headers.end());
+  EXPECT_EQ(retry_after->second, "1");
   EXPECT_EQ(service.stats().deadline_exceeded.load(), 1u);
   // A generous deadline still succeeds.
   auto fine = HttpGet(
@@ -368,7 +378,9 @@ TEST(SearchServiceTest, StatsEndpointReflectsTraffic) {
   for (const char* field :
        {"\"requests_total\":4", "\"responses_ok\":2", "\"client_errors\":1",
         "\"scheme_counts\":", "\"MeanSum\":1", "\"Lucene\":1",
-        "\"search_latency\":", "\"p99_ms\":", "\"uptime_s\":"}) {
+        "\"search_latency\":", "\"p99_ms\":", "\"uptime_s\":",
+        "\"index_generation\":1", "\"degraded\":false",
+        "\"last_reload_error\":\"\"", "\"reloads_ok\":0"}) {
     EXPECT_NE(stats->body.find(field), std::string::npos)
         << field << " missing from " << stats->body;
   }

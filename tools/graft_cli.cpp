@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/engine.h"
 #include "core/request.h"
 #include "index/index_io.h"
@@ -158,6 +159,18 @@ int main(int argc, char** argv) {
   graft::Status structural =
       graft::text::RegisterStructuralPredicates();
   (void)structural;
+  // Honor GRAFT_FAILPOINTS ("name=action[@N];...") so chaos scripts can
+  // inject faults into any CLI run. A bad spec fails fast — including in
+  // failpoints-off builds, where every named site is NotFound rather than
+  // silently inert.
+  {
+    const graft::Status activated =
+        graft::common::FailpointRegistry::Global().ActivateFromEnv();
+    if (!activated.ok()) {
+      std::fprintf(stderr, "error: %s\n", activated.ToString().c_str());
+      return 2;
+    }
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: graft_cli <index|search|explain|schemes> ...\n");

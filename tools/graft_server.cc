@@ -18,15 +18,27 @@
 //   GET /search?q=...&scheme=MeanSum&k=10[&threads=N][&segments=N]
 //   GET /stats
 //   GET /healthz
+//   GET /admin/reload
 //
-// SIGINT/SIGTERM trigger a draining shutdown: the listener closes, every
-// admitted request is answered, then the process exits 0.
+// SIGHUP triggers a hot reload: the index file is reloaded and swapped in
+// under load (generation + 1); if the reload fails the old index keeps
+// serving and /stats reports degraded=true. SIGINT/SIGTERM trigger a
+// draining shutdown: the listener closes, every admitted request is
+// answered, then the process exits 0.
+//
+// GRAFT_FAILPOINTS (environment) accepts ';'-separated failpoint specs
+// ("name=action[@N]") for fault-injection testing; see
+// src/common/failpoint.h. Ignored in builds configured with
+// -DGRAFT_FAILPOINTS=OFF.
 
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "common/failpoint.h"
 #include "core/request.h"
 #include "server/search_service.h"
 #include "text/structure.h"
@@ -51,6 +63,14 @@ int Fail(const graft::Status& status) {
 
 int main(int argc, char** argv) {
   (void)graft::text::RegisterStructuralPredicates();
+  {
+    // A bad spec is a startup error, not something to discover mid-chaos.
+    // Runs in failpoints-off builds too: named sites are then NotFound,
+    // never silently inert.
+    const graft::Status activated =
+        graft::common::FailpointRegistry::Global().ActivateFromEnv();
+    if (!activated.ok()) return Fail(activated);
+  }
 
   std::string index_path;
   size_t port = 8080;
@@ -91,19 +111,27 @@ int main(int argc, char** argv) {
   if (index_path.empty()) return Usage();
   options.port = static_cast<uint16_t>(port);
   options.handler_threads = threads;
+  // Wire up hot reload: /admin/reload and SIGHUP re-run LoadEngineBundle
+  // with exactly the startup partitioning.
+  options.index_path = index_path;
+  options.segments = segments;
+  options.engine_threads = threads;
 
-  // Block SIGINT/SIGTERM before any thread spawns, so every service thread
-  // inherits the mask and the signals are delivered only to sigwait below.
+  // Block the handled signals before any thread spawns, so every service
+  // thread inherits the mask and delivery goes only to sigwait below.
   sigset_t mask;
   sigemptyset(&mask);
   sigaddset(&mask, SIGINT);
   sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGHUP);
   if (pthread_sigmask(SIG_BLOCK, &mask, nullptr) != 0) {
     return Fail(graft::Status::Internal("pthread_sigmask failed"));
   }
 
-  auto bundle = graft::core::LoadEngineBundle(index_path, segments, threads);
-  if (!bundle.ok()) return Fail(bundle.status());
+  auto loaded = graft::core::LoadEngineBundle(index_path, segments, threads);
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto bundle = std::make_shared<const graft::core::EngineBundle>(
+      std::move(loaded).value());
   std::fprintf(stderr, "loaded %s: %llu docs, %zu terms, %zu segment(s)\n",
                index_path.c_str(),
                static_cast<unsigned long long>(bundle->index->doc_count()),
@@ -112,7 +140,7 @@ int main(int argc, char** argv) {
                    ? size_t{1}
                    : bundle->segmented->segment_count());
 
-  graft::server::SearchService service(bundle->engine.get(), options);
+  graft::server::SearchService service(std::move(bundle), options);
   const graft::Status started = service.Start();
   if (!started.ok()) return Fail(started);
   std::fprintf(stderr,
@@ -122,12 +150,32 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(options.default_deadline_ms));
   std::fflush(stderr);
 
-  int signal_number = 0;
-  if (sigwait(&mask, &signal_number) != 0) {
-    return Fail(graft::Status::Internal("sigwait failed"));
+  for (;;) {
+    int signal_number = 0;
+    if (sigwait(&mask, &signal_number) != 0) {
+      return Fail(graft::Status::Internal("sigwait failed"));
+    }
+    if (signal_number == SIGHUP) {
+      std::fprintf(stderr, "received SIGHUP; reloading %s...\n",
+                   index_path.c_str());
+      const graft::Status reloaded = service.Reload();
+      if (reloaded.ok()) {
+        std::fprintf(stderr, "reload ok; now serving generation %llu\n",
+                     static_cast<unsigned long long>(service.generation()));
+      } else {
+        std::fprintf(stderr,
+                     "reload FAILED (%s); still serving generation %llu "
+                     "(degraded)\n",
+                     reloaded.ToString().c_str(),
+                     static_cast<unsigned long long>(service.generation()));
+      }
+      std::fflush(stderr);
+      continue;
+    }
+    std::fprintf(stderr, "received %s; draining...\n",
+                 strsignal(signal_number));
+    break;
   }
-  std::fprintf(stderr, "received %s; draining...\n",
-               strsignal(signal_number));
   service.Shutdown();
   std::fprintf(stderr, "drained; bye\n");
   return 0;
