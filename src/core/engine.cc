@@ -1,8 +1,10 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <atomic>
+#include <cstdio>
+#include <mutex>
 
+#include "core/cost_model.h"
 #include "ma/reference_evaluator.h"
 
 namespace graft::core {
@@ -19,34 +21,70 @@ bool ScoredBefore(const ma::ScoredDoc& a, const ma::ScoredDoc& b) {
 }
 
 // ExecStats accumulated across concurrent segment executors. Workers add
-// their private executor counters once per segment; relaxed ordering
-// suffices because the ParallelFor completion latch sequences the final
-// read after all writes.
-struct AtomicExecStats {
-  std::atomic<uint64_t> positions_scanned{0};
-  std::atomic<uint64_t> count_entries_scanned{0};
-  std::atomic<uint64_t> rows_built{0};
-  std::atomic<uint64_t> docs_visited{0};
+// their private executor counters once per segment (a handful of adds per
+// query), so one mutex beats maintaining an atomic per counter field.
+struct SharedExecStats {
+  std::mutex mu;
+  exec::ExecStats stats;
 
   void Add(const exec::ExecStats& s) {
-    positions_scanned.fetch_add(s.positions_scanned,
-                                std::memory_order_relaxed);
-    count_entries_scanned.fetch_add(s.count_entries_scanned,
-                                    std::memory_order_relaxed);
-    rows_built.fetch_add(s.rows_built, std::memory_order_relaxed);
-    docs_visited.fetch_add(s.docs_visited, std::memory_order_relaxed);
-  }
-
-  exec::ExecStats Snapshot() const {
-    exec::ExecStats s;
-    s.positions_scanned = positions_scanned.load(std::memory_order_relaxed);
-    s.count_entries_scanned =
-        count_entries_scanned.load(std::memory_order_relaxed);
-    s.rows_built = rows_built.load(std::memory_order_relaxed);
-    s.docs_visited = docs_visited.load(std::memory_order_relaxed);
-    return s;
+    std::lock_guard<std::mutex> lock(mu);
+    stats.Accumulate(s);
   }
 };
+
+// Folds threshold-algorithm counters into the per-query ExecStats view.
+void FoldRankStats(const exec::RankStats& rank, exec::ExecStats* stats) {
+  stats->rank_heap_ops += rank.heap_ops;
+  stats->rank_stopping_depth += rank.stopping_depth;
+  stats->docs_scored += rank.candidates_scored;
+  stats->docs_pruned += rank.entries_pruned();
+}
+
+// Rewrite-attempt table for the rank-processing path, where the optimizer
+// never runs: the gate verdicts are still what admitted rank processing,
+// so EXPLAIN ANALYZE and ?explain=1 stay complete on this path too.
+std::vector<RewriteAttempt> RankPathAttempts(
+    const mcalc::Query& query, const sa::ScoringScheme& scheme) {
+  const Optimization fired_opt = query.root->kind == mcalc::NodeKind::kOr
+                                     ? Optimization::kRankUnion
+                                     : Optimization::kRankJoin;
+  std::vector<RewriteAttempt> attempts;
+  for (const Optimization opt : kAllOptimizations) {
+    RewriteAttempt attempt;
+    attempt.opt = opt;
+    if (opt == fired_opt) {
+      attempt.fired = true;
+      attempt.verdict = "gate ok: " +
+                        ExplainGate(opt, scheme.properties()).reason +
+                        "; threshold top-k execution";
+    } else {
+      attempt.verdict = "not attempted (rank processing path)";
+    }
+    attempts.push_back(std::move(attempt));
+  }
+  return attempts;
+}
+
+std::string FormatExecStats(const exec::ExecStats& s) {
+  std::string out =
+      "  docs_visited=" + std::to_string(s.docs_visited) +
+      " rows_built=" + std::to_string(s.rows_built) +
+      " positions_scanned=" + std::to_string(s.positions_scanned) +
+      " count_entries_scanned=" + std::to_string(s.count_entries_scanned) +
+      "\n  blocks_decoded=" + std::to_string(s.blocks_decoded) +
+      " gallop_probes=" + std::to_string(s.gallop_probes) +
+      " skip_calls=" + std::to_string(s.skip_calls) +
+      " skip_hits=" + std::to_string(s.skip_hits) + "\n";
+  if (s.rank_heap_ops != 0 || s.docs_scored != 0 || s.docs_pruned != 0 ||
+      s.rank_stopping_depth != 0) {
+    out += "  rank: heap_ops=" + std::to_string(s.rank_heap_ops) +
+           " stopping_depth=" + std::to_string(s.rank_stopping_depth) +
+           " docs_scored=" + std::to_string(s.docs_scored) +
+           " docs_pruned=" + std::to_string(s.docs_pruned) + "\n";
+  }
+  return out;
+}
 
 // K-way merge of per-segment (score desc, doc asc) sorted lists into the
 // global top-k (k == 0 → full sort merge). The heap holds one head per
@@ -120,10 +158,26 @@ StatusOr<const sa::ScoringScheme*> Engine::ResolveScheme(
 StatusOr<SearchResult> Engine::Search(std::string_view query_text,
                                       std::string_view scheme_name,
                                       const SearchOptions& options) const {
+  SearchOptions opts = options;
+  // When the global tracer is on and the caller did not supply a trace,
+  // trace into a local one and publish it to the ring on completion.
+  common::QueryTrace ring_trace;
+  const bool record_global =
+      opts.trace == nullptr && common::Tracer::Global().enabled();
+  if (record_global) {
+    opts.trace = &ring_trace;
+  }
+
+  common::ScopedSpan parse_span(opts.trace, "parse");
   GRAFT_ASSIGN_OR_RETURN(mcalc::Query query, mcalc::ParseQuery(query_text));
+  parse_span.End();
   GRAFT_ASSIGN_OR_RETURN(const sa::ScoringScheme* scheme,
                          ResolveScheme(scheme_name));
-  return SearchQuery(query, *scheme, options);
+  auto result = SearchQuery(query, *scheme, opts);
+  if (record_global) {
+    common::Tracer::Global().Record(std::string(query_text), ring_trace);
+  }
+  return result;
 }
 
 StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
@@ -135,9 +189,11 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
   }
 
   SearchResult result;
+  common::QueryTrace* trace = options.trace;
   const sa::QueryContext query_ctx = MakeQueryContext(query);
 
   if (options.use_canonical_reference) {
+    common::ScopedSpan canonical_span(trace, "canonical-evaluate");
     GRAFT_ASSIGN_OR_RETURN(CanonicalBuild canonical,
                            BuildCanonicalPlan(query, scheme));
     GRAFT_RETURN_IF_ERROR(ma::ResolvePlan(canonical.plan.get(), *index_));
@@ -156,21 +212,32 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
   // Top-k rank processing when the gate admits it.
   if (options.top_k > 0 && options.allow_rank_processing &&
       exec::TopKRankEngine::Supports(query, scheme)) {
+    common::ScopedSpan rank_span(trace, "rank");
     exec::TopKRankEngine rank_engine(index_, &scheme, overlay_);
     GRAFT_ASSIGN_OR_RETURN(result.results,
                            rank_engine.TopK(query, options.top_k));
+    rank_span.End("stopping_depth=" +
+                  std::to_string(rank_engine.stats().stopping_depth));
     result.used_rank_processing = true;
     result.applied_optimizations = "rank-join/rank-union (top-k)";
+    result.rewrite_attempts = RankPathAttempts(query, scheme);
+    FoldRankStats(rank_engine.stats(), &result.exec_stats);
     return result;
   }
 
   Optimizer optimizer(&scheme, options.optimizer);
+  common::ScopedSpan optimize_span(trace, "optimize");
   GRAFT_ASSIGN_OR_RETURN(OptimizedPlan plan,
-                         optimizer.Optimize(query, *index_));
+                         optimizer.Optimize(query, *index_, trace));
+  optimize_span.End("applied: " + plan.AppliedToString());
   exec::Executor executor(index_, &scheme, query_ctx, overlay_);
+  common::ScopedSpan execute_span(trace, "execute");
   GRAFT_ASSIGN_OR_RETURN(result.results, executor.ExecuteRanked(*plan.plan));
+  execute_span.End("docs_visited=" +
+                   std::to_string(executor.stats().docs_visited));
   result.plan_text = ma::PlanToString(*plan.plan);
   result.applied_optimizations = plan.AppliedToString();
+  result.rewrite_attempts = std::move(plan.attempts);
   result.exec_stats = executor.stats();
   if (options.top_k > 0 && result.results.size() > options.top_k) {
     result.results.resize(options.top_k);
@@ -182,6 +249,7 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
     const mcalc::Query& query, const sa::ScoringScheme& scheme,
     const SearchOptions& options) const {
   SearchResult result;
+  common::QueryTrace* trace = options.trace;
   const sa::QueryContext query_ctx = MakeQueryContext(query);
   const size_t num_segments = segmented_->segment_count();
   result.segments_searched = num_segments;
@@ -190,15 +258,19 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
   // ParallelFor latch publishes all writes to this thread.
   std::vector<Status> statuses(num_segments, Status::Ok());
   std::vector<std::vector<ma::ScoredDoc>> partials(num_segments);
-  AtomicExecStats agg_stats;
+  SharedExecStats agg_stats;
 
   // Top-k rank processing: per-segment threshold-algorithm top-k against
   // global statistics, then a k-way merge — score-consistent because each
   // segment's top-k is exact for its documents.
   if (options.top_k > 0 && options.allow_rank_processing &&
       exec::TopKRankEngine::Supports(query, scheme)) {
+    common::ScopedSpan rank_span(
+        trace, "rank", "segments=" + std::to_string(num_segments));
     common::ParallelFor(
         pool_.get(), options.num_threads, num_segments, [&](size_t i) {
+          common::ScopedSpan segment_span(trace,
+                                          "segment " + std::to_string(i));
           const index::SegmentedIndex::Segment& seg = segmented_->segment(i);
           exec::TopKRankEngine rank_engine(&seg.index, &scheme,
                                            /*overlay=*/nullptr, &seg.stats);
@@ -211,26 +283,40 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
           for (ma::ScoredDoc& hit : partials[i]) {
             hit.doc += seg.base;
           }
+          exec::ExecStats rank_stats;
+          FoldRankStats(rank_engine.stats(), &rank_stats);
+          agg_stats.Add(rank_stats);
         });
     for (const Status& status : statuses) {
       GRAFT_RETURN_IF_ERROR(status);
     }
+    rank_span.End();
+    common::ScopedSpan merge_span(trace, "merge");
     result.results = MergeRanked(partials, options.top_k);
+    merge_span.End("results=" + std::to_string(result.results.size()));
     result.used_rank_processing = true;
     result.applied_optimizations =
         "rank-join/rank-union (top-k), segmented ×" +
         std::to_string(num_segments);
+    result.rewrite_attempts = RankPathAttempts(query, scheme);
+    result.exec_stats = agg_stats.stats;
     return result;
   }
 
   // Optimize ONCE against the monolithic index (cost estimates use global
   // posting lengths); resolve the plan per segment.
   Optimizer optimizer(&scheme, options.optimizer);
+  common::ScopedSpan optimize_span(trace, "optimize");
   GRAFT_ASSIGN_OR_RETURN(OptimizedPlan plan,
-                         optimizer.Optimize(query, *index_));
+                         optimizer.Optimize(query, *index_, trace));
+  optimize_span.End("applied: " + plan.AppliedToString());
 
+  common::ScopedSpan execute_span(
+      trace, "execute", "segments=" + std::to_string(num_segments));
   common::ParallelFor(
       pool_.get(), options.num_threads, num_segments, [&](size_t i) {
+        common::ScopedSpan segment_span(trace,
+                                        "segment " + std::to_string(i));
         const index::SegmentedIndex::Segment& seg = segmented_->segment(i);
         ma::PlanNodePtr local_plan = plan.plan->Clone();
         Status resolved = ma::ResolvePlan(local_plan.get(), seg.index);
@@ -254,12 +340,16 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
   for (const Status& status : statuses) {
     GRAFT_RETURN_IF_ERROR(status);
   }
+  execute_span.End();
 
+  common::ScopedSpan merge_span(trace, "merge");
   result.results = MergeRanked(partials, options.top_k);
+  merge_span.End("results=" + std::to_string(result.results.size()));
   result.plan_text = ma::PlanToString(*plan.plan);
   result.applied_optimizations =
       plan.AppliedToString() + ", segmented ×" + std::to_string(num_segments);
-  result.exec_stats = agg_stats.Snapshot();
+  result.rewrite_attempts = std::move(plan.attempts);
+  result.exec_stats = agg_stats.stats;
   return result;
 }
 
@@ -277,7 +367,44 @@ StatusOr<std::string> Engine::Explain(std::string_view query_text,
   out += "scheme: " + std::string(scheme->name()) + " (" +
          sa::DirectionName(scheme->properties().direction) + ")\n";
   out += "applied: " + plan.AppliedToString() + "\n";
-  out += plan.plan == nullptr ? "" : ma::PlanToString(*plan.plan);
+  out += "rewrites:\n" + FormatRewriteAttempts(plan.attempts);
+  if (plan.plan != nullptr) {
+    const CostEstimate estimate = CostModel(index_).Estimate(*plan.plan);
+    char line[96];
+    std::snprintf(line, sizeof(line),
+                  "cost estimate: docs=%.1f rows=%.1f cost=%.1f\n",
+                  estimate.docs, estimate.rows, estimate.cost);
+    out += line;
+    out += ma::PlanToString(*plan.plan);
+  }
+  return out;
+}
+
+StatusOr<std::string> Engine::ExplainAnalyze(
+    std::string_view query_text, std::string_view scheme_name,
+    const SearchOptions& options) const {
+  GRAFT_ASSIGN_OR_RETURN(std::string out,
+                         Explain(query_text, scheme_name, options));
+
+  // Execute under a local trace (chaining to any caller-supplied one
+  // would double-count spans; EXPLAIN ANALYZE owns its trace).
+  common::QueryTrace trace;
+  SearchOptions opts = options;
+  opts.trace = &trace;
+  GRAFT_ASSIGN_OR_RETURN(SearchResult result,
+                         Search(query_text, scheme_name, opts));
+
+  out += "-- analyze --\n";
+  out += "executed: " + result.applied_optimizations + "\n";
+  out += "segments searched: " + std::to_string(result.segments_searched) +
+         "\n";
+  if (result.used_rank_processing) {
+    out += "rank processing rewrites:\n" +
+           FormatRewriteAttempts(result.rewrite_attempts);
+  }
+  out += "results: " + std::to_string(result.results.size()) + "\n";
+  out += "measured operator work:\n" + FormatExecStats(result.exec_stats);
+  out += "trace:\n" + trace.ToText();
   return out;
 }
 

@@ -37,6 +37,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/optimizer.h"
 #include "exec/executor.h"
 #include "exec/rank_join.h"
@@ -73,6 +74,14 @@ struct SearchOptions {
   // reference evaluator instead of the optimized streaming plan. Slow;
   // meant for oracle comparisons.
   bool use_canonical_reference = false;
+
+  // When non-null, the engine records spans into it: parse (on the
+  // text-query entry points) → optimize (one event per attempted rewrite,
+  // with the gate verdict) → execute (one child span per segment) → rank →
+  // merge. Independently, whenever common::Tracer::Global() is enabled,
+  // Search() traces every text query into the global ring even with
+  // trace == nullptr.
+  common::QueryTrace* trace = nullptr;
 };
 
 struct SearchResult {
@@ -80,6 +89,11 @@ struct SearchResult {
   // The executed plan (EXPLAIN-style rendering) and the rewrites applied.
   std::string plan_text;
   std::string applied_optimizations;
+  // Every catalog rewrite attempted for this query, with its gate verdict
+  // (or option/structural reason) — EXPLAIN's rewrite table. Populated on
+  // both the streaming and rank-processing paths; empty only for the
+  // canonical-reference oracle.
+  std::vector<RewriteAttempt> rewrite_attempts;
   exec::ExecStats exec_stats;
   bool used_rank_processing = false;
   // Number of index segments the query executed over (1 = monolithic).
@@ -112,10 +126,22 @@ class Engine {
                                      const sa::ScoringScheme& scheme,
                                      const SearchOptions& options = {}) const;
 
-  // Renders the optimized plan for a query + scheme without executing.
+  // Renders the optimized plan for a query + scheme without executing:
+  // query, Φ, scheme, the full rewrite-attempt table (every catalog
+  // optimization with its gate verdict), and the physical plan with
+  // cost-model estimates.
   StatusOr<std::string> Explain(std::string_view query_text,
                                 std::string_view scheme_name,
                                 const SearchOptions& options = {}) const;
+
+  // EXPLAIN ANALYZE: executes the query under a trace and renders
+  // everything Explain shows plus the measured per-operator counters
+  // (postings blocks decoded, galloping probes, skip hits, rank-join heap
+  // ops and stopping depth, docs scored vs pruned) side by side with the
+  // cost-model estimate, and the span timeline.
+  StatusOr<std::string> ExplainAnalyze(std::string_view query_text,
+                                       std::string_view scheme_name,
+                                       const SearchOptions& options = {}) const;
 
   const index::InvertedIndex& index() const { return *index_; }
   const index::SegmentedIndex* segmented() const { return segmented_; }

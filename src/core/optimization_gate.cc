@@ -72,6 +72,61 @@ bool IsOptimizationValid(Optimization opt,
   return false;
 }
 
+GateDecision ExplainGate(Optimization opt,
+                         const sa::SchemeProperties& props) {
+  GateDecision decision;
+  decision.valid = IsOptimizationValid(opt, props);
+  switch (opt) {
+    case Optimization::kSortElimination:
+      decision.reason =
+          decision.valid ? "⊕ commutes" : "⊕ not commutative";
+      break;
+    case Optimization::kJoinReordering:
+    case Optimization::kSelectionPushing:
+    case Optimization::kZigZagJoin:
+    case Optimization::kEagerCounting:
+      decision.reason = "no scheme requirement (Section 5.2.4)";
+      break;
+    case Optimization::kForwardScanJoin:
+    case Optimization::kAlternateElimination:
+      decision.reason =
+          decision.valid ? "scheme is constant" : "scheme not constant";
+      break;
+    case Optimization::kEagerAggregation:
+      if (decision.valid) {
+        decision.reason = "⊕ fully associative, not row-first";
+      } else if (!props.alt.associative) {
+        decision.reason = "⊕ not fully associative";
+      } else {
+        decision.reason = "scheme is row-first";
+      }
+      break;
+    case Optimization::kPreCounting:
+      decision.reason = decision.valid ? "non-positional scheme"
+                                       : "scheme is positional";
+      break;
+    case Optimization::kRankJoin:
+      if (decision.valid) {
+        decision.reason = "⊘ monotonic increasing, diagonal";
+      } else if (!props.conj.monotonic_increasing) {
+        decision.reason = "⊘ not monotonic increasing";
+      } else {
+        decision.reason = "scheme not diagonal";
+      }
+      break;
+    case Optimization::kRankUnion:
+      if (decision.valid) {
+        decision.reason = "⊚ monotonic increasing, diagonal";
+      } else if (!props.disj.monotonic_increasing) {
+        decision.reason = "⊚ not monotonic increasing";
+      } else {
+        decision.reason = "scheme not diagonal";
+      }
+      break;
+  }
+  return decision;
+}
+
 std::vector<Optimization> ValidOptimizations(
     const sa::SchemeProperties& props) {
   std::vector<Optimization> valid;

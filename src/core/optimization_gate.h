@@ -49,6 +49,15 @@ std::string DirectionRequirement(Optimization opt);
 // these properties (Table 1's decision logic).
 bool IsOptimizationValid(Optimization opt, const sa::SchemeProperties& props);
 
+// A gate verdict with the scheme property that decided it, for EXPLAIN
+// output ("gate ok: ⊕ commutes" / "blocked: ⊕ not commutative").
+struct GateDecision {
+  bool valid = false;
+  std::string reason;  // the deciding Table-1 requirement, human-readable
+};
+
+GateDecision ExplainGate(Optimization opt, const sa::SchemeProperties& props);
+
 // All optimizations valid for the scheme (one Table 3 column).
 std::vector<Optimization> ValidOptimizations(
     const sa::SchemeProperties& props);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/canonical_plan.h"
 #include "core/optimization_gate.h"
 #include "index/inverted_index.h"
@@ -51,10 +52,25 @@ struct OptimizerOptions {
   bool alternate_elimination = true;
 };
 
+// One catalog rewrite's outcome for this query + scheme: fired or not,
+// and why — the gate verdict with the deciding Table-1/Table-2 property,
+// an option toggle, or a structural reason (EXPLAIN's rewrite table).
+struct RewriteAttempt {
+  Optimization opt;
+  bool fired = false;
+  std::string verdict;
+};
+
+// "  ⊕ name: fired|skipped (verdict)" lines, one per attempt.
+std::string FormatRewriteAttempts(const std::vector<RewriteAttempt>& attempts);
+
 struct OptimizedPlan {
   ma::PlanNodePtr plan;  // resolved against the index
   PhiNodePtr phi;
   std::vector<Optimization> applied;
+  // One entry per catalog optimization (kAllOptimizations order): the
+  // complete rewrite-attempt record behind `applied`.
+  std::vector<RewriteAttempt> attempts;
 
   std::string AppliedToString() const;
 };
@@ -65,9 +81,11 @@ class Optimizer {
       : scheme_(scheme), options_(options) {}
 
   // Builds the optimized plan for `query`. The index supplies cost
-  // estimates (posting lengths) and term resolution.
+  // estimates (posting lengths) and term resolution. When `trace` is
+  // non-null, one point span per attempted rewrite is recorded.
   StatusOr<OptimizedPlan> Optimize(const mcalc::Query& query,
-                                   const index::InvertedIndex& index) const;
+                                   const index::InvertedIndex& index,
+                                   common::QueryTrace* trace = nullptr) const;
 
  private:
   const sa::ScoringScheme* scheme_;

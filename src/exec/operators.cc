@@ -61,6 +61,23 @@ StatusOr<std::vector<CompiledPredicate>> CompilePredicates(
   return compiled;
 }
 
+// cursor.SkipTo under counter accounting: galloping probes, skip calls,
+// and skip hits (a hit = the gallop leapfrogged at least one posting
+// beyond sequential advance).
+template <typename Cursor>
+void CountedSkipTo(Cursor* cursor, DocId target, ExecStats* counters) {
+  if (counters == nullptr) {
+    cursor->SkipTo(target);
+    return;
+  }
+  const size_t before = cursor->position();
+  cursor->SkipTo(target, &counters->gallop_probes);
+  ++counters->skip_calls;
+  if (cursor->position() > before + 1) {
+    ++counters->skip_hits;
+  }
+}
+
 // Lazily materializes the current document's rows of a child operator (for
 // join rescans). Only pulls what the consumer touches; row storage is
 // pooled across documents so steady-state pulls allocate nothing.
@@ -106,12 +123,15 @@ class ScanOp final : public DocOperator {
       return true;
     }
     started_ = true;
-    cursor_.SkipTo(min_doc);
+    CountedSkipTo(&cursor_, min_doc, counters_);
     if (cursor_.AtEnd()) {
       return false;
     }
     current_doc_ = cursor_.doc();
     offsets_ = cursor_.offsets();
+    if (counters_ != nullptr) {
+      ++counters_->blocks_decoded;
+    }
     next_offset_ = 0;
     cursor_.Next();  // pre-advance so the next SkipTo starts beyond.
     return true;
@@ -158,7 +178,7 @@ class PreCountScanOp final : public DocOperator {
       return true;
     }
     started_ = true;
-    cursor_.SkipTo(min_doc);
+    CountedSkipTo(&cursor_, min_doc, counters_);
     if (cursor_.AtEnd()) {
       return false;
     }
@@ -204,7 +224,7 @@ class EagerCountScanOp final : public DocOperator {
       return true;
     }
     started_ = true;
-    cursor_.SkipTo(min_doc);
+    CountedSkipTo(&cursor_, min_doc, counters_);
     if (cursor_.AtEnd()) {
       return false;
     }
@@ -217,6 +237,7 @@ class EagerCountScanOp final : public DocOperator {
     }
     if (counters_ != nullptr) {
       counters_->positions_scanned += offsets.size();
+      ++counters_->blocks_decoded;
     }
     count_ = offsets.size();
     emitted_ = false;
@@ -265,7 +286,7 @@ class FusedScoredCountScan final : public DocOperator {
       return true;
     }
     started_ = true;
-    cursor_.SkipTo(min_doc);
+    CountedSkipTo(&cursor_, min_doc, env_->counters);
     if (cursor_.AtEnd()) {
       current_doc_ = kInvalidDoc;
       return false;
@@ -667,7 +688,7 @@ class ProjectOp final : public DocOperator {
     }
     // Only tf varies per document; the rest of col_ctx_ is constant.
     for (auto& [column_index, cursor] : tf_cursors_) {
-      cursor.SkipTo(current_doc_);
+      CountedSkipTo(&cursor, current_doc_, env_->counters);
       col_ctx_[column_index].tf_in_doc =
           (!cursor.AtEnd() && cursor.doc() == current_doc_) ? cursor.tf()
                                                             : 0;

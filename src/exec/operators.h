@@ -31,13 +31,41 @@
 
 namespace graft::exec {
 
-// Execution counters for benches and tests (e.g. verifying that
+// Per-query execution counters: what the physical operators actually did.
+// Surfaced by EXPLAIN ANALYZE / ?explain=1 and compared against cost-model
+// predictions; tests use them to verify physical claims (e.g. that
 // pre-counting touches no position entries).
 struct ExecStats {
-  uint64_t positions_scanned = 0;
-  uint64_t count_entries_scanned = 0;
-  uint64_t rows_built = 0;
-  uint64_t docs_visited = 0;
+  uint64_t positions_scanned = 0;      // term positions read (A scans)
+  uint64_t count_entries_scanned = 0;  // doc/tf entries read (CA scans)
+  uint64_t rows_built = 0;             // join output rows materialized
+  uint64_t docs_visited = 0;           // documents surfaced by the root
+  uint64_t blocks_decoded = 0;         // varint position blocks decoded
+  uint64_t gallop_probes = 0;          // doc-id comparisons inside GallopTo
+  uint64_t skip_calls = 0;             // SkipTo invocations by operators
+  uint64_t skip_hits = 0;              // SkipTo calls that leapfrogged >= 1
+                                       // posting (the zig-zag payoff)
+  // Rank-processing (threshold algorithm) counters; zero on the full
+  // streaming path.
+  uint64_t rank_heap_ops = 0;        // top-k candidate inserts + evictions
+  uint64_t rank_stopping_depth = 0;  // sorted entries pulled before stop
+  uint64_t docs_scored = 0;          // candidates fully scored
+  uint64_t docs_pruned = 0;          // candidate postings never completed
+
+  void Accumulate(const ExecStats& other) {
+    positions_scanned += other.positions_scanned;
+    count_entries_scanned += other.count_entries_scanned;
+    rows_built += other.rows_built;
+    docs_visited += other.docs_visited;
+    blocks_decoded += other.blocks_decoded;
+    gallop_probes += other.gallop_probes;
+    skip_calls += other.skip_calls;
+    skip_hits += other.skip_hits;
+    rank_heap_ops += other.rank_heap_ops;
+    rank_stopping_depth += other.rank_stopping_depth;
+    docs_scored += other.docs_scored;
+    docs_pruned += other.docs_pruned;
+  }
 };
 
 // Shared evaluation environment.

@@ -207,8 +207,10 @@ StatusOr<std::vector<ma::ScoredDoc>> TopKRankEngine::TopK(
           return a.doc < b.doc;
         });
     top.insert(position, candidate);
+    ++stats_.heap_ops;
     if (top.size() > k) {
       top.pop_back();
+      ++stats_.heap_ops;
     }
   };
 
@@ -270,6 +272,7 @@ StatusOr<std::vector<ma::ScoredDoc>> TopKRankEngine::TopK(
       }
     }
   }
+  stats_.stopping_depth = stats_.entries_pulled;
   return top;
 }
 

@@ -33,8 +33,20 @@ namespace graft::exec {
 struct RankStats {
   uint64_t entries_pulled = 0;      // sorted-stream entries consumed
   uint64_t candidates_scored = 0;   // documents fully scored
-  uint64_t total_candidates = 0;    // documents that match at all
+  uint64_t total_candidates = 0;    // stream entries that match at all
   uint64_t streams_built = 0;       // score-ordered streams materialized
+  uint64_t heap_ops = 0;            // top-k inserts + evictions
+  // entries_pulled at the moment the threshold stop fired (== the TA
+  // aggregation depth of Fagin et al.); equals entries_pulled when the
+  // streams were exhausted before the threshold bound the result.
+  uint64_t stopping_depth = 0;
+  // Stream entries never consumed nor completed by random access: the
+  // work the threshold stop avoided.
+  uint64_t entries_pruned() const {
+    return total_candidates > entries_pulled
+               ? total_candidates - entries_pulled
+               : 0;
+  }
 };
 
 class TopKRankEngine {

@@ -33,25 +33,43 @@ void PostingList::DecodeOffsets(size_t i, std::vector<Offset>* out) const {
   }
 }
 
-size_t PostingList::GallopTo(size_t from, DocId target) const {
+size_t PostingList::GallopTo(size_t from, DocId target,
+                             uint64_t* probes) const {
   const size_t n = docs_.size();
   if (from >= n || docs_[from] >= target) {
+    if (probes != nullptr && from < n) {
+      ++*probes;
+    }
     return from;
   }
   // Gallop: double the step until we overshoot, then binary search inside
   // the final bracket. O(log distance) per skip.
+  uint64_t local_probes = 1;  // the docs_[from] >= target check above
   size_t step = 1;
   size_t lo = from;
   size_t hi = from + step;
   while (hi < n && docs_[hi] < target) {
+    ++local_probes;
     lo = hi;
     step <<= 1;
     hi = from + step;
   }
   hi = std::min(hi, n);
-  const auto it = std::lower_bound(docs_.begin() + lo, docs_.begin() + hi,
-                                   target);
-  return static_cast<size_t>(it - docs_.begin());
+  size_t left = lo;
+  size_t right = hi;
+  while (left < right) {
+    ++local_probes;
+    const size_t mid = left + (right - left) / 2;
+    if (docs_[mid] < target) {
+      left = mid + 1;
+    } else {
+      right = mid;
+    }
+  }
+  if (probes != nullptr) {
+    *probes += local_probes;
+  }
+  return left;
 }
 
 void PostingList::RestoreFrom(std::vector<DocId> docs,

@@ -60,8 +60,11 @@ class PostingList {
   }
 
   // Index of the first posting with doc >= target, starting the gallop from
-  // `from`. Returns doc_count() if none.
-  size_t GallopTo(size_t from, DocId target) const;
+  // `from`. Returns doc_count() if none. When `probes` is non-null, it is
+  // incremented once per document-id comparison the search performed
+  // (gallop doublings + binary-search halvings) — the per-query probe
+  // counter surfaced by EXPLAIN ANALYZE.
+  size_t GallopTo(size_t from, DocId target, uint64_t* probes = nullptr) const;
 
   // Serialization hooks used by index_io.
   const std::vector<DocId>& raw_docs() const { return docs_; }
@@ -103,9 +106,15 @@ class PostingCursor {
     return scratch_;
   }
 
+  // Posting index the cursor sits on (operators diff it across SkipTo to
+  // count skip hits).
+  size_t position() const { return pos_; }
+
   void Next() { ++pos_; }
   // Advances to the first posting with doc >= target (galloping skip).
-  void SkipTo(DocId target) { pos_ = list_->GallopTo(pos_, target); }
+  void SkipTo(DocId target, uint64_t* probes = nullptr) {
+    pos_ = list_->GallopTo(pos_, target, probes);
+  }
 
  private:
   const PostingList* list_;
@@ -123,8 +132,12 @@ class CountCursor {
   DocId doc() const { return list_->doc_at(pos_); }
   uint32_t tf() const { return list_->tf_at(pos_); }
 
+  size_t position() const { return pos_; }
+
   void Next() { ++pos_; }
-  void SkipTo(DocId target) { pos_ = list_->GallopTo(pos_, target); }
+  void SkipTo(DocId target, uint64_t* probes = nullptr) {
+    pos_ = list_->GallopTo(pos_, target, probes);
+  }
 
  private:
   const PostingList* list_;

@@ -59,6 +59,70 @@ void AppendMsField(std::string* out, std::string_view name, double micros) {
   *out += buf;
 }
 
+// The full per-operator counter object (the base "exec" block keeps its
+// original three fields for compatibility; explain gets everything).
+void AppendFullExecJson(std::string* out, const exec::ExecStats& s) {
+  *out += "{\"docs_visited\":" + std::to_string(s.docs_visited) +
+          ",\"rows_built\":" + std::to_string(s.rows_built) +
+          ",\"positions_scanned\":" + std::to_string(s.positions_scanned) +
+          ",\"count_entries_scanned\":" +
+          std::to_string(s.count_entries_scanned) +
+          ",\"blocks_decoded\":" + std::to_string(s.blocks_decoded) +
+          ",\"gallop_probes\":" + std::to_string(s.gallop_probes) +
+          ",\"skip_calls\":" + std::to_string(s.skip_calls) +
+          ",\"skip_hits\":" + std::to_string(s.skip_hits) +
+          ",\"rank_heap_ops\":" + std::to_string(s.rank_heap_ops) +
+          ",\"rank_stopping_depth\":" +
+          std::to_string(s.rank_stopping_depth) +
+          ",\"docs_scored\":" + std::to_string(s.docs_scored) +
+          ",\"docs_pruned\":" + std::to_string(s.docs_pruned) + "}";
+}
+
+// "explain":{...} block: pinned generation, rewrite table, counters, trace.
+void AppendExplainBlock(std::string* out, const core::SearchResult& result,
+                        const common::QueryTrace& trace,
+                        uint64_t pinned_generation) {
+  *out += "\"explain\":{\"generation\":";
+  *out += std::to_string(pinned_generation);
+  *out += ",\"plan\":\"";
+  JsonAppendEscaped(out, result.plan_text);
+  *out += "\",\"rewrites\":[";
+  bool first = true;
+  for (const core::RewriteAttempt& attempt : result.rewrite_attempts) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "{\"name\":\"";
+    JsonAppendEscaped(out, core::OptimizationName(attempt.opt));
+    *out += "\",\"fired\":";
+    *out += attempt.fired ? "true" : "false";
+    *out += ",\"verdict\":\"";
+    JsonAppendEscaped(out, attempt.verdict);
+    *out += "\"}";
+  }
+  *out += "],\"exec\":";
+  AppendFullExecJson(out, result.exec_stats);
+  *out += ",\"trace\":[";
+  first = true;
+  for (const common::TraceSpan& span : trace.spans()) {
+    if (!first) *out += ",";
+    first = false;
+    char buf[96];
+    *out += "{\"name\":\"";
+    JsonAppendEscaped(out, span.name);
+    std::snprintf(buf, sizeof(buf), "\",\"us\":%.1f,\"depth\":%u",
+                  static_cast<double>(span.DurationNanos()) / 1000.0,
+                  span.depth);
+    *out += buf;
+    if (!span.detail.empty()) {
+      *out += ",\"detail\":\"";
+      JsonAppendEscaped(out, span.detail);
+      *out += "\"";
+    }
+    *out += "}";
+  }
+  *out += "]}";
+}
+
 }  // namespace
 
 int HttpCodeForStatus(const Status& status) {
@@ -260,6 +324,7 @@ Response SearchService::Handle(const HttpRequest& request,
   }
   if (request.path == "/healthz") return HandleHealthz();
   if (request.path == "/stats") return HandleStats();
+  if (request.path == "/metrics") return HandleMetrics();
   if (request.path == "/admin/reload") return HandleReload();
   if (request.path == "/search") return HandleSearch(request, queued_micros);
   response.status_code = 404;
@@ -302,6 +367,29 @@ Response SearchService::HandleStats() const {
     JsonAppendEscaped(&body, last_reload_error_);
   }
   body += "\"}";
+  response.body = std::move(body);
+  return response;
+}
+
+Response SearchService::HandleMetrics() const {
+  Response response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body = stats_.ToPrometheus();
+  // Service-level gauges live here, next to the counters ServerStats owns.
+  body += "# HELP graft_inflight_requests Admitted but unanswered requests.\n";
+  body += "# TYPE graft_inflight_requests gauge\n";
+  body += "graft_inflight_requests " +
+          std::to_string(inflight_.load(std::memory_order_relaxed)) + "\n";
+  body += "# HELP graft_index_generation Engine generation (1 + reloads).\n";
+  body += "# TYPE graft_index_generation gauge\n";
+  body += "graft_index_generation " + std::to_string(generation()) + "\n";
+  body += "# HELP graft_degraded 1 while the last reload attempt failed.\n";
+  body += "# TYPE graft_degraded gauge\n";
+  body += std::string("graft_degraded ") + (degraded() ? "1" : "0") + "\n";
+  body += "# HELP graft_uptime_seconds Seconds since Start().\n";
+  body += "# TYPE graft_uptime_seconds gauge\n";
+  body += "graft_uptime_seconds " +
+          std::to_string(MicrosSince(started_at_) / 1000000) + "\n";
   response.body = std::move(body);
   return response;
 }
@@ -388,11 +476,18 @@ Response SearchService::HandleSearch(const HttpRequest& request,
         std::to_string(options_.max_top_k)));
     return response;
   }
+  bool explain = false;
+  if (const std::string* text = get("explain")) {
+    explain = *text == "1" || *text == "true";
+  }
 
   // Pin the engine generation once: a reload that lands mid-request swaps
   // the service's pointer but cannot touch this snapshot, and the control
-  // block keeps the whole old bundle alive until we return.
+  // block keeps the whole old bundle alive until we return. The explain
+  // block reports this pinned generation, not the live one — an EXPLAIN
+  // that overlaps a reload describes the engine it actually ran on.
   const std::shared_ptr<const core::Engine> engine = SnapshotEngine();
+  const uint64_t pinned_generation = generation();
 
   StatusOr<core::ResolvedRequest> resolved =
       core::ResolveRequest(*engine, params);
@@ -401,6 +496,10 @@ Response SearchService::HandleSearch(const HttpRequest& request,
     response.body = ErrorBody(resolved.status());
     stats_.search_latency.Record(queued_micros + MicrosSince(handle_start));
     return response;
+  }
+  common::QueryTrace trace;  // outlives the engine call
+  if (explain) {
+    resolved->options.trace = &trace;
   }
 
   if (options_.test_search_delay_ms > 0) {
@@ -428,6 +527,32 @@ Response SearchService::HandleSearch(const HttpRequest& request,
   const uint64_t engine_micros = MicrosSince(engine_start);
 
   stats_.scheme_counts.Record(params.scheme);
+  // Slow-query log: threshold on the full latency the client saw
+  // (queue + handling), which is what a tail-latency alert fires on.
+  if (options_.slow_query_ms > 0 &&
+      queued_micros + MicrosSince(handle_start) >=
+          options_.slow_query_ms * 1000) {
+    stats_.slow_queries.fetch_add(1, std::memory_order_relaxed);
+    std::string counters;
+    if (result.ok()) {
+      counters = " docs_visited=" +
+                 std::to_string(result->exec_stats.docs_visited) +
+                 " rows_built=" +
+                 std::to_string(result->exec_stats.rows_built) +
+                 " gallop_probes=" +
+                 std::to_string(result->exec_stats.gallop_probes);
+    }
+    std::fprintf(stderr,
+                 "[slow-query] total=%.1fms queue=%.1fms engine=%.1fms "
+                 "scheme=%s%s query=%s\n",
+                 static_cast<double>(queued_micros +
+                                     MicrosSince(handle_start)) /
+                     1000.0,
+                 static_cast<double>(queued_micros) / 1000.0,
+                 static_cast<double>(engine_micros) / 1000.0,
+                 params.scheme.c_str(), counters.c_str(),
+                 params.query.c_str());
+  }
   if (!result.ok()) {
     response.status_code = HttpCodeForStatus(result.status());
     response.body = ErrorBody(result.status());
@@ -472,6 +597,10 @@ Response SearchService::HandleSearch(const HttpRequest& request,
   body += ",\"positions_scanned\":";
   body += std::to_string(result->exec_stats.positions_scanned);
   body += "},";
+  if (explain) {
+    AppendExplainBlock(&body, *result, trace, pinned_generation);
+    body += ",";
+  }
   body += FormatResultsFragment(result->results);
   body += "}";
   response.body = std::move(body);

@@ -5,8 +5,12 @@
 //              [&deadline_ms=<n>]
 //       -> 200 JSON: ranked results with scores, timings, and
 //          segments_searched; 400/404 on any malformed input.
+//       Adding &explain=1 appends an "explain" JSON block: the pinned
+//       engine generation, every attempted rewrite with its gate verdict,
+//       the full per-operator counters, and the span trace.
 //   GET /stats   -> 200 JSON: cumulative counters + latency percentiles
 //                   + reload generation / degraded state.
+//   GET /metrics -> 200 Prometheus text exposition of the same counters.
 //   GET /healthz -> 200 {"status":"ok"|"degraded",...} — used by probes.
 //   GET /admin/reload -> swap in a freshly loaded engine (see below).
 //
@@ -89,6 +93,11 @@ struct ServiceOptions {
   std::string index_path;
   size_t segments = 1;        // reload partitioning (LoadEngineBundle arg)
   size_t engine_threads = 0;  // reload engine pool workers
+  // Slow-query log: a /search whose total latency (queued + handled)
+  // reaches this many milliseconds is logged to stderr with its query,
+  // scheme, and measured operator counters, and counted in
+  // stats.slow_queries / graft_slow_queries_total. 0 disables the log.
+  uint64_t slow_query_ms = 0;
   // Test hook: artificial delay (before the engine call) per /search, so
   // overload and deadline paths are deterministic to test. 0 in
   // production.
@@ -167,6 +176,7 @@ class SearchService {
                         std::chrono::steady_clock::time_point admitted);
   Response HandleSearch(const HttpRequest& request, uint64_t queued_micros);
   Response HandleStats() const;
+  Response HandleMetrics() const;
   Response HandleHealthz() const;
   Response HandleReload();
 

@@ -112,6 +112,18 @@ void SchemeCounters::Record(std::string_view scheme_name) {
   counts_.back().fetch_add(1, std::memory_order_relaxed);
 }
 
+std::vector<std::pair<std::string, uint64_t>> SchemeCounters::NonZero()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    const uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      out.emplace_back(names_[i], n);
+    }
+  }
+  return out;
+}
+
 std::string SchemeCounters::ToJson() const {
   std::string out = "{";
   bool first = true;
@@ -162,11 +174,105 @@ std::string ServerStats::ToJson() const {
   out += std::to_string(reloads_ok.load(std::memory_order_relaxed));
   out += ",\"reloads_failed\":";
   out += std::to_string(reloads_failed.load(std::memory_order_relaxed));
+  out += ",\"slow_queries\":";
+  out += std::to_string(slow_queries.load(std::memory_order_relaxed));
   out += ",\"search_latency\":";
   out += search_latency.ToJson();
   out += ",\"scheme_counts\":";
   out += scheme_counts.ToJson();
   out += "}";
+  return out;
+}
+
+namespace {
+
+void AppendMetric(std::string* out, const char* name, const char* help,
+                  const char* type, uint64_t value) {
+  *out += "# HELP ";
+  *out += name;
+  *out += " ";
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += " ";
+  *out += type;
+  *out += "\n";
+  *out += name;
+  *out += " ";
+  *out += std::to_string(value);
+  *out += "\n";
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ServerStats::ToPrometheus() const {
+  std::string out;
+  AppendMetric(&out, "graft_requests_total",
+               "HTTP connections accepted.", "counter",
+               requests_total.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_responses_ok_total", "2xx responses.", "counter",
+               responses_ok.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_client_errors_total", "4xx responses.", "counter",
+               client_errors.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_server_errors_total",
+               "5xx responses other than 503/504.", "counter",
+               server_errors.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_rejected_overload_total",
+               "503 admission rejections.", "counter",
+               rejected_overload.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_deadline_exceeded_total", "504 responses.",
+               "counter",
+               deadline_exceeded.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_malformed_requests_total",
+               "Unparsable HTTP requests.", "counter",
+               malformed_requests.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_reloads_ok_total", "Successful hot reloads.",
+               "counter", reloads_ok.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_reloads_failed_total", "Failed hot reloads.",
+               "counter", reloads_failed.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_slow_queries_total",
+               "Searches over the slow-query threshold.", "counter",
+               slow_queries.load(std::memory_order_relaxed));
+
+  out +=
+      "# HELP graft_search_latency_microseconds /search latency "
+      "(queued + handled).\n"
+      "# TYPE graft_search_latency_microseconds summary\n";
+  const struct {
+    const char* label;
+    double q;
+  } quantiles[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+  for (const auto& quantile : quantiles) {
+    out += "graft_search_latency_microseconds{quantile=\"";
+    out += quantile.label;
+    out += "\"} ";
+    AppendDouble(&out, search_latency.PercentileMicros(quantile.q));
+    out += "\n";
+  }
+  out += "graft_search_latency_microseconds_sum ";
+  out += std::to_string(search_latency.sum_micros());
+  out += "\ngraft_search_latency_microseconds_count ";
+  out += std::to_string(search_latency.count());
+  out += "\n";
+
+  const auto schemes = scheme_counts.NonZero();
+  if (!schemes.empty()) {
+    out +=
+        "# HELP graft_search_by_scheme_total /search requests per scoring "
+        "scheme.\n# TYPE graft_search_by_scheme_total counter\n";
+    for (const auto& [name, n] : schemes) {
+      // Scheme names are registry identifiers ([A-Za-z0-9_-]) — no label
+      // escaping needed beyond quoting.
+      out += "graft_search_by_scheme_total{scheme=\"" + name + "\"} " +
+             std::to_string(n) + "\n";
+    }
+  }
   return out;
 }
 

@@ -40,6 +40,10 @@ class LatencyHistogram {
     return count_.load(std::memory_order_relaxed);
   }
 
+  uint64_t sum_micros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+
   // Renders {"count":n,"p50_ms":...,"p95_ms":...,"p99_ms":...,"max_ms":...}
   std::string ToJson() const;
 
@@ -59,6 +63,9 @@ class SchemeCounters {
 
   // Renders {"MeanSum":12,...} (only non-zero slots).
   std::string ToJson() const;
+
+  // Non-zero (name, count) slots — the /metrics label values.
+  std::vector<std::pair<std::string, uint64_t>> NonZero() const;
 
  private:
   std::vector<std::string> names_;
@@ -80,6 +87,9 @@ struct ServerStats {
   // request-outcome identity above.
   std::atomic<uint64_t> reloads_ok{0};
   std::atomic<uint64_t> reloads_failed{0};
+  // /search responses whose total latency crossed the configured
+  // slow-query threshold (0 while the slow-query log is disabled).
+  std::atomic<uint64_t> slow_queries{0};
   LatencyHistogram search_latency;                // /search only, all codes
   SchemeCounters scheme_counts;
 
@@ -90,6 +100,13 @@ struct ServerStats {
 
   // Full /stats JSON document.
   std::string ToJson() const;
+
+  // Prometheus text exposition (version 0.0.4) of every counter above:
+  // graft_-prefixed counters, a summary for search latency (quantile
+  // labels + _sum/_count), and one graft_search_by_scheme_total sample
+  // per scheme label. The /metrics handler appends its own gauges
+  // (in-flight, generation, uptime) after this.
+  std::string ToPrometheus() const;
 };
 
 }  // namespace graft::server

@@ -3,6 +3,11 @@
 //   graft_cli index  <index-file> <text-file>...     build an index
 //   graft_cli search <index-file> <scheme> <query>   ranked search
 //   graft_cli explain <index-file> <scheme> <query>  show the plan
+//     explain prints the optimized plan, the full rewrite-attempt table
+//     (every catalog optimization with its gate verdict), and the
+//     cost-model estimate; with --analyze it also EXECUTES the query and
+//     prints the measured per-operator counters plus the span trace
+//     (EXPLAIN ANALYZE).
 //   graft_cli schemes                                 list schemes
 //
 // search accepts two parallel-execution flags (before or after the
@@ -86,6 +91,7 @@ int CmdIndex(int argc, char** argv) {
 int CmdSearchOrExplain(bool explain, int argc, char** argv) {
   size_t segments = 1;
   size_t threads = 0;
+  bool analyze = false;
   std::vector<const char*> positional;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -93,15 +99,18 @@ int CmdSearchOrExplain(bool explain, int argc, char** argv) {
       auto value = graft::core::ParseCount(argv[++i], arg);
       if (!value.ok()) return Fail(value.status());
       (arg == "--segments" ? segments : threads) = *value;
+    } else if (arg == "--analyze" && explain) {
+      analyze = true;
     } else {
       positional.push_back(argv[i]);
     }
   }
   if (positional.size() != 3) {
     std::fprintf(stderr,
-                 "usage: graft_cli %s [--segments N] [--threads N] "
+                 "usage: graft_cli %s [--segments N] [--threads N]%s "
                  "<index-file> <scheme> <query>\n",
-                 explain ? "explain" : "search");
+                 explain ? "explain" : "search",
+                 explain ? " [--analyze]" : "");
     return 2;
   }
   const char* index_file = positional[0];
@@ -120,7 +129,14 @@ int CmdSearchOrExplain(bool explain, int argc, char** argv) {
   params.num_threads = threads;
 
   if (explain) {
-    auto plan = bundle->engine->Explain(params.query, params.scheme);
+    // --analyze executes the query with the user's partitioning so the
+    // measured counters describe the real segmented run.
+    graft::core::SearchOptions explain_options;
+    explain_options.num_threads = threads;
+    auto plan = analyze
+                    ? bundle->engine->ExplainAnalyze(
+                          params.query, params.scheme, explain_options)
+                    : bundle->engine->Explain(params.query, params.scheme);
     if (!plan.ok()) return Fail(plan.status());
     std::fputs(plan->c_str(), stdout);
     return 0;

@@ -2,6 +2,7 @@
 //
 //   graft_server --index FILE [--port N] [--segments N] [--threads N]
 //                [--max-inflight N] [--deadline-ms N] [--default-k N]
+//                [--slow-query-ms N] [--trace-ring N]
 //
 //   --index FILE      index built with `graft_cli index` (required)
 //   --port N          listen port on 127.0.0.1 (default 8080; 0 = ephemeral,
@@ -13,10 +14,17 @@
 //                     (default 64)
 //   --deadline-ms N   default per-request deadline (default 2000)
 //   --default-k N     k when the client sends none (default 10)
+//   --slow-query-ms N log any /search slower than N ms to stderr with its
+//                     measured operator counters (default 0 = disabled)
+//   --trace-ring N    keep the last N query traces in the in-process ring
+//                     (common::Tracer) for post-hoc debugging (default 0 =
+//                     tracing gated off, one relaxed atomic per query)
 //
 // Endpoints:
 //   GET /search?q=...&scheme=MeanSum&k=10[&threads=N][&segments=N]
+//              [&explain=1]
 //   GET /stats
+//   GET /metrics      Prometheus text exposition
 //   GET /healthz
 //   GET /admin/reload
 //
@@ -39,6 +47,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/trace.h"
 #include "core/request.h"
 #include "server/search_service.h"
 #include "text/structure.h"
@@ -50,7 +59,8 @@ int Usage() {
       stderr,
       "usage: graft_server --index FILE [--port N] [--segments N]\n"
       "                    [--threads N] [--max-inflight N]\n"
-      "                    [--deadline-ms N] [--default-k N]\n");
+      "                    [--deadline-ms N] [--default-k N]\n"
+      "                    [--slow-query-ms N] [--trace-ring N]\n");
   return 2;
 }
 
@@ -104,6 +114,12 @@ int main(int argc, char** argv) {
       options.default_deadline_ms = *parsed;
     } else if (arg == "--default-k") {
       options.default_top_k = *parsed;
+    } else if (arg == "--slow-query-ms") {
+      options.slow_query_ms = *parsed;
+    } else if (arg == "--trace-ring") {
+      if (*parsed > 0) {
+        graft::common::Tracer::Global().Enable(*parsed);
+      }
     } else {
       return Usage();
     }
