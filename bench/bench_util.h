@@ -39,10 +39,11 @@ inline const index::InvertedIndex& SharedBenchIndex() {
   static const index::InvertedIndex& index = *[] {
     const uint64_t docs = BenchDocCount();
     // Bump the version whenever WikipediaLikeConfig OR the index file
-    // format changes (v3 = checksummed sections; a v2 cache is rejected
-    // with kVersionMismatch and silently rebuilt here).
+    // format changes (v4 = block-max metadata; an older cache would load
+    // fine but without block-max arrays, silently disabling the pruning
+    // benchmarks — so the name forces a rebuild).
     const std::string cache_path =
-        "graft_bench_v3_" + std::to_string(docs) + ".idx";
+        "graft_bench_v4_" + std::to_string(docs) + ".idx";
     auto loaded = index::LoadIndex(cache_path);
     if (loaded.ok()) {
       std::fprintf(stderr, "[bench] loaded cached index %s\n",

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "core/cost_model.h"
+#include "exec/maxscore_topk.h"
 #include "ma/reference_evaluator.h"
 
 namespace graft::core {
@@ -41,11 +42,25 @@ void FoldRankStats(const exec::RankStats& rank, exec::ExecStats* stats) {
   stats->docs_pruned += rank.entries_pruned();
 }
 
+// Folds block-max pruning counters into the per-query ExecStats view.
+void FoldPruneStats(const exec::PruneStats& prune, exec::ExecStats* stats) {
+  stats->rank_heap_ops += prune.heap_ops;
+  stats->docs_scored += prune.candidates_scored;
+  stats->docs_pruned += prune.candidates_pruned;
+  stats->topk_blocks_skipped += prune.blocks_skipped;
+  stats->topk_blocks_decoded += prune.blocks_decoded;
+  stats->topk_ceiling_probes += prune.ceiling_probes;
+  stats->topk_threshold_updates += prune.threshold_updates;
+}
+
 // Rewrite-attempt table for the rank-processing path, where the optimizer
 // never runs: the gate verdicts are still what admitted rank processing,
 // so EXPLAIN ANALYZE and ?explain=1 stay complete on this path too.
+// `pruned` marks the block-max row as fired; otherwise `pruning_verdict`
+// says why the pruned operator stood down.
 std::vector<RewriteAttempt> RankPathAttempts(
-    const mcalc::Query& query, const sa::ScoringScheme& scheme) {
+    const mcalc::Query& query, const sa::ScoringScheme& scheme,
+    const std::string& pruning_verdict, bool pruned) {
   const Optimization fired_opt = query.root->kind == mcalc::NodeKind::kOr
                                      ? Optimization::kRankUnion
                                      : Optimization::kRankJoin;
@@ -53,11 +68,20 @@ std::vector<RewriteAttempt> RankPathAttempts(
   for (const Optimization opt : kAllOptimizations) {
     RewriteAttempt attempt;
     attempt.opt = opt;
-    if (opt == fired_opt) {
-      attempt.fired = true;
-      attempt.verdict = "gate ok: " +
-                        ExplainGate(opt, scheme.properties()).reason +
-                        "; threshold top-k execution";
+    if (opt == Optimization::kBlockMaxPruning) {
+      attempt.fired = pruned;
+      attempt.verdict =
+          pruned ? "gate ok: " +
+                       ExplainGate(opt, scheme.properties()).reason +
+                       "; block-max dynamic pruning"
+                 : pruning_verdict;
+    } else if (opt == fired_opt) {
+      attempt.fired = !pruned;
+      attempt.verdict =
+          pruned ? "superseded by block-max pruned top-k"
+                 : "gate ok: " +
+                       ExplainGate(opt, scheme.properties()).reason +
+                       "; threshold top-k execution";
     } else {
       attempt.verdict = "not attempted (rank processing path)";
     }
@@ -82,6 +106,15 @@ std::string FormatExecStats(const exec::ExecStats& s) {
            " stopping_depth=" + std::to_string(s.rank_stopping_depth) +
            " docs_scored=" + std::to_string(s.docs_scored) +
            " docs_pruned=" + std::to_string(s.docs_pruned) + "\n";
+  }
+  if (s.topk_blocks_skipped != 0 || s.topk_ceiling_probes != 0 ||
+      s.topk_threshold_updates != 0 || s.topk_blocks_decoded != 0) {
+    out += "  pruning: blocks_skipped=" +
+           std::to_string(s.topk_blocks_skipped) +
+           " blocks_decoded=" + std::to_string(s.topk_blocks_decoded) +
+           " ceiling_probes=" + std::to_string(s.topk_ceiling_probes) +
+           " threshold_updates=" + std::to_string(s.topk_threshold_updates) +
+           "\n";
   }
   return out;
 }
@@ -209,9 +242,31 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
     return result;
   }
 
-  // Top-k rank processing when the gate admits it.
+  // Top-k rank processing when the gate admits it. The block-max pruned
+  // operator runs first when its (stricter) gate also passes; it gates
+  // itself off conservatively and falls back to the threshold algorithm.
   if (options.top_k > 0 && options.allow_rank_processing &&
       exec::TopKRankEngine::Supports(query, scheme)) {
+    const std::string prune_verdict =
+        options.allow_block_max_pruning
+            ? exec::MaxScoreTopK::GateVerdict(query, scheme, *index_,
+                                              overlay_)
+            : "blocked: disabled by request options";
+    if (prune_verdict.empty()) {
+      common::ScopedSpan rank_span(trace, "rank");
+      exec::MaxScoreTopK pruner(index_, &scheme);
+      GRAFT_ASSIGN_OR_RETURN(result.results,
+                             pruner.TopK(query, options.top_k));
+      rank_span.End("blocks_skipped=" +
+                    std::to_string(pruner.stats().blocks_skipped));
+      result.used_rank_processing = true;
+      result.used_block_max_pruning = true;
+      result.applied_optimizations = "block-max pruned top-k";
+      result.rewrite_attempts =
+          RankPathAttempts(query, scheme, prune_verdict, /*pruned=*/true);
+      FoldPruneStats(pruner.stats(), &result.exec_stats);
+      return result;
+    }
     common::ScopedSpan rank_span(trace, "rank");
     exec::TopKRankEngine rank_engine(index_, &scheme, overlay_);
     GRAFT_ASSIGN_OR_RETURN(result.results,
@@ -220,7 +275,8 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
                   std::to_string(rank_engine.stats().stopping_depth));
     result.used_rank_processing = true;
     result.applied_optimizations = "rank-join/rank-union (top-k)";
-    result.rewrite_attempts = RankPathAttempts(query, scheme);
+    result.rewrite_attempts =
+        RankPathAttempts(query, scheme, prune_verdict, /*pruned=*/false);
     FoldRankStats(rank_engine.stats(), &result.exec_stats);
     return result;
   }
@@ -265,6 +321,16 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
   // segment's top-k is exact for its documents.
   if (options.top_k > 0 && options.allow_rank_processing &&
       exec::TopKRankEngine::Supports(query, scheme)) {
+    // Per-segment pruning: each segment carries its own block-max metadata
+    // (rebuilt over the rebased slice iff the source index has it), prunes
+    // against its local threshold, and the k-way merge reproduces the
+    // monolithic order because per-segment scores use global statistics.
+    const std::string prune_verdict =
+        options.allow_block_max_pruning
+            ? exec::MaxScoreTopK::GateVerdict(query, scheme, *index_,
+                                              overlay_)
+            : "blocked: disabled by request options";
+    const bool prune = prune_verdict.empty();
     common::ScopedSpan rank_span(
         trace, "rank", "segments=" + std::to_string(num_segments));
     common::ParallelFor(
@@ -272,9 +338,19 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
           common::ScopedSpan segment_span(trace,
                                           "segment " + std::to_string(i));
           const index::SegmentedIndex::Segment& seg = segmented_->segment(i);
-          exec::TopKRankEngine rank_engine(&seg.index, &scheme,
-                                           /*overlay=*/nullptr, &seg.stats);
-          auto local = rank_engine.TopK(query, options.top_k);
+          StatusOr<std::vector<ma::ScoredDoc>> local =
+              Status::Internal("unreached");
+          exec::ExecStats rank_stats;
+          if (prune) {
+            exec::MaxScoreTopK pruner(&seg.index, &scheme, &seg.stats);
+            local = pruner.TopK(query, options.top_k);
+            FoldPruneStats(pruner.stats(), &rank_stats);
+          } else {
+            exec::TopKRankEngine rank_engine(&seg.index, &scheme,
+                                             /*overlay=*/nullptr, &seg.stats);
+            local = rank_engine.TopK(query, options.top_k);
+            FoldRankStats(rank_engine.stats(), &rank_stats);
+          }
           if (!local.ok()) {
             statuses[i] = local.status();
             return;
@@ -283,8 +359,6 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
           for (ma::ScoredDoc& hit : partials[i]) {
             hit.doc += seg.base;
           }
-          exec::ExecStats rank_stats;
-          FoldRankStats(rank_engine.stats(), &rank_stats);
           agg_stats.Add(rank_stats);
         });
     for (const Status& status : statuses) {
@@ -295,10 +369,13 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
     result.results = MergeRanked(partials, options.top_k);
     merge_span.End("results=" + std::to_string(result.results.size()));
     result.used_rank_processing = true;
+    result.used_block_max_pruning = prune;
     result.applied_optimizations =
-        "rank-join/rank-union (top-k), segmented ×" +
+        (prune ? std::string("block-max pruned top-k, segmented ×")
+               : std::string("rank-join/rank-union (top-k), segmented ×")) +
         std::to_string(num_segments);
-    result.rewrite_attempts = RankPathAttempts(query, scheme);
+    result.rewrite_attempts =
+        RankPathAttempts(query, scheme, prune_verdict, prune);
     result.exec_stats = agg_stats.stats;
     return result;
   }
@@ -367,6 +444,27 @@ StatusOr<std::string> Engine::Explain(std::string_view query_text,
   out += "scheme: " + std::string(scheme->name()) + " (" +
          sa::DirectionName(scheme->properties().direction) + ")\n";
   out += "applied: " + plan.AppliedToString() + "\n";
+  if (options.top_k > 0) {
+    // Deterministic top-k strategy verdict (golden-snapshot friendly):
+    // which top-k execution path SearchQuery would take, and why.
+    out += "top-k strategy (k=" + std::to_string(options.top_k) + "): ";
+    if (!options.allow_rank_processing) {
+      out += "full ranking + truncate (rank processing disabled)\n";
+    } else if (exec::TopKRankEngine::Supports(query, *scheme)) {
+      const std::string prune_verdict =
+          options.allow_block_max_pruning
+              ? exec::MaxScoreTopK::GateVerdict(query, *scheme, *index_,
+                                                overlay_)
+              : "blocked: disabled by request options";
+      if (prune_verdict.empty()) {
+        out += "block-max pruned top-k\n";
+      } else {
+        out += "threshold top-k; block-max prune " + prune_verdict + "\n";
+      }
+    } else {
+      out += "full ranking + truncate (rank processing not licensed)\n";
+    }
+  }
   out += "rewrites:\n" + FormatRewriteAttempts(plan.attempts);
   if (plan.plan != nullptr) {
     const CostEstimate estimate = CostModel(index_).Estimate(*plan.plan);

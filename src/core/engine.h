@@ -58,6 +58,15 @@ struct SearchOptions {
   size_t top_k = 0;
   bool allow_rank_processing = true;
 
+  // Score-safe dynamic pruning (block-max top-k). On top-k queries where
+  // the extended gate licenses it (α bounded, ⊕ idempotent, ⊘/⊚ monotonic,
+  // diagonal scheme, pure keyword query, index with block-max metadata,
+  // no overlay), posting blocks whose score ceiling cannot reach the k-th
+  // best result are skipped entirely. Results are bit-identical to the
+  // unpruned top-k. Subordinate to allow_rank_processing: disabling rank
+  // processing disables pruning too.
+  bool allow_block_max_pruning = true;
+
   // Max workers for parallel segmented execution (engines constructed
   // with a SegmentedIndex): 0 = the engine's pool plus the calling
   // thread; 1 = execute segments serially on the calling thread; N caps
@@ -96,6 +105,10 @@ struct SearchResult {
   std::vector<RewriteAttempt> rewrite_attempts;
   exec::ExecStats exec_stats;
   bool used_rank_processing = false;
+  // True when the block-max pruned top-k operator produced the results
+  // (implies used_rank_processing). The differential fuzzer asserts this
+  // stays false for schemes the gate does not license.
+  bool used_block_max_pruning = false;
   // Number of index segments the query executed over (1 = monolithic).
   size_t segments_searched = 1;
 };

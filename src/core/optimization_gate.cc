@@ -15,6 +15,7 @@ std::string OptimizationName(Optimization opt) {
     case Optimization::kPreCounting: return "pre-count";
     case Optimization::kRankJoin: return "rank-join";
     case Optimization::kRankUnion: return "rank-union";
+    case Optimization::kBlockMaxPruning: return "block-max prune";
   }
   return "?";
 }
@@ -32,6 +33,8 @@ std::string OperatorRequirement(Optimization opt) {
     case Optimization::kPreCounting: return "non-positional";
     case Optimization::kRankJoin: return "⊘ monotonic increasing";
     case Optimization::kRankUnion: return "⊚ monotonic increasing";
+    case Optimization::kBlockMaxPruning:
+      return "α bounded, ⊕ idempotent, ⊘/⊚ monotonic increasing";
   }
   return "";
 }
@@ -40,7 +43,8 @@ std::string DirectionRequirement(Optimization opt) {
   switch (opt) {
     case Optimization::kEagerAggregation: return "not row-first";
     case Optimization::kRankJoin:
-    case Optimization::kRankUnion: return "diagonal";
+    case Optimization::kRankUnion:
+    case Optimization::kBlockMaxPruning: return "diagonal";
     default: return "";
   }
 }
@@ -68,6 +72,17 @@ bool IsOptimizationValid(Optimization opt,
       return props.conj.monotonic_increasing && props.diagonal();
     case Optimization::kRankUnion:
       return props.disj.monotonic_increasing && props.diagonal();
+    case Optimization::kBlockMaxPruning:
+      // A block ceiling evaluates α over the block's (tf, doc length)
+      // Pareto frontier; the best point bounds every document's column
+      // score only when α is upper-boundable, one match stands for all
+      // alternates (⊕
+      // idempotent, where ⊗ is the identity), the row combinators cannot
+      // shrink under a larger input, and the scheme walks the table
+      // column-wise (diagonal).
+      return props.bounded && props.alt.idempotent && props.diagonal() &&
+             props.conj.monotonic_increasing &&
+             props.disj.monotonic_increasing;
   }
   return false;
 }
@@ -121,6 +136,22 @@ GateDecision ExplainGate(Optimization opt,
         decision.reason = "⊚ not monotonic increasing";
       } else {
         decision.reason = "scheme not diagonal";
+      }
+      break;
+    case Optimization::kBlockMaxPruning:
+      if (decision.valid) {
+        decision.reason =
+            "α bounded, ⊕ idempotent, ⊘/⊚ monotonic increasing, diagonal";
+      } else if (!props.bounded) {
+        decision.reason = "α not upper-boundable";
+      } else if (!props.alt.idempotent) {
+        decision.reason = "⊕ not idempotent";
+      } else if (!props.diagonal()) {
+        decision.reason = "scheme not diagonal";
+      } else if (!props.conj.monotonic_increasing) {
+        decision.reason = "⊘ not monotonic increasing";
+      } else {
+        decision.reason = "⊚ not monotonic increasing";
       }
       break;
   }

@@ -27,6 +27,11 @@ enum class Optimization {
   kPreCounting,
   kRankJoin,
   kRankUnion,
+  // Block-max dynamic pruning (MaxScore-style top-k early termination).
+  // Not in the paper's Table 1; the same gate discipline extends to it:
+  // skipping a posting block is score-consistent only when α is
+  // upper-boundable and the row combinators are monotone.
+  kBlockMaxPruning,
 };
 
 inline constexpr Optimization kAllOptimizations[] = {
@@ -35,7 +40,7 @@ inline constexpr Optimization kAllOptimizations[] = {
     Optimization::kForwardScanJoin,     Optimization::kAlternateElimination,
     Optimization::kEagerAggregation,    Optimization::kEagerCounting,
     Optimization::kPreCounting,         Optimization::kRankJoin,
-    Optimization::kRankUnion,
+    Optimization::kRankUnion,           Optimization::kBlockMaxPruning,
 };
 
 std::string OptimizationName(Optimization opt);

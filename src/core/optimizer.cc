@@ -832,6 +832,12 @@ StatusOr<OptimizedPlan> Optimizer::Optimize(
                 "gate ok: " + gate.reason +
                 "; applies to top-k pure keyword queries at execution";
             break;
+          case Optimization::kBlockMaxPruning:
+            attempt.verdict =
+                "gate ok: " + gate.reason +
+                "; applies to top-k pure keyword queries over block-max "
+                "indexes at execution";
+            break;
           case Optimization::kZigZagJoin:
             attempt.verdict = "always applied";
             break;

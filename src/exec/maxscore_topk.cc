@@ -1,0 +1,489 @@
+#include "exec/maxscore_topk.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "core/optimization_gate.h"
+#include "index/posting_list.h"
+
+namespace graft::exec {
+
+namespace {
+
+// Query shape probe: And(keywords...) or Or(keywords...) or one keyword.
+// (Mirrors rank_join.cc; a single keyword processes as a conjunction.)
+enum class Shape { kUnsupported, kConjunction, kDisjunction };
+
+Shape QueryShape(const mcalc::Query& query,
+                 std::vector<const mcalc::Node*>* keywords) {
+  const mcalc::Node& root = *query.root;
+  if (root.kind == mcalc::NodeKind::kKeyword) {
+    keywords->push_back(&root);
+    return Shape::kConjunction;
+  }
+  if (root.kind != mcalc::NodeKind::kAnd &&
+      root.kind != mcalc::NodeKind::kOr) {
+    return Shape::kUnsupported;
+  }
+  for (const mcalc::NodePtr& child : root.children) {
+    if (child->kind != mcalc::NodeKind::kKeyword) {
+      return Shape::kUnsupported;
+    }
+    keywords->push_back(child.get());
+  }
+  return root.kind == mcalc::NodeKind::kAnd ? Shape::kConjunction
+                                            : Shape::kDisjunction;
+}
+
+}  // namespace
+
+std::string MaxScoreTopK::GateVerdict(const mcalc::Query& query,
+                                      const sa::ScoringScheme& scheme,
+                                      const index::InvertedIndex& index,
+                                      const index::StatsOverlay* overlay) {
+  std::vector<const mcalc::Node*> keywords;
+  const Shape shape = QueryShape(query, &keywords);
+  if (shape == Shape::kUnsupported || keywords.empty()) {
+    return "blocked: not a pure keyword conjunction/disjunction";
+  }
+  const core::GateDecision gate = core::ExplainGate(
+      core::Optimization::kBlockMaxPruning, scheme.properties());
+  if (!gate.valid) {
+    return "blocked by gate: " + gate.reason;
+  }
+  if (!index.has_block_max()) {
+    return "blocked: no block-max metadata";
+  }
+  if (overlay != nullptr) {
+    return "blocked: stats overlay overrides stored ceilings";
+  }
+  return std::string();
+}
+
+StatusOr<std::vector<ma::ScoredDoc>> MaxScoreTopK::TopK(
+    const mcalc::Query& query, size_t k) {
+  std::vector<const mcalc::Node*> keywords;
+  const Shape shape = QueryShape(query, &keywords);
+  const index::InvertedIndex& index = stats_view_.index();
+  const std::string verdict =
+      GateVerdict(query, *scheme_, index, /*overlay=*/nullptr);
+  if (!verdict.empty()) {
+    return Status::FailedPrecondition("block-max pruning not licensed: " +
+                                      verdict);
+  }
+  stats_ = PruneStats();
+  if (k == 0) {
+    return std::vector<ma::ScoredDoc>{};
+  }
+
+  const size_t n = keywords.size();
+  sa::QueryContext query_ctx;
+  query_ctx.num_columns = static_cast<uint32_t>(n);
+
+  // ---- Scoring (replicated from TopKRankEngine so the scores are
+  // bit-identical to the unpruned paths) ----
+  const auto doc_context = [this](DocId doc) {
+    sa::DocContext ctx;
+    ctx.doc = doc;
+    ctx.length = stats_view_.DocLength(doc);
+    ctx.collection_size = stats_view_.CollectionSize();
+    ctx.avg_doc_length = stats_view_.AverageDocLength();
+    return ctx;
+  };
+  const auto column_score_tf = [&](TermId term, uint32_t tf, DocId doc) {
+    sa::ColumnContext col;
+    col.term = term;
+    col.doc_freq = term == kInvalidTerm ? 0 : stats_view_.DocFreq(term);
+    col.tf_in_doc = tf;
+    const sa::DocContext dctx = doc_context(doc);
+    if (tf == 0) {
+      return scheme_->Init(dctx, col, kEmptyOffset);
+    }
+    const sa::InternalScore unit = scheme_->Init(dctx, col, /*offset=*/0);
+    return tf <= 1 ? unit : scheme_->Scale(unit, tf);
+  };
+  // ---- Cursors ----
+  struct Cursor {
+    TermId term = kInvalidTerm;
+    const index::PostingList* list = nullptr;  // null: term absent / empty
+    size_t pos = 0;
+    // Ceiling of the block the cursor currently sits in, computed lazily
+    // and reused while the cursor stays inside the block.
+    size_t cached_block = std::numeric_limits<size_t>::max();
+    sa::InternalScore cached_ceiling;
+    // Last block charged to blocks_decoded (cursors only move forward, so
+    // one high-water mark per cursor counts distinct blocks exactly).
+    size_t counted_block = std::numeric_limits<size_t>::max();
+
+    bool exhausted() const {
+      return list == nullptr || pos >= list->doc_count();
+    }
+    DocId doc() const { return list->doc_at(pos); }
+    size_t block() const { return pos / index::PostingList::kBlockSize; }
+  };
+  std::vector<Cursor> cursors(n);
+  for (size_t i = 0; i < n; ++i) {
+    cursors[i].term = index.LookupTerm(keywords[i]->keyword);
+    if (cursors[i].term == kInvalidTerm) {
+      if (shape == Shape::kConjunction) {
+        return std::vector<ma::ScoredDoc>{};  // term absent: no matches
+      }
+      continue;
+    }
+    const index::PostingList& list = index.postings(cursors[i].term);
+    if (list.doc_count() == 0) {
+      if (shape == Shape::kConjunction) {
+        return std::vector<ma::ScoredDoc>{};
+      }
+      continue;
+    }
+    cursors[i].list = &list;
+  }
+
+  // Charges the cursor's current block to blocks_decoded the first time a
+  // tf entry (the score payload) is read from it. Doc-id reads for
+  // alignment are boundary probes of the skip structure, not payload
+  // decodes: a ceiling-skipped block has its first doc id examined as a
+  // candidate and is then abandoned, so charging on doc-id reads would
+  // count every block and hide the skip. Blocks whose payload is never
+  // scored — galloped over, ceiling-skipped, or alignment-only — stay
+  // uncharged; the bench compares this against the unpruned engine's
+  // full-list stream build.
+  const auto touch = [&](Cursor& c) {
+    const size_t b = c.block();
+    if (c.counted_block != b) {
+      ++stats_.blocks_decoded;
+      c.counted_block = b;
+    }
+  };
+
+  // Generic context for ceilings and ∅-cell bounds: length 1 maximizes a
+  // bounded α, and ω ignores the document for gate-licensed schemes (the
+  // same convention rank_join's threshold uses).
+  sa::DocContext generic;
+  generic.length = 1;
+  generic.collection_size = stats_view_.CollectionSize();
+  generic.avg_doc_length = stats_view_.AverageDocLength();
+
+  // Ceiling of the cursor's current block: the best-α point of the block's
+  // (tf, doc length) Pareto frontier. Boundedness dominates every in-block
+  // document by SOME frontier point, and the frontier points are real
+  // (tf, length) pairs from the block, so the max over them is the EXACT
+  // per-block ceiling — tight enough for whole-block skips to actually
+  // fire (the naive α(max tf, min length) pairs extremes from different
+  // documents and rarely prunes anything). Selecting the point by the
+  // primary slot is sound because licensed schemes keep their non-primary
+  // slots constant across matched cells of one term (AnySum/AnyProd use
+  // only `a`; Lucene's `b` is the matched count, 1 for every frontier
+  // point), so the chosen point dominates slot-wise, which the monotone
+  // ⊘/⊚ folds require. ⊕-idempotence makes ⊗ the identity, so one α call
+  // per point bounds the column regardless of tf.
+  const auto frontier_max = [&](const index::PostingList& list, TermId term,
+                                size_t begin, size_t end) {
+    sa::ColumnContext col;
+    col.term = term;
+    col.doc_freq = stats_view_.DocFreq(term);
+    sa::DocContext dctx = generic;
+    sa::InternalScore best;
+    bool first = true;
+    for (size_t p = begin; p < end; ++p) {
+      col.tf_in_doc = list.frontier_tf(p);
+      dctx.length = list.frontier_doc_length(p);
+      sa::InternalScore point = scheme_->Init(dctx, col, /*offset=*/0);
+      if (first || point.a > best.a) {
+        best = std::move(point);
+        first = false;
+      }
+    }
+    return best;
+  };
+  const auto block_ceiling = [&](Cursor& c) -> const sa::InternalScore& {
+    const size_t b = c.block();
+    if (c.cached_block != b) {
+      ++stats_.ceiling_probes;
+      c.cached_ceiling = frontier_max(*c.list, c.term, c.list->frontier_begin(b),
+                                      c.list->frontier_end(b));
+      c.cached_block = b;
+    }
+    return c.cached_ceiling;
+  };
+
+  // ---- Top-k heap (sorted vector; identical tie-breaking to rank_join:
+  // score desc, doc asc) ----
+  std::vector<ma::ScoredDoc> top;
+  const auto worst_kept = [&]() {
+    return top.size() < k ? -std::numeric_limits<double>::infinity()
+                          : top.back().score;
+  };
+  const auto consider = [&](DocId doc, double score) {
+    ma::ScoredDoc candidate{doc, score};
+    const auto position = std::upper_bound(
+        top.begin(), top.end(), candidate,
+        [](const ma::ScoredDoc& a, const ma::ScoredDoc& b) {
+          if (a.score != b.score) return a.score > b.score;
+          return a.doc < b.doc;
+        });
+    top.insert(position, candidate);
+    ++stats_.heap_ops;
+    if (top.size() > k) {
+      top.pop_back();
+      ++stats_.heap_ops;
+    }
+  };
+  const auto full_score = [&](DocId doc, const std::vector<uint32_t>& tfs) {
+    sa::InternalScore acc;
+    bool first = true;
+    for (size_t i = 0; i < n; ++i) {
+      sa::InternalScore column = column_score_tf(cursors[i].term, tfs[i], doc);
+      if (first) {
+        acc = std::move(column);
+        first = false;
+      } else {
+        acc = shape == Shape::kConjunction ? scheme_->Conj(acc, column)
+                                           : scheme_->Disj(acc, column);
+      }
+    }
+    return scheme_->Finalize(doc_context(doc), query_ctx, acc);
+  };
+  std::vector<uint32_t> tfs(n);
+
+  if (shape == Shape::kConjunction) {
+    // ---- Conjunction: leapfrog + block-max skip (BMW-style) ----
+    while (true) {
+      // Leapfrog alignment on the largest current doc.
+      DocId candidate = 0;
+      bool done = false;
+      for (Cursor& c : cursors) {
+        if (c.exhausted()) {
+          done = true;
+          break;
+        }
+        candidate = std::max(candidate, c.doc());
+      }
+      if (done) break;
+      bool aligned = true;
+      for (Cursor& c : cursors) {
+        if (c.doc() < candidate) {
+          c.pos = c.list->GallopTo(c.pos, candidate);
+          if (c.pos >= c.list->doc_count()) {
+            done = true;
+            break;
+          }
+          if (c.doc() > candidate) {
+            aligned = false;  // overshoot: next round raises the candidate
+            break;
+          }
+        }
+      }
+      if (done) break;
+      if (!aligned) continue;
+
+      if (top.size() >= k) {
+        // Fold the current blocks' ceilings (keyword order, like scoring:
+        // monotone rounding then guarantees ceiling >= any in-block score
+        // at the bit level). Skip to just past the earliest-ending block
+        // when the fold cannot beat the heap.
+        sa::InternalScore bound;
+        bool first = true;
+        DocId frontier = std::numeric_limits<DocId>::max();
+        for (Cursor& c : cursors) {
+          const sa::InternalScore& ceiling = block_ceiling(c);
+          if (first) {
+            bound = ceiling;
+            first = false;
+          } else {
+            bound = scheme_->Conj(bound, ceiling);
+          }
+          frontier = std::min(frontier, c.list->block_last_doc(c.block()));
+        }
+        const double ceiling_score =
+            scheme_->Finalize(generic, query_ctx, bound);
+        if (worst_kept() >= ceiling_score) {
+          // Every term's postings in [candidate, frontier] lie inside the
+          // term's current block, so no document there can reach the heap.
+          ++stats_.blocks_skipped;
+          ++stats_.candidates_pruned;  // the aligned candidate, at least
+          for (Cursor& c : cursors) {
+            c.pos = c.list->GallopTo(c.pos, frontier + 1);
+          }
+          continue;
+        }
+      }
+
+      for (size_t i = 0; i < n; ++i) {
+        touch(cursors[i]);
+        tfs[i] = cursors[i].list->tf_at(cursors[i].pos);
+      }
+      consider(candidate, full_score(candidate, tfs));
+      ++stats_.candidates_scored;
+      for (Cursor& c : cursors) {
+        ++c.pos;
+      }
+    }
+    return top;
+  }
+
+  // ---- Disjunction: MaxScore essential/non-essential partition ----
+  // Term-level upper bound: the best α across every block's frontier —
+  // the exact list-wide maximum column score. The ∅ cell (tf = 0) is
+  // dominated by any ceiling for a bounded scheme.
+  std::vector<sa::InternalScore> ub(n);
+  std::vector<sa::InternalScore> empty_cell(n);
+  for (size_t i = 0; i < n; ++i) {
+    sa::ColumnContext col;
+    col.term = cursors[i].term;
+    col.doc_freq =
+        cursors[i].term == kInvalidTerm ? 0 : stats_view_.DocFreq(cursors[i].term);
+    col.tf_in_doc = 0;
+    empty_cell[i] = scheme_->Init(generic, col, kEmptyOffset);
+    if (cursors[i].list == nullptr) {
+      ub[i] = empty_cell[i];
+      continue;
+    }
+    const index::PostingList& list = *cursors[i].list;
+    ++stats_.ceiling_probes;
+    ub[i] = frontier_max(list, cursors[i].term, /*begin=*/0,
+                         list.frontier_end(list.block_count() - 1));
+  }
+
+  // Keywords sorted by upper bound; rank[i] is keyword i's position in
+  // that order. The non-essential set is always a prefix of the order.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (ub[a].a != ub[b].a) return ub[a].a < ub[b].a;
+    return a < b;
+  });
+  std::vector<size_t> rank(n);
+  for (size_t p = 0; p < n; ++p) {
+    rank[order[p]] = p;
+  }
+  // prefix_bound[p]: ceiling on any document whose matched keywords all
+  // rank below p — keyword-order fold of (UB if rank < p else ∅ cell).
+  // Monotone in p because UB dominates the ∅ cell slot-wise.
+  std::vector<double> prefix_bound(n + 1);
+  for (size_t p = 0; p <= n; ++p) {
+    sa::InternalScore bound;
+    bool first = true;
+    for (size_t i = 0; i < n; ++i) {
+      const sa::InternalScore& v = rank[i] < p ? ub[i] : empty_cell[i];
+      if (first) {
+        bound = v;
+        first = false;
+      } else {
+        bound = scheme_->Disj(bound, v);
+      }
+    }
+    prefix_bound[p] = scheme_->Finalize(generic, query_ctx, bound);
+  }
+
+  double last_worst = -std::numeric_limits<double>::infinity();
+  size_t num_nonessential = 0;
+  while (true) {
+    const double worst = worst_kept();
+    if (worst != last_worst) {
+      // The k-th best improved: re-partition. Documents matching only
+      // keywords in the non-essential prefix can no longer enter the heap.
+      last_worst = worst;
+      ++stats_.threshold_updates;
+      while (num_nonessential < n &&
+             prefix_bound[num_nonessential + 1] <= worst) {
+        ++num_nonessential;
+      }
+    }
+    if (num_nonessential >= n) {
+      break;  // no remaining document can beat the heap
+    }
+
+    // Next candidate: smallest current doc among live essential cursors.
+    DocId candidate = kInvalidDoc;
+    for (size_t i = 0; i < n; ++i) {
+      if (rank[i] < num_nonessential || cursors[i].exhausted()) {
+        continue;
+      }
+      candidate = std::min(candidate, cursors[i].doc());
+    }
+    if (candidate == kInvalidDoc) {
+      break;  // essential lists exhausted
+    }
+
+    if (top.size() >= k) {
+      // Block-level skip: fold (keyword order) the live essential cursors'
+      // current-block ceilings with the non-essential terms' UBs (∅ cell
+      // for exhausted lists). If the fold cannot beat the heap, every
+      // essential posting up to the earliest block end is skippable.
+      sa::InternalScore bound;
+      bool first = true;
+      DocId frontier = std::numeric_limits<DocId>::max();
+      for (size_t i = 0; i < n; ++i) {
+        Cursor& c = cursors[i];
+        const bool essential_alive =
+            rank[i] >= num_nonessential && !c.exhausted();
+        const sa::InternalScore* v;
+        if (essential_alive) {
+          v = &block_ceiling(c);
+          frontier = std::min(frontier, c.list->block_last_doc(c.block()));
+        } else if (c.exhausted()) {
+          v = &empty_cell[i];  // no document >= candidate contains it
+        } else {
+          v = &ub[i];  // non-essential, probed only on demand
+        }
+        if (first) {
+          bound = *v;
+          first = false;
+        } else {
+          bound = scheme_->Disj(bound, *v);
+        }
+      }
+      const double ceiling_score =
+          scheme_->Finalize(generic, query_ctx, bound);
+      if (worst_kept() >= ceiling_score) {
+        ++stats_.blocks_skipped;
+        ++stats_.candidates_pruned;  // the candidate itself matches
+        for (size_t i = 0; i < n; ++i) {
+          Cursor& c = cursors[i];
+          if (rank[i] >= num_nonessential && !c.exhausted()) {
+            c.pos = c.list->GallopTo(c.pos, frontier + 1);
+          }
+        }
+        continue;
+      }
+    }
+
+    // Complete the candidate: essential tfs from the cursors, non-essential
+    // tfs by forward-only galloping probes (candidates ascend).
+    for (size_t i = 0; i < n; ++i) {
+      Cursor& c = cursors[i];
+      uint32_t tf = 0;
+      if (c.list != nullptr) {
+        if (rank[i] >= num_nonessential) {
+          if (!c.exhausted() && c.doc() == candidate) {
+            touch(c);
+            tf = c.list->tf_at(c.pos);
+          }
+        } else {
+          c.pos = c.list->GallopTo(c.pos, candidate);
+          if (!c.exhausted() && c.doc() == candidate) {
+            touch(c);
+            tf = c.list->tf_at(c.pos);
+          }
+        }
+      }
+      tfs[i] = tf;
+    }
+    consider(candidate, full_score(candidate, tfs));
+    ++stats_.candidates_scored;
+    for (size_t i = 0; i < n; ++i) {
+      Cursor& c = cursors[i];
+      if (rank[i] >= num_nonessential && !c.exhausted() &&
+          c.doc() == candidate) {
+        ++c.pos;
+      }
+    }
+  }
+  return top;
+}
+
+}  // namespace graft::exec

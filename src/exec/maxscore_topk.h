@@ -1,0 +1,105 @@
+// Score-safe dynamic pruning: block-max top-k (the MaxScore / block-max
+// WAND family, adapted to the GRAFT algebra).
+//
+// The index stores, per posting block, the inputs a *bounded* scheme needs
+// to compute a score ceiling: the Pareto frontier of the block's (tf,
+// document length) pairs. A bounded α is monotone ↑tf / ↓length, so every
+// document in the block is dominated by some frontier point and the
+// frontier's best α is the block's exact ceiling (evaluating α at the
+// single (max tf, min length) point instead pairs extremes from different
+// documents and is too loose to skip anything in practice). Monotone ⊘/⊚
+// lift per-column ceilings to a whole-document ceiling. Blocks whose
+// ceiling cannot reach the k-th best score already in the heap are skipped
+// without scoring a single document.
+//
+// Score consistency: pruning only changes WHICH documents get scored,
+// never any returned score. The scoring path is the exact α/⊘/⊚/⊕/ω
+// pipeline of the full engine (replicated from TopKRankEngine), so the
+// result is bit-identical to the unpruned top-k — the differential fuzzer
+// enforces this across every licensed scheme.
+//
+// The gate (Table-1 discipline, extended): α bounded, ⊕ idempotent (so ⊗
+// is the identity and the block ceiling is a single α evaluation), ⊘/⊚
+// monotonic increasing, diagonal scheme; plus execution-time requirements:
+// a pure keyword conjunction/disjunction, an index carrying block-max
+// metadata (v4 files; v3 loads gate themselves off), and no statistics
+// overlay (overridden stats would invalidate the stored ceilings).
+//
+// Conjunctions leapfrog the cursors and skip past the earliest-ending
+// block when the folded block ceilings cannot beat the heap. Disjunctions
+// use the MaxScore partition: terms are split into essential / non-
+// essential by term-level upper bound; documents matching only
+// non-essential terms are never driven, and the essential frontier also
+// skips whole blocks via the same ceiling fold.
+
+#ifndef GRAFT_EXEC_MAXSCORE_TOPK_H_
+#define GRAFT_EXEC_MAXSCORE_TOPK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/stats.h"
+#include "ma/match_table.h"
+#include "mcalc/ast.h"
+#include "sa/scoring_scheme.h"
+
+namespace graft::exec {
+
+// What the pruned top-k actually did; surfaced through ExecStats and
+// EXPLAIN ANALYZE, and the quantity the pruning bench reports.
+struct PruneStats {
+  uint64_t blocks_skipped = 0;      // whole-block skips taken via ceilings
+  uint64_t blocks_decoded = 0;      // distinct posting blocks whose entries
+                                    // the operator read (the unpruned top-k
+                                    // reads EVERY block of every term list
+                                    // to build its impact streams, so this
+                                    // is the decode-work comparison)
+  uint64_t ceiling_probes = 0;      // block/term ceiling evaluations (α calls)
+  uint64_t threshold_updates = 0;   // heap-threshold (k-th score) improvements
+  uint64_t candidates_scored = 0;   // documents fully scored
+  uint64_t candidates_pruned = 0;   // driver candidates bypassed unscored
+                                    // (lower bound: skips bypass >= 1 match)
+  uint64_t heap_ops = 0;            // top-k inserts + evictions
+};
+
+class MaxScoreTopK {
+ public:
+  // `global` (optional) installs whole-corpus collection statistics; used
+  // when `index` is one segment of a SegmentedIndex so per-segment pruned
+  // scores match the monolithic index exactly. No overlay parameter: the
+  // gate rejects overlays outright (see GateVerdict).
+  MaxScoreTopK(const index::InvertedIndex* index,
+               const sa::ScoringScheme* scheme,
+               const index::GlobalStats* global = nullptr)
+      : stats_view_(index, /*overlay=*/nullptr, global), scheme_(scheme) {}
+
+  // Empty string when block-max pruning is licensed for this query +
+  // scheme + index; otherwise the human-readable EXPLAIN verdict
+  // ("blocked: no block-max metadata", "blocked by gate: ...").
+  static std::string GateVerdict(const mcalc::Query& query,
+                                 const sa::ScoringScheme& scheme,
+                                 const index::InvertedIndex& index,
+                                 const index::StatsOverlay* overlay);
+
+  static bool Supports(const mcalc::Query& query,
+                       const sa::ScoringScheme& scheme,
+                       const index::InvertedIndex& index,
+                       const index::StatsOverlay* overlay) {
+    return GateVerdict(query, scheme, index, overlay).empty();
+  }
+
+  StatusOr<std::vector<ma::ScoredDoc>> TopK(const mcalc::Query& query,
+                                            size_t k);
+
+  const PruneStats& stats() const { return stats_; }
+
+ private:
+  index::StatsView stats_view_;
+  const sa::ScoringScheme* scheme_;
+  PruneStats stats_;
+};
+
+}  // namespace graft::exec
+
+#endif  // GRAFT_EXEC_MAXSCORE_TOPK_H_

@@ -51,6 +51,13 @@ struct ExecStats {
   uint64_t rank_stopping_depth = 0;  // sorted entries pulled before stop
   uint64_t docs_scored = 0;          // candidates fully scored
   uint64_t docs_pruned = 0;          // candidate postings never completed
+  // Block-max pruning counters; zero unless the MaxScoreTopK path ran.
+  uint64_t topk_blocks_skipped = 0;     // whole-block skips via ceilings
+  uint64_t topk_blocks_decoded = 0;     // distinct posting blocks read by
+                                        // the pruned operator (vs. every
+                                        // block on the unpruned top-k)
+  uint64_t topk_ceiling_probes = 0;     // block/term ceiling evaluations
+  uint64_t topk_threshold_updates = 0;  // k-th-best-score improvements
 
   void Accumulate(const ExecStats& other) {
     positions_scanned += other.positions_scanned;
@@ -65,6 +72,10 @@ struct ExecStats {
     rank_stopping_depth += other.rank_stopping_depth;
     docs_scored += other.docs_scored;
     docs_pruned += other.docs_pruned;
+    topk_blocks_skipped += other.topk_blocks_skipped;
+    topk_blocks_decoded += other.topk_blocks_decoded;
+    topk_ceiling_probes += other.topk_ceiling_probes;
+    topk_threshold_updates += other.topk_threshold_updates;
   }
 };
 

@@ -27,11 +27,13 @@ GRAFT_DEFINE_FAILPOINT(g_fp_save_before_dirsync,
 GRAFT_DEFINE_FAILPOINT(g_fp_load_open, "index_io.load.open");
 GRAFT_DEFINE_FAILPOINT(g_fp_load_verify, "index_io.load.verify");
 
-// 7-byte magic + 1 format-version byte ("GRFTIDX" '3'). Bump the version
-// character when the layout changes; LoadIndex rejects other versions
-// with kVersionMismatch instead of misparsing them.
+// 7-byte magic + 1 format-version byte ("GRFTIDX" '4'). Bump the version
+// character when the layout changes; LoadIndex rejects unknown versions
+// with kVersionMismatch instead of misparsing them. '3' (the layout
+// without block-max arrays) is still readable.
 constexpr char kMagicPrefix[7] = {'G', 'R', 'F', 'T', 'I', 'D', 'X'};
-constexpr char kFormatVersion = '3';
+constexpr char kFormatVersion = '4';
+constexpr char kLegacyFormatVersion = '3';
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -165,14 +167,16 @@ StatusOr<uint64_t> FileSize(std::FILE* f) {
   return static_cast<uint64_t>(size);
 }
 
-// Writes the full v3 image to an already-open stream.
-Status WriteIndexBody(const InvertedIndex& index, std::FILE* f) {
+// Writes the full index image (v4, or the legacy v3 layout) to an
+// already-open stream.
+Status WriteIndexBody(const InvertedIndex& index, std::FILE* f,
+                      char version) {
   CrcWriter w(f);
   // The magic+version prologue is verified by direct comparison on load,
   // not by CRC; reset the accumulator so section 1 starts after it.
   if (std::fwrite(kMagicPrefix, 1, sizeof(kMagicPrefix), f) !=
           sizeof(kMagicPrefix) ||
-      std::fwrite(&kFormatVersion, 1, 1, f) != 1) {
+      std::fwrite(&version, 1, 1, f) != 1) {
     return Status::IOError("short write");
   }
 
@@ -185,6 +189,9 @@ Status WriteIndexBody(const InvertedIndex& index, std::FILE* f) {
   GRAFT_RETURN_IF_ERROR(w.WriteScalar<uint64_t>(index.term_count()));
   GRAFT_RETURN_IF_ERROR(w.EmitCrc());
 
+  std::vector<uint32_t> scratch_start;
+  std::vector<uint32_t> scratch_tf;
+  std::vector<uint32_t> scratch_len;
   for (TermId term = 0; term < index.term_count(); ++term) {
     GRAFT_FAILPOINT_WRITE(g_fp_save_term, f);
     const std::string& text = index.TermText(term);
@@ -196,6 +203,21 @@ Status WriteIndexBody(const InvertedIndex& index, std::FILE* f) {
     GRAFT_RETURN_IF_ERROR(w.WriteVector(list.raw_tfs()));
     GRAFT_RETURN_IF_ERROR(w.WriteVector(list.raw_offset_starts()));
     GRAFT_RETURN_IF_ERROR(w.WriteVector(list.raw_encoded_offsets()));
+    if (version == kFormatVersion) {
+      if (index.has_block_max()) {
+        GRAFT_RETURN_IF_ERROR(w.WriteVector(list.raw_frontier_start()));
+        GRAFT_RETURN_IF_ERROR(w.WriteVector(list.raw_frontier_tf()));
+        GRAFT_RETURN_IF_ERROR(w.WriteVector(list.raw_frontier_doc_length()));
+      } else {
+        // Saving an index that was loaded from a v3 file: upgrade it by
+        // recomputing the metadata on the fly.
+        list.ComputeBlockMax(index.doc_lengths(), &scratch_start,
+                             &scratch_tf, &scratch_len);
+        GRAFT_RETURN_IF_ERROR(w.WriteVector(scratch_start));
+        GRAFT_RETURN_IF_ERROR(w.WriteVector(scratch_tf));
+        GRAFT_RETURN_IF_ERROR(w.WriteVector(scratch_len));
+      }
+    }
     GRAFT_RETURN_IF_ERROR(
         w.WriteScalar<uint64_t>(list.collection_frequency()));
     GRAFT_RETURN_IF_ERROR(w.EmitCrc());
@@ -228,14 +250,14 @@ Status SyncParentDir(const std::string& path) {
 // the temp file on ANY failure path with a single cleanup site.
 Status WriteTempAndRename(const InvertedIndex& index,
                           const std::string& tmp_path,
-                          const std::string& path) {
+                          const std::string& path, char version) {
   FilePtr file(std::fopen(tmp_path.c_str(), "wb"));
   if (file == nullptr) {
     return Status::IOError("cannot open for write: " + tmp_path);
   }
   std::FILE* f = file.get();
   GRAFT_FAILPOINT_WRITE(g_fp_save_open_tmp, f);
-  GRAFT_RETURN_IF_ERROR(WriteIndexBody(index, f));
+  GRAFT_RETURN_IF_ERROR(WriteIndexBody(index, f, version));
   GRAFT_FAILPOINT_WRITE(g_fp_save_before_sync, f);
   if (std::fflush(f) != 0) {
     return Status::IOError("flush failed: " + tmp_path);
@@ -256,15 +278,28 @@ Status WriteTempAndRename(const InvertedIndex& index,
 
 }  // namespace
 
-Status SaveIndex(const InvertedIndex& index, const std::string& path) {
+namespace {
+
+Status SaveIndexVersioned(const InvertedIndex& index, const std::string& path,
+                          char version) {
   // Deterministic temp name: a leftover from a crashed writer is simply
   // overwritten by the next save, so torn temp files never accumulate.
   const std::string tmp_path = path + ".tmp";
-  const Status status = WriteTempAndRename(index, tmp_path, path);
+  const Status status = WriteTempAndRename(index, tmp_path, path, version);
   if (!status.ok()) {
     std::remove(tmp_path.c_str());  // best effort; `path` is untouched
   }
   return status;
+}
+
+}  // namespace
+
+Status SaveIndex(const InvertedIndex& index, const std::string& path) {
+  return SaveIndexVersioned(index, path, kFormatVersion);
+}
+
+Status SaveIndexV3(const InvertedIndex& index, const std::string& path) {
+  return SaveIndexVersioned(index, path, kLegacyFormatVersion);
 }
 
 StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
@@ -284,11 +319,13 @@ StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
   if (std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
     return Status::DataLoss("bad magic; not a GRAFT index file: " + path);
   }
-  if (magic[7] != kFormatVersion) {
+  if (magic[7] != kFormatVersion && magic[7] != kLegacyFormatVersion) {
     return Status::VersionMismatch(
         std::string("unsupported index format version '") + magic[7] +
-        "' (this build reads version '" + kFormatVersion + "'): " + path);
+        "' (this build reads versions '" + kLegacyFormatVersion + "' and '" +
+        kFormatVersion + "'): " + path);
   }
+  const bool has_block_max_sections = magic[7] == kFormatVersion;
 
   CrcReader r(f, file_size);
   InvertedIndex index;
@@ -323,11 +360,19 @@ StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
     std::vector<uint32_t> tfs;
     std::vector<uint64_t> starts;
     std::vector<uint8_t> encoded;
+    std::vector<uint32_t> frontier_start;
+    std::vector<uint32_t> frontier_tf;
+    std::vector<uint32_t> frontier_len;
     uint64_t total_positions = 0;
     GRAFT_RETURN_IF_ERROR(r.ReadVector(&docs));
     GRAFT_RETURN_IF_ERROR(r.ReadVector(&tfs));
     GRAFT_RETURN_IF_ERROR(r.ReadVector(&starts));
     GRAFT_RETURN_IF_ERROR(r.ReadVector(&encoded));
+    if (has_block_max_sections) {
+      GRAFT_RETURN_IF_ERROR(r.ReadVector(&frontier_start));
+      GRAFT_RETURN_IF_ERROR(r.ReadVector(&frontier_tf));
+      GRAFT_RETURN_IF_ERROR(r.ReadVector(&frontier_len));
+    }
     GRAFT_RETURN_IF_ERROR(r.ReadScalar(&total_positions));
     // Verify the section's checksum BEFORE mutating the index with its
     // content — a term record either enters the index intact or not at
@@ -341,6 +386,28 @@ StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
         (!starts.empty() && starts.back() != encoded.size())) {
       return Status::Corruption("offset index does not match encoded bytes");
     }
+    if (has_block_max_sections) {
+      // The frontier section must be structurally coherent before
+      // RestoreBlockMax installs it: one delimiter run per posting block,
+      // monotone with at least one point per (non-empty) block, and the
+      // two point arrays exactly as long as the last delimiter says.
+      const uint64_t expected_blocks =
+          (docs.size() + PostingList::kBlockSize - 1) /
+          PostingList::kBlockSize;
+      if (frontier_start.size() != expected_blocks + 1 ||
+          frontier_start.front() != 0 ||
+          frontier_start.back() != frontier_tf.size() ||
+          frontier_tf.size() != frontier_len.size()) {
+        return Status::Corruption(
+            "block frontier arrays do not match posting block count");
+      }
+      for (size_t b = 0; b < expected_blocks; ++b) {
+        if (frontier_start[b] >= frontier_start[b + 1]) {
+          return Status::Corruption(
+              "block frontier delimiters are not strictly increasing");
+        }
+      }
+    }
     const TermId term = index.InternTerm(text);
     if (term != i) {
       return Status::Corruption("duplicate term in index file: " + text);
@@ -348,7 +415,13 @@ StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
     index.mutable_postings(term)->RestoreFrom(
         std::move(docs), std::move(tfs), std::move(starts),
         std::move(encoded), total_positions);
+    if (has_block_max_sections) {
+      index.mutable_postings(term)->RestoreBlockMax(
+          std::move(frontier_start), std::move(frontier_tf),
+          std::move(frontier_len));
+    }
   }
+  index.set_has_block_max(has_block_max_sections);
   GRAFT_FAILPOINT(g_fp_load_verify);
   return index;
 }

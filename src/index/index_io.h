@@ -2,15 +2,32 @@
 // integrity-checked.
 //
 // Format (little-endian; magic "GRFTIDX" + one version byte, currently
-// '3'; arrays are u64 length-prefixed; every section is followed by a u32
+// '4'; arrays are u64 length-prefixed; every section is followed by a u32
 // CRC32C of the section's bytes):
-//   "GRFTIDX" '3'
+//   "GRFTIDX" '4'
 //   | u64 doc_count | u64 total_words | u32[] doc_lengths | u32 crc
 //   | u64 term_count | u32 crc
 //   then per term (one checksummed section each):
 //       u32 text_len | bytes text
 //       u32[] docs | u32[] tfs | u64[] offset_starts
-//       | u8[] delta-encoded offsets | u64 collection_frequency | u32 crc
+//       | u8[] delta-encoded offsets
+//       | u32[] frontier_start | u32[] frontier_tf
+//       | u32[] frontier_doc_length
+//       | u64 collection_frequency | u32 crc
+//
+// v4 adds the three block-max frontier arrays: per PostingList::kBlockSize
+// posting block, the Pareto frontier of the block's (tf, document length)
+// pairs — the inputs a bounded scheme needs to compute an exact block
+// score ceiling for dynamic pruning. frontier_start holds block_count+1
+// delimiters into the two flattened point arrays. The arrays live INSIDE
+// the per-term checksummed record, so the header layout is byte-identical
+// to v3 and the existing bit-flip corruption fuzz covers them for free.
+//
+// LoadIndex also accepts version '3' (the previous format, no block-max
+// arrays): the index loads normally with has_block_max() == false and
+// block-max pruning gates itself off ("blocked: no block-max metadata").
+// SaveIndexV3 writes the legacy layout for downgrade tooling and the
+// compatibility tests.
 //
 // SaveIndex is atomic with respect to crashes: it writes to `path + ".tmp"`,
 // fsyncs the data, renames over `path`, and fsyncs the parent directory.
@@ -22,8 +39,8 @@
 //
 // LoadIndex is hardened against corrupt or truncated input and reports a
 // distinct failure class per Status code:
-//   * kVersionMismatch — magic matches but the version byte is not '3'
-//     (e.g. an index written by an older build);
+//   * kVersionMismatch — magic matches but the version byte is neither
+//     '3' nor '4' (e.g. an index written by a different build);
 //   * kDataLoss       — the file ends early (short read, or a declared
 //     array length exceeding the bytes remaining): a torn/truncated file;
 //   * kCorruption     — the bytes are all there but wrong: a section CRC
@@ -43,6 +60,9 @@
 namespace graft::index {
 
 Status SaveIndex(const InvertedIndex& index, const std::string& path);
+// Legacy writer: emits the v3 layout (no block-max sections). An index
+// round-tripped through this loads with has_block_max() == false.
+Status SaveIndexV3(const InvertedIndex& index, const std::string& path);
 StatusOr<InvertedIndex> LoadIndex(const std::string& path);
 
 }  // namespace graft::index

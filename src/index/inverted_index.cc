@@ -44,6 +44,13 @@ uint32_t InvertedIndex::TermFreqInDoc(TermId term, DocId doc,
   return list.tf_at(pos);
 }
 
+void InvertedIndex::BuildBlockMax() {
+  for (PostingList& list : postings_) {
+    list.BuildBlockMax(doc_lengths_);
+  }
+  has_block_max_ = true;
+}
+
 IndexBuilder::IndexBuilder() = default;
 
 // The doc_offsets_ scratch map persists across documents: entries are
@@ -102,6 +109,9 @@ DocId IndexBuilder::AddDocumentStrings(const std::vector<std::string>& tokens) {
   return AddDocument(views);
 }
 
-InvertedIndex IndexBuilder::Build() { return std::move(index_); }
+InvertedIndex IndexBuilder::Build() {
+  index_.BuildBlockMax();
+  return std::move(index_);
+}
 
 }  // namespace graft::index

@@ -66,6 +66,19 @@ class InvertedIndex {
   // const lookups data-race-free under concurrent query execution.
   uint32_t TermFreqInDoc(TermId term, DocId doc, size_t* probe) const;
 
+  // ---- Block-max metadata (dynamic-pruning score ceilings) ----
+  // True when every posting list carries per-block (max tf, min doc
+  // length) metadata: set by BuildBlockMax and by loading a v4 index file.
+  // v3 files have no such sections, so a v3-loaded index reports false and
+  // block-max pruning is gated off ("blocked: no block-max metadata").
+  bool has_block_max() const { return has_block_max_; }
+  // Recomputes per-block metadata for every term from the current postings
+  // and document lengths. IndexBuilder::Build and the per-segment build
+  // call this; it is idempotent.
+  void BuildBlockMax();
+  // Loader hook: marks metadata present after per-term RestoreBlockMax.
+  void set_has_block_max(bool value) { has_block_max_ = value; }
+
   // ---- Construction interface (used by IndexBuilder and index_io) ----
   TermId InternTerm(std::string_view term);
   PostingList* mutable_postings(TermId term) { return &postings_[term]; }
@@ -85,6 +98,7 @@ class InvertedIndex {
   std::vector<PostingList> postings_;
   std::vector<uint32_t> doc_lengths_;
   uint64_t total_words_ = 0;
+  bool has_block_max_ = false;
 };
 
 // Incremental index construction. Documents must be added in increasing

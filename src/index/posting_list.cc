@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace graft::index {
 
@@ -70,6 +71,75 @@ size_t PostingList::GallopTo(size_t from, DocId target,
     *probes += local_probes;
   }
   return left;
+}
+
+void PostingList::ComputeBlockMax(
+    std::span<const uint32_t> doc_lengths,
+    std::vector<uint32_t>* frontier_start,
+    std::vector<uint32_t>* frontier_tf,
+    std::vector<uint32_t>* frontier_doc_length) const {
+  frontier_start->assign(1, 0);
+  frontier_tf->clear();
+  frontier_doc_length->clear();
+  const size_t n = docs_.size();
+  std::vector<std::pair<uint32_t, uint32_t>> points;  // (tf, doc length)
+  points.reserve(kBlockSize);
+  for (size_t begin = 0; begin < n; begin += kBlockSize) {
+    const size_t end = std::min(n, begin + kBlockSize);
+    points.clear();
+    uint32_t block_min_len = std::numeric_limits<uint32_t>::max();
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t len = doc_lengths[docs_[i]];
+      points.emplace_back(tfs_[i], len);
+      block_min_len = std::min(block_min_len, len);
+    }
+    // Skyline sweep, tf descending: a point survives iff its length is
+    // strictly below every length seen at a higher (or equal, via the
+    // secondary length-ascending sort) tf. The result is the Pareto
+    // frontier with tf strictly decreasing and length strictly decreasing,
+    // so the last emitted point always carries block_min_len.
+    std::sort(points.begin(), points.end(),
+              [](const std::pair<uint32_t, uint32_t>& a,
+                 const std::pair<uint32_t, uint32_t>& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    const size_t emitted_before = frontier_tf->size();
+    uint64_t running_min = std::numeric_limits<uint64_t>::max();
+    for (const auto& [tf, len] : points) {
+      if (len >= running_min) continue;
+      if (frontier_tf->size() - emitted_before == kMaxFrontierPoints - 1 &&
+          len != block_min_len) {
+        // Cap reached: one synthetic point (this tf, block min length)
+        // dominates this and every remaining skyline point.
+        frontier_tf->push_back(tf);
+        frontier_doc_length->push_back(block_min_len);
+        break;
+      }
+      frontier_tf->push_back(tf);
+      frontier_doc_length->push_back(len);
+      running_min = len;
+    }
+    frontier_start->push_back(static_cast<uint32_t>(frontier_tf->size()));
+  }
+}
+
+void PostingList::BuildBlockMax(std::span<const uint32_t> doc_lengths) {
+  ComputeBlockMax(doc_lengths, &frontier_start_, &frontier_tf_,
+                  &frontier_doc_length_);
+}
+
+void PostingList::RestoreBlockMax(std::vector<uint32_t> frontier_start,
+                                  std::vector<uint32_t> frontier_tf,
+                                  std::vector<uint32_t> frontier_doc_length) {
+  frontier_start_ = std::move(frontier_start);
+  frontier_tf_ = std::move(frontier_tf);
+  frontier_doc_length_ = std::move(frontier_doc_length);
+  assert(frontier_tf_.size() == frontier_doc_length_.size());
+  assert(frontier_start_.size() ==
+         (docs_.size() + kBlockSize - 1) / kBlockSize + 1);
+  assert(frontier_start_.front() == 0);
+  assert(frontier_start_.back() == frontier_tf_.size());
 }
 
 void PostingList::RestoreFrom(std::vector<DocId> docs,

@@ -22,6 +22,7 @@
 #ifndef GRAFT_INDEX_POSTING_LIST_H_
 #define GRAFT_INDEX_POSTING_LIST_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -34,6 +35,21 @@ namespace graft::index {
 
 class PostingList {
  public:
+  // Postings are grouped into fixed-size blocks for block-max pruning
+  // metadata: per block, the Pareto frontier of the block's (tf, document
+  // length) pairs (dominance: higher tf AND shorter document). A bounded
+  // scheme's α is monotone ↑tf / ↓length, so every document in the block
+  // is dominated by some frontier point, and the frontier's best α is the
+  // block's EXACT score ceiling — unlike the single (max tf, min length)
+  // point, which pairs extremes that rarely co-occur in one document and
+  // yields a ceiling too loose to ever skip a block.
+  static constexpr size_t kBlockSize = 128;
+  // Frontier points stored per block, at most. When a block's skyline is
+  // larger, the tail collapses into one synthetic dominating point
+  // (tail's max tf, block min length) — still a sound upper bound, just
+  // not exact for the collapsed region.
+  static constexpr size_t kMaxFrontierPoints = 8;
+
   PostingList() = default;
 
   // Appends one document's occurrences. Documents must be appended in
@@ -66,6 +82,54 @@ class PostingList {
   // counter surfaced by EXPLAIN ANALYZE.
   size_t GallopTo(size_t from, DocId target, uint64_t* probes = nullptr) const;
 
+  // ---- Block-max metadata (score ceilings for dynamic pruning) ----
+  // Recomputed by BuildBlockMax (needs per-doc lengths, so the index layer
+  // drives it) or restored verbatim from a v4 index file.
+  void BuildBlockMax(std::span<const uint32_t> doc_lengths);
+  // Side-effect-free variant (index_io uses it to upgrade an index that
+  // was loaded without metadata at save time). `frontier_start` gets
+  // block_count()+1 entries delimiting each block's run of points in the
+  // parallel `frontier_tf` / `frontier_doc_length` arrays; within a block,
+  // points are sorted tf-descending with strictly decreasing lengths.
+  void ComputeBlockMax(std::span<const uint32_t> doc_lengths,
+                       std::vector<uint32_t>* frontier_start,
+                       std::vector<uint32_t>* frontier_tf,
+                       std::vector<uint32_t>* frontier_doc_length) const;
+  void RestoreBlockMax(std::vector<uint32_t> frontier_start,
+                       std::vector<uint32_t> frontier_tf,
+                       std::vector<uint32_t> frontier_doc_length);
+  // ceil(doc_count / kBlockSize); 0 when metadata is absent.
+  size_t block_count() const {
+    return frontier_start_.empty() ? 0 : frontier_start_.size() - 1;
+  }
+  // Frontier-point index range [begin, end) of `block`; always non-empty.
+  size_t frontier_begin(size_t block) const { return frontier_start_[block]; }
+  size_t frontier_end(size_t block) const {
+    return frontier_start_[block + 1];
+  }
+  uint32_t frontier_tf(size_t point) const { return frontier_tf_[point]; }
+  uint32_t frontier_doc_length(size_t point) const {
+    return frontier_doc_length_[point];
+  }
+  // The first frontier point carries the block's max tf, the last its min
+  // document length (the sort invariant above).
+  uint32_t block_max_tf(size_t block) const {
+    return frontier_tf_[frontier_start_[block]];
+  }
+  uint32_t block_min_doc_length(size_t block) const {
+    return frontier_doc_length_[frontier_start_[block + 1] - 1];
+  }
+  // Posting-index range [begin, end) covered by `block`.
+  size_t block_begin(size_t block) const { return block * kBlockSize; }
+  size_t block_end(size_t block) const {
+    return std::min(docs_.size(), (block + 1) * kBlockSize);
+  }
+  // Last (largest) document id in `block` — the skip target when the
+  // block's ceiling cannot reach the heap threshold.
+  DocId block_last_doc(size_t block) const {
+    return docs_[block_end(block) - 1];
+  }
+
   // Serialization hooks used by index_io.
   const std::vector<DocId>& raw_docs() const { return docs_; }
   const std::vector<uint32_t>& raw_tfs() const { return tfs_; }
@@ -74,6 +138,15 @@ class PostingList {
   }
   const std::vector<uint8_t>& raw_encoded_offsets() const {
     return encoded_offsets_;
+  }
+  const std::vector<uint32_t>& raw_frontier_start() const {
+    return frontier_start_;
+  }
+  const std::vector<uint32_t>& raw_frontier_tf() const {
+    return frontier_tf_;
+  }
+  const std::vector<uint32_t>& raw_frontier_doc_length() const {
+    return frontier_doc_length_;
   }
   void RestoreFrom(std::vector<DocId> docs, std::vector<uint32_t> tfs,
                    std::vector<uint64_t> offset_starts,
@@ -88,6 +161,13 @@ class PostingList {
   std::vector<uint64_t> offset_start_{0};
   std::vector<uint8_t> encoded_offsets_;
   uint64_t total_positions_ = 0;
+  // Per-block (tf, doc length) Pareto frontiers, flattened: block b's
+  // points occupy [frontier_start_[b], frontier_start_[b+1]) of the two
+  // parallel point arrays. Empty until BuildBlockMax or RestoreBlockMax
+  // runs; frontier_start_ has block_count()+1 entries when present.
+  std::vector<uint32_t> frontier_start_;
+  std::vector<uint32_t> frontier_tf_;
+  std::vector<uint32_t> frontier_doc_length_;
 };
 
 // Document-granular cursor over a posting list (the A scan). offsets()

@@ -67,6 +67,14 @@ StatusOr<SegmentedIndex> SegmentedIndex::BuildFromMonolithic(
     }
     seg.index.SetDocLengths(std::move(lengths), local_words);
 
+    // Per-segment block-max metadata over the rebased slice, so each
+    // segment can prune independently against its own local threshold.
+    // Follows the source index: a v3-loaded index has no metadata and its
+    // segments must not prune either (EXPLAIN reports the same verdict).
+    if (index.has_block_max()) {
+      seg.index.BuildBlockMax();
+    }
+
     seg.stats.doc_count = docs;
     seg.stats.total_words = index.total_words();
     seg.stats.doc_freq = segmented.global_doc_freq_.data();

@@ -46,6 +46,16 @@ struct SchemeProperties {
   // via ScoringScheme::Scale (the paper's ⊗ operator).
   bool alt_multiplies = false;
 
+  // Bounded (upper-boundable α): the primary slot of Init is monotone
+  // non-decreasing in tf_in_doc and non-increasing in document length, and
+  // the non-primary slots are invariant across matched (tf >= 1) cells of
+  // one term — so the best-α point of a block's (tf, length) Pareto
+  // frontier slot-wise dominates every column score in the block. Together
+  // with monotone ⊘/⊚ this licenses score-safe dynamic pruning (MaxScore /
+  // block-max top-k): a block whose score ceiling cannot reach the current
+  // heap threshold may be skipped without changing any returned score.
+  bool bounded = false;
+
   CombinatorProps alt;   // ⊕, the alternate combinator.
   CombinatorProps conj;  // ⊘, the conjunctive combinator.
   CombinatorProps disj;  // ⊚, the disjunctive combinator.

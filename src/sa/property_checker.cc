@@ -260,6 +260,41 @@ PropertyReport CheckSchemeProperties(const ScoringScheme& scheme,
     report.results.push_back(std::move(constant));
   }
 
+  // Bounded (upper-boundable α): on declared-bounded schemes the primary
+  // slot of a non-∅ cell must be monotone non-decreasing in tf_in_doc and
+  // non-increasing in document length — the invariant block-max pruning
+  // relies on when it evaluates α at (block max tf, block min length) as a
+  // score ceiling.
+  {
+    PropertyCheckResult bounded{"bounded (α upper-boundable)", props.bounded,
+                                true, ""};
+    if (props.bounded) {
+      Sampler sampler(scheme, seed + 7);
+      Rng& rng = sampler.rng();
+      for (int i = 0; i < samples && bounded.held_on_samples; ++i) {
+        sampler.NewTrial();
+        DocContext doc = sampler.doc();
+        ColumnContext col;
+        col.term = static_cast<TermId>(rng.NextBounded(1000));
+        col.doc_freq = rng.NextInRange(10, doc.collection_size / 2);
+        col.tf_in_doc = static_cast<uint32_t>(rng.NextInRange(1, 8));
+        DocContext doc_hi = doc;
+        ColumnContext col_hi = col;
+        // Pointwise-dominating context: tf grows, length shrinks.
+        col_hi.tf_in_doc += static_cast<uint32_t>(rng.NextBounded(8));
+        doc_hi.length = static_cast<uint32_t>(
+            rng.NextInRange(1, std::max<uint32_t>(1, doc.length)));
+        const InternalScore lo = scheme.Init(doc, col, /*offset=*/0);
+        const InternalScore hi = scheme.Init(doc_hi, col_hi, /*offset=*/0);
+        if (hi.a < lo.a - kTolerance * std::max(1.0, std::fabs(lo.a))) {
+          bounded.held_on_samples = false;
+          bounded.counterexample = Violation(lo, hi);
+        }
+      }
+    }
+    report.results.push_back(std::move(bounded));
+  }
+
   // Diagonal (Definition 3), on conjunctive-realizable samples (no ∅ —
   // the query classes rigid engines like Lucene declare diagonality for).
   {

@@ -27,6 +27,7 @@ class AnySumScheme final : public ScoringScheme {
     props_.positional = false;
     props_.constant = true;
     props_.alt_multiplies = true;
+    props_.bounded = true;  // BM25 is monotone ↑ in tf, ↓ in |d|.
     props_.alt = {/*associative=*/true, /*commutative=*/true,
                   /*monotonic_increasing=*/false, /*idempotent=*/true};
     props_.conj = {true, true, true, false};
@@ -78,6 +79,7 @@ class AnyProdScheme final : public ScoringScheme {
     props_.positional = false;
     props_.constant = true;
     props_.alt_multiplies = true;
+    props_.bounded = true;  // 1 − e^(−bm25) inherits BM25's monotonicity.
     props_.alt = {true, true, false, true};
     props_.conj = {true, true, true, false};
     props_.disj = {true, true, true, false};
@@ -129,6 +131,7 @@ class SumBestScheme final : public ScoringScheme {
     props_.positional = false;
     props_.constant = false;
     props_.alt_multiplies = true;
+    props_.bounded = true;  // non-∅ cells are BM25; ∅ floors at 0.
     props_.alt = {true, true, true, true};
     props_.conj = {true, true, true, false};
     props_.disj = {true, true, true, false};
@@ -189,6 +192,7 @@ class LuceneScheme final : public ScoringScheme {
     props_.positional = false;
     props_.constant = false;
     props_.alt_multiplies = true;
+    props_.bounded = true;  // sqrt(tf)·idf²/sqrt(|d|): ↑ in tf, ↓ in |d|.
     props_.alt = {true, true, true, true};
     props_.conj = {true, true, true, false};
     props_.disj = {true, true, true, false};
@@ -250,6 +254,9 @@ class JoinNormalizedScheme final : public ScoringScheme {
     props_.positional = false;
     props_.constant = false;
     props_.alt_multiplies = true;
+    // Not bounded: ⊘/⊚ divide by the partner's subtable size, so a
+    // per-term ceiling does not bound the combined score.
+    props_.bounded = false;
     props_.alt = {true, true, true, false};
     props_.conj = {false, true, true, false};
     props_.disj = {false, true, true, false};
@@ -321,6 +328,7 @@ class EventModelScheme final : public ScoringScheme {
     props_.positional = false;
     props_.constant = false;
     props_.alt_multiplies = true;
+    props_.bounded = true;  // 1 − e^(−bm25) ∈ [0,1): ↑ in tf, ↓ in |d|.
     props_.alt = {true, true, true, false};
     props_.conj = {true, true, true, false};
     props_.disj = {true, true, true, false};
@@ -376,6 +384,9 @@ class MeanSumScheme final : public ScoringScheme {
     props_.positional = false;
     props_.constant = false;
     props_.alt_multiplies = true;
+    // Not bounded: ω divides by the ⊕-fold count, so a larger match set
+    // can lower the final score — a per-term tf ceiling does not bound ω.
+    props_.bounded = false;
     props_.alt = {true, true, true, false};
     props_.conj = {true, true, true, false};
     props_.disj = {true, true, true, false};
@@ -431,6 +442,9 @@ class BestSumMinDistScheme final : public ScoringScheme {
     props_.positional = true;
     props_.constant = false;
     props_.alt_multiplies = true;
+    // Not bounded: the MinDist proximity boost depends on actual offsets,
+    // which block-max metadata (tf + length only) cannot bound.
+    props_.bounded = false;
     props_.alt = {true, true, true, true};
     props_.conj = {true, true, true, false};
     props_.disj = {true, true, true, false};

@@ -75,7 +75,15 @@ void AppendFullExecJson(std::string* out, const exec::ExecStats& s) {
           ",\"rank_stopping_depth\":" +
           std::to_string(s.rank_stopping_depth) +
           ",\"docs_scored\":" + std::to_string(s.docs_scored) +
-          ",\"docs_pruned\":" + std::to_string(s.docs_pruned) + "}";
+          ",\"docs_pruned\":" + std::to_string(s.docs_pruned) +
+          ",\"topk_blocks_skipped\":" +
+          std::to_string(s.topk_blocks_skipped) +
+          ",\"topk_blocks_decoded\":" +
+          std::to_string(s.topk_blocks_decoded) +
+          ",\"topk_ceiling_probes\":" +
+          std::to_string(s.topk_ceiling_probes) +
+          ",\"topk_threshold_updates\":" +
+          std::to_string(s.topk_threshold_updates) + "}";
 }
 
 // "explain":{...} block: pinned generation, rewrite table, counters, trace.
@@ -527,6 +535,11 @@ Response SearchService::HandleSearch(const HttpRequest& request,
   const uint64_t engine_micros = MicrosSince(engine_start);
 
   stats_.scheme_counts.Record(params.scheme);
+  if (result.ok() && result->used_block_max_pruning) {
+    stats_.pruned_searches.fetch_add(1, std::memory_order_relaxed);
+    stats_.topk_blocks_skipped.fetch_add(
+        result->exec_stats.topk_blocks_skipped, std::memory_order_relaxed);
+  }
   // Slow-query log: threshold on the full latency the client saw
   // (queue + handling), which is what a tail-latency alert fires on.
   if (options_.slow_query_ms > 0 &&
@@ -581,6 +594,8 @@ Response SearchService::HandleSearch(const HttpRequest& request,
   body += std::to_string(result->segments_searched);
   body += ",\"used_rank_processing\":";
   body += result->used_rank_processing ? "true" : "false";
+  body += ",\"used_block_max_pruning\":";
+  body += result->used_block_max_pruning ? "true" : "false";
   body += ",\"optimizations\":\"";
   JsonAppendEscaped(&body, result->applied_optimizations);
   body += "\",\"timings\":{";

@@ -176,6 +176,10 @@ std::string ServerStats::ToJson() const {
   out += std::to_string(reloads_failed.load(std::memory_order_relaxed));
   out += ",\"slow_queries\":";
   out += std::to_string(slow_queries.load(std::memory_order_relaxed));
+  out += ",\"pruned_searches\":";
+  out += std::to_string(pruned_searches.load(std::memory_order_relaxed));
+  out += ",\"topk_blocks_skipped\":";
+  out += std::to_string(topk_blocks_skipped.load(std::memory_order_relaxed));
   out += ",\"search_latency\":";
   out += search_latency.ToJson();
   out += ",\"scheme_counts\":";
@@ -239,6 +243,12 @@ std::string ServerStats::ToPrometheus() const {
   AppendMetric(&out, "graft_slow_queries_total",
                "Searches over the slow-query threshold.", "counter",
                slow_queries.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_pruned_searches_total",
+               "Searches served by the block-max pruned top-k operator.",
+               "counter", pruned_searches.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_topk_blocks_skipped_total",
+               "Posting blocks skipped via block-max ceilings.", "counter",
+               topk_blocks_skipped.load(std::memory_order_relaxed));
 
   out +=
       "# HELP graft_search_latency_microseconds /search latency "

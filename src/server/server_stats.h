@@ -90,6 +90,12 @@ struct ServerStats {
   // /search responses whose total latency crossed the configured
   // slow-query threshold (0 while the slow-query log is disabled).
   std::atomic<uint64_t> slow_queries{0};
+  // Block-max top-k pruning on the search path: searches whose plan ran
+  // the pruned operator, and the cumulative posting blocks it skipped.
+  // Both stay 0 when the gate blocks pruning (scheme, query shape, v3
+  // index) — a dashboard on these shows whether pruning is earning rent.
+  std::atomic<uint64_t> pruned_searches{0};
+  std::atomic<uint64_t> topk_blocks_skipped{0};
   LatencyHistogram search_latency;                // /search only, all codes
   SchemeCounters scheme_counts;
 

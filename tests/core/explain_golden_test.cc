@@ -80,8 +80,9 @@ std::string GoldenPath(const std::string& name) {
 }
 
 void CheckGolden(const std::string& name, const std::string& query,
-                 const std::string& scheme) {
-  auto rendered = GoldenEngine().Explain(query, scheme);
+                 const std::string& scheme,
+                 const SearchOptions& options = {}) {
+  auto rendered = GoldenEngine().Explain(query, scheme, options);
   ASSERT_TRUE(rendered.ok()) << rendered.status().ToString();
 
   const std::string path = GoldenPath(name);
@@ -138,6 +139,25 @@ TEST(ExplainGolden, NegationEventModel) {
 TEST(ExplainGolden, PhraseSumBest) {
   CheckGolden("explain_phrase_sumbest",
               "\"free software\" (foss | emulator)", "SumBest");
+}
+
+// Top-k plans: the strategy line and the block-max prune gate verdict are
+// part of the snapshot. AnySum is fully licensed (pruned plan); MeanSum is
+// blocked on the bounded property (α not upper-boundable), so the same
+// query falls back — the blocked verdict must appear in the rewrite table.
+
+TEST(ExplainGolden, TopKPrunedAnySum) {
+  SearchOptions options;
+  options.top_k = 10;
+  CheckGolden("explain_topk_pruned_anysum", "free software", "AnySum",
+              options);
+}
+
+TEST(ExplainGolden, TopKBlockedMeanSum) {
+  SearchOptions options;
+  options.top_k = 10;
+  CheckGolden("explain_topk_blocked_meansum", "free software", "MeanSum",
+              options);
 }
 
 }  // namespace

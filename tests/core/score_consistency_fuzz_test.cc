@@ -9,8 +9,17 @@
 //   opt       optimized monolithic — same options as production defaults;
 //   seg       optimized segmented (3 segments, thread-pool parallel);
 //   topk      top-k runs (rank processing allowed, so the threshold
-//             rank-join/rank-union engine fires where the gate admits it),
-//             checked against the base ranking's prefix.
+//             rank-join/rank-union engine fires where the gate admits it —
+//             and the block-max PRUNED operator fires where its stricter
+//             gate passes too), checked against the base ranking's prefix;
+//   topk-unpruned  the same top-k with allow_block_max_pruning = false:
+//             the pruned and unpruned top-k must both be bit-identical to
+//             the full ranking's prefix. The fuzzer additionally asserts
+//             the activation invariant: used_block_max_pruning is true
+//             exactly when the extended gate licenses pruning (α bounded,
+//             ⊕ idempotent, ⊘/⊚ monotone, diagonal, pure keyword query),
+//             and NEVER for a blocked scheme — whose EXPLAIN rewrite table
+//             must carry the blocking verdict.
 //
 // Comparison contract, verified per execution pair:
 //
@@ -51,7 +60,10 @@
 
 #include "common/random.h"
 #include "core/engine.h"
+#include "core/optimization_gate.h"
 #include "core/optimizer.h"
+#include "exec/maxscore_topk.h"
+#include "exec/rank_join.h"
 #include "index/segmented_index.h"
 #include "ma/plan.h"
 #include "text/corpus.h"
@@ -383,6 +395,62 @@ std::string CheckQuery(const mcalc::Query& query,
                                   kTopK, "segmented top-k");
       !diff.empty()) {
     return diff;
+  }
+
+  // Fifth configuration: top-k with block-max pruning disabled. Must be
+  // bit-identical to the full ranking's prefix too (so pruned == unpruned).
+  SearchOptions unpruned_opts = TopKOptions(kTopK, false);
+  unpruned_opts.allow_block_max_pruning = false;
+  auto unpruned = MonoEngine().SearchQuery(query, scheme, unpruned_opts);
+  if (!unpruned.ok()) {
+    return "unpruned top-k failed: " + unpruned.status().ToString();
+  }
+  if (std::string diff = DiffTopK(opt->results, opt_map, unpruned->results,
+                                  kTopK, "unpruned top-k");
+      !diff.empty()) {
+    return diff;
+  }
+  if (unpruned->used_block_max_pruning) {
+    return "unpruned top-k run reports used_block_max_pruning";
+  }
+
+  // Activation invariant: the pruned operator fires exactly when the
+  // extended gate licenses it — provably never for a blocked scheme.
+  const bool expect_prune =
+      exec::TopKRankEngine::Supports(query, scheme) &&
+      exec::MaxScoreTopK::GateVerdict(query, scheme, FuzzIndex(),
+                                      /*overlay=*/nullptr)
+          .empty();
+  for (const auto& [label, run] :
+       {std::pair<const char*, const SearchResult*>{"top-k", &*topk},
+        {"segmented top-k", &*topk_seg}}) {
+    if (run->used_block_max_pruning != expect_prune) {
+      return std::string(label) + ": used_block_max_pruning=" +
+             (run->used_block_max_pruning ? "true" : "false") +
+             " but gate says " + (expect_prune ? "licensed" : "blocked");
+    }
+    if (!expect_prune && (run->exec_stats.topk_blocks_skipped != 0 ||
+                          run->exec_stats.topk_ceiling_probes != 0)) {
+      return std::string(label) +
+             ": pruning counters nonzero on a non-pruned run";
+    }
+    if (run->used_rank_processing && !expect_prune) {
+      // The rank path must log WHY pruning stood down.
+      bool verdict_logged = false;
+      for (const RewriteAttempt& attempt : run->rewrite_attempts) {
+        if (attempt.opt == Optimization::kBlockMaxPruning) {
+          verdict_logged = !attempt.fired && !attempt.verdict.empty();
+        }
+      }
+      if (!verdict_logged) {
+        return std::string(label) +
+               ": no block-max gate verdict in the rewrite table";
+      }
+    }
+  }
+  if (!scheme.properties().bounded &&
+      (topk->used_block_max_pruning || topk_seg->used_block_max_pruning)) {
+    return "pruning activated for a scheme whose α is not bounded";
   }
   return "";
 }

@@ -1,0 +1,239 @@
+// v3 <-> v4 format compatibility.
+//
+// v4 added per-term block-max frontier arrays (the Pareto frontier of
+// each posting block's (tf, document length) pairs) inside the per-term
+// checksummed records. The contracts under test:
+//   * a v4 round trip preserves the block-max metadata bit-for-bit;
+//   * a v3 file (written by SaveIndexV3) still loads — with
+//     has_block_max() == false, so block-max pruning gates itself off and
+//     EXPLAIN reports "blocked: no block-max metadata";
+//   * search results are bit-identical across a v3-loaded and a v4-loaded
+//     index — pruning only changes which documents get scored;
+//   * single-byte flips inside the new block-max sections are caught by
+//     the per-term CRC (the new arrays are NOT outside checksum coverage).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/maxscore_topk.h"
+#include "index/index_io.h"
+#include "index/inverted_index.h"
+#include "index/posting_list.h"
+#include "mcalc/parser.h"
+#include "sa/scoring_scheme.h"
+#include "text/corpus.h"
+
+namespace graft::index {
+namespace {
+
+// PID-unique: ctest runs each test as its own process against the same
+// TempDir — shared names would race.
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/graft_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+InvertedIndex BuildSmallIndex() {
+  text::CorpusConfig config = text::WikipediaLikeConfig(60, /*seed=*/7);
+  IndexBuilder builder;
+  text::CorpusGenerator generator(config);
+  generator.Generate(
+      [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
+        builder.AddDocument(tokens);
+      });
+  return builder.Build();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+TEST(IndexIoCompatTest, V4RoundTripPreservesBlockMax) {
+  const InvertedIndex built = BuildSmallIndex();
+  ASSERT_TRUE(built.has_block_max());
+  const std::string path = TempPath("v4.idx");
+  ASSERT_TRUE(SaveIndex(built, path).ok());
+  EXPECT_EQ(ReadFile(path)[7], '4');
+
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->has_block_max());
+  ASSERT_EQ(loaded->term_count(), built.term_count());
+  for (TermId t = 0; t < built.term_count(); ++t) {
+    const PostingList& want = built.postings(t);
+    const PostingList& got = loaded->postings(t);
+    ASSERT_EQ(got.block_count(), want.block_count()) << "term " << t;
+    EXPECT_EQ(got.raw_frontier_start(), want.raw_frontier_start())
+        << "term " << t;
+    EXPECT_EQ(got.raw_frontier_tf(), want.raw_frontier_tf()) << "term " << t;
+    EXPECT_EQ(got.raw_frontier_doc_length(), want.raw_frontier_doc_length())
+        << "term " << t;
+  }
+}
+
+TEST(IndexIoCompatTest, V3LoadsWithPruningAutoDisabled) {
+  const InvertedIndex built = BuildSmallIndex();
+  const std::string path = TempPath("v3.idx");
+  ASSERT_TRUE(SaveIndexV3(built, path).ok());
+  EXPECT_EQ(ReadFile(path)[7], '3');
+
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_FALSE(loaded->has_block_max());
+  ASSERT_EQ(loaded->term_count(), built.term_count());
+  for (TermId t = 0; t < built.term_count(); ++t) {
+    EXPECT_EQ(loaded->postings(t).block_count(), 0u) << "term " << t;
+    EXPECT_EQ(loaded->postings(t).raw_docs(), built.postings(t).raw_docs())
+        << "term " << t;
+    EXPECT_EQ(loaded->postings(t).raw_tfs(), built.postings(t).raw_tfs())
+        << "term " << t;
+  }
+
+  // The pruning gate stands down with the metadata verdict...
+  auto query = mcalc::ParseQuery("free software");
+  ASSERT_TRUE(query.ok()) << query.status();
+  const sa::ScoringScheme* scheme =
+      sa::SchemeRegistry::Global().Lookup("AnySum");
+  ASSERT_NE(scheme, nullptr);
+  EXPECT_EQ(exec::MaxScoreTopK::GateVerdict(*query, *scheme, *loaded,
+                                            /*overlay=*/nullptr),
+            "blocked: no block-max metadata");
+
+  // ...top-k still works (threshold algorithm), never reports pruning, and
+  // the rewrite table carries the blocking verdict.
+  core::Engine engine(&*loaded);
+  core::SearchOptions options;
+  options.top_k = 5;
+  auto result = engine.SearchQuery(*query, *scheme, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->used_rank_processing);
+  EXPECT_FALSE(result->used_block_max_pruning);
+  EXPECT_EQ(result->exec_stats.topk_blocks_skipped, 0u);
+  EXPECT_EQ(result->exec_stats.topk_ceiling_probes, 0u);
+  bool verdict_row = false;
+  for (const core::RewriteAttempt& attempt : result->rewrite_attempts) {
+    if (attempt.opt == core::Optimization::kBlockMaxPruning) {
+      EXPECT_FALSE(attempt.fired);
+      EXPECT_NE(attempt.verdict.find("no block-max metadata"),
+                std::string::npos)
+          << attempt.verdict;
+      verdict_row = true;
+    }
+  }
+  EXPECT_TRUE(verdict_row);
+
+  // EXPLAIN's top-k strategy line reports it too.
+  auto explain = engine.Explain("free software", "AnySum", options);
+  ASSERT_TRUE(explain.ok()) << explain.status();
+  EXPECT_NE(
+      explain->find("block-max prune blocked: no block-max metadata"),
+      std::string::npos)
+      << *explain;
+}
+
+TEST(IndexIoCompatTest, V3AndV4ResultsBitIdentical) {
+  const InvertedIndex built = BuildSmallIndex();
+  const std::string v3_path = TempPath("v3_results.idx");
+  const std::string v4_path = TempPath("v4_results.idx");
+  ASSERT_TRUE(SaveIndexV3(built, v3_path).ok());
+  ASSERT_TRUE(SaveIndex(built, v4_path).ok());
+  auto v3 = LoadIndex(v3_path);
+  auto v4 = LoadIndex(v4_path);
+  ASSERT_TRUE(v3.ok()) << v3.status();
+  ASSERT_TRUE(v4.ok()) << v4.status();
+
+  core::Engine unpruned_engine(&*v3);
+  core::Engine pruned_engine(&*v4);
+  core::SearchOptions options;
+  options.top_k = 10;
+  for (const char* query : {"free software", "free | software | windows"}) {
+    for (const char* scheme : {"AnySum", "Lucene", "MeanSum"}) {
+      auto a = unpruned_engine.Search(query, scheme, options);
+      auto b = pruned_engine.Search(query, scheme, options);
+      ASSERT_TRUE(a.ok()) << a.status();
+      ASSERT_TRUE(b.ok()) << b.status();
+      EXPECT_FALSE(a->used_block_max_pruning);
+      ASSERT_EQ(a->results.size(), b->results.size())
+          << query << " / " << scheme;
+      for (size_t i = 0; i < a->results.size(); ++i) {
+        EXPECT_EQ(a->results[i].score, b->results[i].score)
+            << query << " / " << scheme << " rank " << i
+            << " (bit-identical required)";
+      }
+    }
+  }
+}
+
+TEST(IndexIoCompatTest, BlockMaxSectionBitFlipsRejected) {
+  // Walk the v4 layout to the first term's block-max frontier arrays and
+  // flip bytes inside them: the arrays live INSIDE the per-term
+  // checksummed record, so every flip must come back as kCorruption.
+  const InvertedIndex built = BuildSmallIndex();
+  const std::string path = TempPath("v4flip.idx");
+  ASSERT_TRUE(SaveIndex(built, path).ok());
+  std::string bytes = ReadFile(path);
+
+  const auto read_u64 = [&](size_t at) {
+    uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + at, sizeof(v));
+    return v;
+  };
+  size_t off = 8;                                // magic + version byte
+  off += 8 + 8;                                  // doc_count, total_words
+  off += 8 + read_u64(off) * sizeof(uint32_t);   // doc_lengths
+  off += 4;                                      // header section CRC
+  off += 8 + 4;                                  // term_count + CRC
+  // First term record: text, then docs/tfs/offset_starts/encoded_offsets.
+  uint32_t text_len = 0;
+  std::memcpy(&text_len, bytes.data() + off, sizeof(text_len));
+  ASSERT_EQ(std::string(bytes.data() + off + 4, text_len),
+            built.TermText(0));
+  off += 4 + text_len;
+  for (const size_t elem : {sizeof(DocId), sizeof(uint32_t),
+                            sizeof(uint64_t), sizeof(uint8_t)}) {
+    off += 8 + read_u64(off) * elem;
+  }
+  // `off` is now the u64 length prefix of frontier_start (block_count + 1
+  // delimiters), followed by the length-prefixed frontier_tf and
+  // frontier_doc_length point arrays.
+  const uint64_t delimiters = read_u64(off);
+  ASSERT_EQ(delimiters, built.postings(0).block_count() + 1);
+  const size_t start_entry = off + 8;               // first delimiter
+  const size_t tf_prefix = off + 8 + delimiters * 4;
+  const uint64_t points = read_u64(tf_prefix);
+  ASSERT_EQ(points, built.postings(0).raw_frontier_tf().size());
+  ASSERT_GE(points, 1u);
+  const size_t tf_entry = tf_prefix + 8;            // first frontier tf
+  const size_t len_entry = tf_prefix + 8 + points * 4 + 8;  // first length
+  const std::string corrupt_path = TempPath("v4flip_corrupt.idx");
+  for (const size_t target : {off, start_entry, tf_entry, len_entry}) {
+    std::string corrupt = bytes;
+    corrupt[target] = static_cast<char>(corrupt[target] ^ 0x5A);
+    WriteFile(corrupt_path, corrupt);
+    auto loaded = LoadIndex(corrupt_path);
+    ASSERT_FALSE(loaded.ok())
+        << "flip at offset " << target << " went undetected";
+    EXPECT_TRUE(loaded.status().code() == StatusCode::kCorruption ||
+                loaded.status().code() == StatusCode::kDataLoss)
+        << "offset " << target << ": " << loaded.status();
+  }
+}
+
+}  // namespace
+}  // namespace graft::index

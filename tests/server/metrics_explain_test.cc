@@ -256,12 +256,14 @@ TEST(ExplainEndpointTest, ExplainBlockCarriesRewritesCountersAndTrace) {
   EXPECT_NE(body.find("\"fired\":true"), std::string::npos)
       << "at least one rewrite must fire for a conjunction under MeanSum";
 
-  // All twelve operator counters.
+  // All sixteen operator counters.
   for (const char* counter :
        {"docs_visited", "rows_built", "positions_scanned",
         "count_entries_scanned", "blocks_decoded", "gallop_probes",
         "skip_calls", "skip_hits", "rank_heap_ops", "rank_stopping_depth",
-        "docs_scored", "docs_pruned"}) {
+        "docs_scored", "docs_pruned", "topk_blocks_skipped",
+        "topk_blocks_decoded", "topk_ceiling_probes",
+        "topk_threshold_updates"}) {
     EXPECT_NE(body.find("\"" + std::string(counter) + "\":"),
               std::string::npos)
         << "missing counter " << counter;
@@ -333,6 +335,48 @@ TEST(ExplainEndpointTest, ExplainOverlappingReloadReportsPinnedGeneration) {
 
   service.Shutdown();
   std::remove(index_path.c_str());
+}
+
+TEST(MetricsTest, PrunedSearchCountsIntoMetricsStatsAndExplain) {
+  ServiceOptions options;
+  SearchService service(SharedBundle().engine.get(), options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // AnySum licenses block-max pruning (α bounded, ⊕ idempotent); the
+  // activation invariant says the pruned operator fires on every licensed
+  // top-k keyword search.
+  auto pruned = HttpGet(
+      service.port(), SearchTarget("free software", "AnySum", 5, true));
+  ASSERT_TRUE(pruned.ok()) << pruned.status();
+  EXPECT_EQ(pruned->status_code, 200);
+  EXPECT_NE(pruned->body.find("\"used_block_max_pruning\":true"),
+            std::string::npos)
+      << pruned->body.substr(0, 400);
+  EXPECT_NE(pruned->body.find("\"topk_ceiling_probes\":"), std::string::npos);
+
+  // MeanSum's α is not upper-boundable: same query, pruning must not fire.
+  auto blocked = HttpGet(
+      service.port(), SearchTarget("free software", "MeanSum", 5, true));
+  ASSERT_TRUE(blocked.ok()) << blocked.status();
+  EXPECT_EQ(blocked->status_code, 200);
+  EXPECT_NE(blocked->body.find("\"used_block_max_pruning\":false"),
+            std::string::npos);
+  EXPECT_NE(blocked->body.find("blocked by gate"), std::string::npos)
+      << "the explain rewrite table must carry the blocking verdict";
+
+  EXPECT_GE(service.stats().pruned_searches.load(), 1u);
+  auto metrics = HttpGet(service.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  std::map<std::string, double> samples;
+  ASSERT_NO_FATAL_FAILURE(ParseExposition(metrics->body, &samples));
+  EXPECT_GE(samples.at("graft_pruned_searches_total"), 1);
+  EXPECT_TRUE(samples.count("graft_topk_blocks_skipped_total"));
+  auto stats = HttpGet(service.port(), "/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->body.find("\"pruned_searches\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"topk_blocks_skipped\":"), std::string::npos);
+
+  service.Shutdown();
 }
 
 TEST(SlowQueryTest, ThresholdCountsIntoStatsAndMetrics) {

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Docs drift lint for the GRAFT repo.
+
+Fails (exit 1) when the reference pages under docs/ fall behind the code:
+
+  * every top-level subdirectory of src/ must be mentioned (as "src/<name>")
+    in docs/architecture.md;
+  * every Prometheus metric name exported by src/server/server_stats.cc and
+    src/server/search_service.cc (any "graft_..." name inside a string
+    literal) must appear in docs/operations.md;
+  * every command-line flag graft_server parses (arg == "--flag" in
+    tools/graft_server.cc) must appear in docs/operations.md;
+  * every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md
+    and docs/*.md must resolve to an existing file.
+
+`--self-test` proves the lint actually bites: it re-runs every check on
+deliberately broken inputs and fails if any breakage goes undetected.
+CI runs both modes.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+METRIC_SOURCES = ("src/server/server_stats.cc", "src/server/search_service.cc")
+FLAG_SOURCE = "tools/graft_server.cc"
+LINKED_DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+
+
+def read(path):
+    with open(os.path.join(REPO, path), encoding="utf-8") as f:
+        return f.read()
+
+
+# ---- check 1: architecture page covers every src/ subdirectory -----------
+
+
+def src_subdirs(repo=REPO):
+    root = os.path.join(repo, "src")
+    return sorted(
+        name
+        for name in os.listdir(root)
+        if os.path.isdir(os.path.join(root, name))
+    )
+
+
+def check_architecture(arch_text, subdirs):
+    errors = []
+    for name in subdirs:
+        if f"src/{name}" not in arch_text:
+            errors.append(
+                f"docs/architecture.md does not mention src/{name} — every "
+                "src/ subsystem needs at least a pointer paragraph"
+            )
+    return errors
+
+
+# ---- check 2: operations page lists every exported metric ----------------
+
+
+def quoted_segments(source_text):
+    # String literals only: a metric name in a comment ("graft_-prefixed")
+    # or an identifier (graft_server) must not count as an exported metric.
+    return re.findall(r'"([^"\\]*(?:\\.[^"\\]*)*)"', source_text)
+
+
+def exported_metrics(source_texts):
+    names = set()
+    for text in source_texts:
+        for segment in quoted_segments(text):
+            names.update(re.findall(r"\bgraft_[a-z][a-z0-9_]*", segment))
+    return sorted(names)
+
+
+def check_metrics(ops_text, metric_names):
+    return [
+        f"docs/operations.md does not document exported metric {name}"
+        for name in metric_names
+        if name not in ops_text
+    ]
+
+
+# ---- check 3: operations page lists every graft_server flag --------------
+
+
+def server_flags(flag_source_text):
+    return sorted(set(re.findall(r'arg == "(--[a-z][a-z-]*)"', flag_source_text)))
+
+
+def check_flags(ops_text, flags):
+    return [
+        f"docs/operations.md does not document graft_server flag {flag}"
+        for flag in flags
+        if f"`{flag}" not in ops_text and f"| {flag}" not in ops_text
+        and flag not in ops_text
+    ]
+
+
+# ---- check 4: relative markdown links resolve ----------------------------
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_links(doc_path, text, repo=REPO):
+    errors = []
+    base = os.path.dirname(os.path.join(repo, doc_path))
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not os.path.exists(os.path.normpath(os.path.join(base, path))):
+            errors.append(f"{doc_path}: broken relative link -> {target}")
+    return errors
+
+
+# ---- driver --------------------------------------------------------------
+
+
+def docs_to_link_check(repo=REPO):
+    docs = [p for p in LINKED_DOCS if os.path.exists(os.path.join(repo, p))]
+    docs_dir = os.path.join(repo, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            docs.append(os.path.join("docs", name))
+    return docs
+
+
+def run_checks():
+    arch = read("docs/architecture.md")
+    ops = read("docs/operations.md")
+    errors = []
+    errors += check_architecture(arch, src_subdirs())
+    errors += check_metrics(ops, exported_metrics(read(p) for p in METRIC_SOURCES))
+    errors += check_flags(ops, server_flags(read(FLAG_SOURCE)))
+    for doc in docs_to_link_check():
+        errors += check_links(doc, read(doc))
+    return errors
+
+
+def self_test():
+    """Every check must flag a deliberately broken input (negative test)."""
+    failures = []
+
+    arch = read("docs/architecture.md")
+    mutated = arch.replace("src/exec", "src/(redacted)")
+    if not check_architecture(mutated, src_subdirs()):
+        failures.append("architecture check missed a removed src/exec mention")
+    if check_architecture(arch, src_subdirs()):
+        failures.append("architecture check fails on the real docs")
+
+    ops = read("docs/operations.md")
+    mutated = ops.replace("graft_requests_total", "graft_requests_renamed")
+    metrics = exported_metrics(read(p) for p in METRIC_SOURCES)
+    if "graft_requests_total" not in metrics:
+        failures.append("metric extraction lost graft_requests_total")
+    if not check_metrics(mutated, metrics):
+        failures.append("metrics check missed a removed metric row")
+    if check_metrics(ops, metrics):
+        failures.append("metrics check fails on the real docs")
+
+    flags = server_flags(read(FLAG_SOURCE))
+    if "--slow-query-ms" not in flags:
+        failures.append("flag extraction lost --slow-query-ms")
+    mutated = ops.replace("--slow-query-ms", "--renamed-flag")
+    if not check_flags(mutated, flags):
+        failures.append("flags check missed a removed flag row")
+    if check_flags(ops, flags):
+        failures.append("flags check fails on the real docs")
+
+    broken = "see [the docs](docs/definitely-not-a-real-file.md) for more"
+    if not check_links("README.md", broken):
+        failures.append("link check missed a broken relative link")
+    ok = "see [the index](src/index/index_io.h) and [web](https://x.test/)"
+    if check_links("README.md", ok):
+        failures.append("link check flags a valid link")
+
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify each check detects deliberately broken input",
+    )
+    args = parser.parse_args()
+
+    problems = self_test() if args.self_test else run_checks()
+    label = "self-test" if args.self_test else "docs lint"
+    for problem in problems:
+        print(f"check_docs: {problem}", file=sys.stderr)
+    if problems:
+        print(f"check_docs: {label} FAILED ({len(problems)} problems)",
+              file=sys.stderr)
+        return 1
+    print(f"check_docs: {label} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
