@@ -255,9 +255,11 @@ int RunTraceOverheadMode(const graft::index::InvertedIndex& index,
   std::fprintf(out,
                "{\n  \"benchmark\": \"trace_overhead\",\n"
                "  \"doc_count\": %llu,\n  \"scheme\": \"%s\",\n"
-               "  \"passes\": %zu,\n  \"modes\": [\n",
+               "  \"passes\": %zu,\n",
                static_cast<unsigned long long>(index.doc_count()), scheme,
                passes);
+  bench::WriteHostParallelismFields(out, /*max_parallel=*/1);
+  std::fprintf(out, "  \"modes\": [\n");
   for (size_t m = 0; m < std::size(kModes); ++m) {
     const TraceModeResult& r = results[m];
     std::fprintf(out,
@@ -482,8 +484,10 @@ int RunPruningSweep(const graft::index::InvertedIndex& index) {
   }
   std::fprintf(out,
                "{\n  \"benchmark\": \"topk_pruning\",\n"
-               "  \"doc_count\": %llu,\n  \"queries\": [\n",
+               "  \"doc_count\": %llu,\n",
                static_cast<unsigned long long>(index.doc_count()));
+  bench::WriteHostParallelismFields(out, /*max_parallel=*/1);
+  std::fprintf(out, "  \"queries\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const PruningResult& r = results[i];
     std::fprintf(
@@ -607,10 +611,15 @@ int main() {
   }
   std::fprintf(out,
                "{\n  \"benchmark\": \"parallel_throughput\",\n"
-               "  \"doc_count\": %llu,\n  \"scheme\": \"%s\",\n"
-               "  \"hardware_concurrency\": %u,\n  \"configs\": [\n",
-               static_cast<unsigned long long>(index.doc_count()), scheme,
-               std::thread::hardware_concurrency());
+               "  \"doc_count\": %llu,\n  \"scheme\": \"%s\",\n",
+               static_cast<unsigned long long>(index.doc_count()), scheme);
+  // The widest configuration the sweep asks the host to run in parallel.
+  bench::WriteHostParallelismFields(
+      out, std::max(*std::max_element(std::begin(kSegmentCounts),
+                                      std::end(kSegmentCounts)),
+                    *std::max_element(std::begin(kWorkerCounts),
+                                      std::end(kWorkerCounts))));
+  std::fprintf(out, "  \"configs\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& r = results[i];
     std::fprintf(out,

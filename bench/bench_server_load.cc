@@ -217,10 +217,12 @@ int main() {
   std::fprintf(out,
                "{\n  \"benchmark\": \"server_load\",\n"
                "  \"doc_count\": %llu,\n  \"segments\": %zu,\n"
-               "  \"targets\": %zu,\n  \"window_seconds\": %.1f,\n"
-               "  \"hardware_concurrency\": %u,\n  \"configs\": [\n",
+               "  \"targets\": %zu,\n  \"window_seconds\": %.1f,\n",
                static_cast<unsigned long long>(index.doc_count()), kSegments,
-               targets.size(), window_s, std::thread::hardware_concurrency());
+               targets.size(), window_s);
+  // Each in-flight query fans across kSegments engine workers.
+  bench::WriteHostParallelismFields(out, kSegments);
+  std::fprintf(out, "  \"configs\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& r = results[i];
     std::fprintf(

@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "index/index_io.h"
@@ -73,6 +74,24 @@ inline const index::InvertedIndex& SharedBenchIndex() {
     return built;
   }();
   return index;
+}
+
+// Every bench JSON writer records the host's core count next to the
+// parallelism the sweep asked for. A result measured on a machine with
+// fewer cores than the sweep's widest segment/thread configuration
+// understates parallel speedups; the artifact carries an explicit
+// "warning" field in that case instead of leaving the reader to notice.
+// Emits into an open JSON object; trailing comma included.
+inline void WriteHostParallelismFields(std::FILE* out, size_t max_parallel) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n", cores);
+  if (cores != 0 && max_parallel > cores) {
+    std::fprintf(out,
+                 "  \"warning\": \"sweep requests %zu-way parallelism but "
+                 "the host reports %u cores; parallel speedups are "
+                 "understated\",\n",
+                 max_parallel, cores);
+  }
 }
 
 // Paper methodology: nine repetitions, average of the five medians. For

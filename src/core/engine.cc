@@ -218,8 +218,18 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
                                            const SearchOptions& options) const {
   if (segmented_ != nullptr && options.use_segmented &&
       !options.use_canonical_reference) {
+    if (options.stats_overlay != nullptr) {
+      return Status::InvalidArgument(
+          "stats_overlay is not supported on the segmented path (overlay "
+          "doc ids are global); set use_segmented = false");
+    }
     return SearchQuerySegmented(query, scheme, options);
   }
+
+  // The per-request overlay replaces (not merges with) the engine overlay:
+  // a router shard must score against exactly the pinned statistics.
+  const index::StatsOverlay* overlay =
+      options.stats_overlay != nullptr ? options.stats_overlay : overlay_;
 
   SearchResult result;
   common::QueryTrace* trace = options.trace;
@@ -230,7 +240,7 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
     GRAFT_ASSIGN_OR_RETURN(CanonicalBuild canonical,
                            BuildCanonicalPlan(query, scheme));
     GRAFT_RETURN_IF_ERROR(ma::ResolvePlan(canonical.plan.get(), *index_));
-    ma::ReferenceEvaluator evaluator(index_, &scheme, query_ctx, overlay_);
+    ma::ReferenceEvaluator evaluator(index_, &scheme, query_ctx, overlay);
     GRAFT_ASSIGN_OR_RETURN(const ma::MatchTable table,
                            evaluator.Evaluate(*canonical.plan));
     GRAFT_ASSIGN_OR_RETURN(result.results, ma::ExtractRankedResults(table));
@@ -250,7 +260,7 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
     const std::string prune_verdict =
         options.allow_block_max_pruning
             ? exec::MaxScoreTopK::GateVerdict(query, scheme, *index_,
-                                              overlay_)
+                                              overlay)
             : "blocked: disabled by request options";
     if (prune_verdict.empty()) {
       common::ScopedSpan rank_span(trace, "rank");
@@ -268,7 +278,7 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
       return result;
     }
     common::ScopedSpan rank_span(trace, "rank");
-    exec::TopKRankEngine rank_engine(index_, &scheme, overlay_);
+    exec::TopKRankEngine rank_engine(index_, &scheme, overlay);
     GRAFT_ASSIGN_OR_RETURN(result.results,
                            rank_engine.TopK(query, options.top_k));
     rank_span.End("stopping_depth=" +
@@ -286,7 +296,7 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
   GRAFT_ASSIGN_OR_RETURN(OptimizedPlan plan,
                          optimizer.Optimize(query, *index_, trace));
   optimize_span.End("applied: " + plan.AppliedToString());
-  exec::Executor executor(index_, &scheme, query_ctx, overlay_);
+  exec::Executor executor(index_, &scheme, query_ctx, overlay);
   common::ScopedSpan execute_span(trace, "execute");
   GRAFT_ASSIGN_OR_RETURN(result.results, executor.ExecuteRanked(*plan.plan));
   execute_span.End("docs_visited=" +

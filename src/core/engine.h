@@ -84,6 +84,17 @@ struct SearchOptions {
   // meant for oracle comparisons.
   bool use_canonical_reference = false;
 
+  // Per-request statistics overlay (borrowed; must outlive the call).
+  // When set it takes the place of the engine's constructor overlay for
+  // this query only: collection-level statistics resolve against it before
+  // the live index, which is how a router shard pins the distributed
+  // corpus' global statistics so its scores are bit-identical to a
+  // single-process run (block-max pruning stands down, exactly as with a
+  // constructor overlay). Not supported on the segmented fan-out path —
+  // overlay doc ids are global; combine with use_segmented = false or a
+  // monolithic engine.
+  const index::StatsOverlay* stats_overlay = nullptr;
+
   // When non-null, the engine records spans into it: parse (on the
   // text-query entry points) → optimize (one event per attempted rewrite,
   // with the gate verdict) → execute (one child span per segment) → rank →

@@ -50,15 +50,20 @@ class StatsOverlay {
   StatsOverlay() = default;
 
   void SetCollectionSize(uint64_t size) { collection_size_ = size; }
+  void SetTotalWords(uint64_t words) { total_words_ = words; }
   void SetDocLength(DocId doc, uint32_t length) { doc_length_[doc] = length; }
   void SetDocFreq(const std::string& term, uint64_t df) {
     doc_freq_[term] = df;
+  }
+  void SetCollectionFreq(const std::string& term, uint64_t cf) {
+    collection_freq_[term] = cf;
   }
   void SetTermFreqInDoc(const std::string& term, DocId doc, uint32_t tf) {
     term_freq_[{term}][doc] = tf;
   }
 
   std::optional<uint64_t> collection_size() const { return collection_size_; }
+  std::optional<uint64_t> total_words() const { return total_words_; }
   std::optional<uint32_t> doc_length(DocId doc) const {
     const auto it = doc_length_.find(doc);
     if (it == doc_length_.end()) return std::nullopt;
@@ -67,6 +72,11 @@ class StatsOverlay {
   std::optional<uint64_t> doc_freq(const std::string& term) const {
     const auto it = doc_freq_.find(term);
     if (it == doc_freq_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::optional<uint64_t> collection_freq(const std::string& term) const {
+    const auto it = collection_freq_.find(term);
+    if (it == collection_freq_.end()) return std::nullopt;
     return it->second;
   }
   std::optional<uint32_t> term_freq(const std::string& term, DocId doc) const {
@@ -79,18 +89,21 @@ class StatsOverlay {
 
  private:
   std::optional<uint64_t> collection_size_;
+  std::optional<uint64_t> total_words_;
   std::unordered_map<DocId, uint32_t> doc_length_;
   std::unordered_map<std::string, uint64_t> doc_freq_;
+  std::unordered_map<std::string, uint64_t> collection_freq_;
   std::unordered_map<std::string, std::unordered_map<DocId, uint32_t>>
       term_freq_;
 };
 
 // Read-only statistics facade handed to scoring schemes. Cheap to copy.
-// Resolution order per statistic: overlay (tests) → global stats (segment
-// of a SegmentedIndex) → the live index. Per-document statistics
-// (DocLength, TermFreqInDoc) always resolve locally — a segment holds its
-// own documents — while collection-level statistics (CollectionSize,
-// AverageDocLength, DocFreq, CollectionFreq) come from the global table.
+// Resolution order per statistic: overlay (tests, and the router's pinned
+// global stats) → global stats (segment of a SegmentedIndex) → the live
+// index. Per-document statistics (DocLength, TermFreqInDoc) always resolve
+// locally — a segment holds its own documents — while collection-level
+// statistics (CollectionSize, AverageDocLength, DocFreq, CollectionFreq)
+// come from the overlay or global table.
 class StatsView {
  public:
   explicit StatsView(const InvertedIndex* index,
@@ -120,6 +133,17 @@ class StatsView {
   }
 
   double AverageDocLength() const {
+    // Overlay total_words (with an overlay collection size) pins the
+    // average exactly the way GlobalStats does: same division, same
+    // operand values ⇒ bit-identical doubles on every shard.
+    if (overlay_ != nullptr) {
+      if (const auto words = overlay_->total_words(); words.has_value()) {
+        const uint64_t docs = CollectionSize();
+        return docs == 0 ? 0.0
+                         : static_cast<double>(*words) /
+                               static_cast<double>(docs);
+      }
+    }
     if (global_ != nullptr) {
       return global_->average_doc_length();
     }
@@ -140,6 +164,12 @@ class StatsView {
   }
 
   uint64_t CollectionFreq(TermId term) const {
+    if (overlay_ != nullptr) {
+      if (const auto v = overlay_->collection_freq(index_->TermText(term));
+          v.has_value()) {
+        return *v;
+      }
+    }
     if (global_ != nullptr && global_->collection_freq != nullptr) {
       return global_->collection_freq[term];
     }

@@ -1,0 +1,646 @@
+#include "router/router_service.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+#include "core/request.h"
+#include "mcalc/parser.h"
+#include "sa/scoring_scheme.h"
+
+namespace graft::router {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using server::ErrorBody;
+using server::HttpCodeForStatus;
+using server::HttpRequest;
+using server::JsonAppendEscaped;
+using server::Response;
+
+uint64_t MicrosSince(Clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
+}
+
+std::string RetryAfterHeader(unsigned seconds) {
+  return "Retry-After: " + std::to_string(seconds) + "\r\n";
+}
+
+// Same FIN-before-close dance as SearchService's RejectConnection: the 503
+// must survive the unread request bytes.
+void RejectConnection(int fd, const std::string& body,
+                      unsigned retry_after_s) {
+  (void)server::WriteResponse(fd, 503, "application/json", body,
+                              RetryAfterHeader(retry_after_s));
+  ::shutdown(fd, SHUT_WR);
+  char drain[1024];
+  for (int spin = 0; spin < 50; ++spin) {
+    const ssize_t n = ::recv(fd, drain, sizeof(drain), MSG_DONTWAIT);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ::close(fd);
+}
+
+void AppendMsField(std::string* out, std::string_view name, double micros) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%.*s\":%.3f",
+                static_cast<int>(name.size()), name.data(), micros / 1000.0);
+  *out += buf;
+}
+
+void AppendShardOutcomes(std::string* out,
+                         const std::vector<ShardOutcome>& outcomes) {
+  *out += "\"shards\":[";
+  bool first = true;
+  for (const ShardOutcome& shard : outcomes) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "{\"shard\":" + std::to_string(shard.shard);
+    *out += ",\"port\":" + std::to_string(shard.port);
+    *out += ",\"outcome\":\"";
+    JsonAppendEscaped(out, shard.outcome);
+    *out += "\",\"attempts\":" + std::to_string(shard.attempts);
+    *out += ",\"hedged\":";
+    *out += shard.hedged ? "true" : "false";
+    *out += ",\"results\":" + std::to_string(shard.results);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ",\"latency_ms\":%.3f",
+                  shard.latency_ms);
+    *out += buf;
+    if (!shard.error.empty()) {
+      *out += ",\"error\":\"";
+      JsonAppendEscaped(out, shard.error);
+      *out += "\"";
+    }
+    *out += "}";
+  }
+  *out += "]";
+}
+
+void AppendCounterMetric(std::string* out, std::string_view name,
+                         std::string_view help, uint64_t value) {
+  *out += "# HELP ";
+  *out += name;
+  *out += " ";
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += " counter\n";
+  *out += name;
+  *out += " " + std::to_string(value) + "\n";
+}
+
+}  // namespace
+
+void RouterStats::RecordResponseCode(int status_code) {
+  if (status_code >= 200 && status_code < 300) {
+    responses_ok.fetch_add(1, std::memory_order_relaxed);
+  } else if (status_code == 503) {
+    rejected_overload.fetch_add(1, std::memory_order_relaxed);
+  } else if (status_code == 504) {
+    deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+  } else if (status_code == 502) {
+    bad_gateway.fetch_add(1, std::memory_order_relaxed);
+  } else if (status_code >= 400 && status_code < 500) {
+    client_errors.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    bad_gateway.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+RouterService::RouterService(
+    std::vector<std::vector<uint16_t>> shard_replicas, RouterOptions options)
+    : options_(std::move(options)),
+      gather_(std::make_unique<ScatterGather>(std::move(shard_replicas),
+                                              options_.gather)) {}
+
+RouterService::~RouterService() { Shutdown(); }
+
+Status RouterService::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("router already started");
+  }
+  GRAFT_RETURN_IF_ERROR(listener_.Bind(options_.port));
+  pool_ = std::make_unique<common::ThreadPool>(options_.handler_threads);
+  started_at_ = Clock::now();
+  started_ = true;
+  gather_->StartProbes();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void RouterService::Shutdown() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  listener_.Interrupt();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [this] {
+      return inflight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  pool_.reset();
+  gather_->StopProbes();
+  started_ = false;
+}
+
+void RouterService::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    StatusOr<int> accepted = listener_.Accept(options_.io_timeout_ms);
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    const int fd = *accepted;
+    stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
+
+    const size_t inflight =
+        inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (inflight > options_.max_inflight ||
+        stopping_.load(std::memory_order_acquire)) {
+      const Status reason =
+          inflight > options_.max_inflight
+              ? Status::FailedPrecondition("router overloaded; retry")
+              : Status::FailedPrecondition("router shutting down");
+      RejectConnection(fd, ErrorBody(reason), options_.retry_after_s);
+      stats_.RecordResponseCode(503);
+      if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+        drain_cv_.notify_all();
+      }
+      continue;
+    }
+
+    const Clock::time_point admitted = Clock::now();
+    pool_->Submit([this, fd, admitted] { HandleConnection(fd, admitted); });
+  }
+}
+
+void RouterService::HandleConnection(int fd, Clock::time_point admitted) {
+  const uint64_t queued_micros = MicrosSince(admitted);
+  StatusOr<HttpRequest> request = server::ReadRequest(fd);
+  Response response;
+  if (!request.ok()) {
+    stats_.malformed_requests.fetch_add(1, std::memory_order_relaxed);
+    response.status_code = 400;
+    response.body = ErrorBody(request.status());
+  } else {
+    response = Handle(*request, queued_micros);
+  }
+  const std::string extra_headers =
+      response.retry_after_s > 0 ? RetryAfterHeader(response.retry_after_s)
+                                 : std::string();
+  // Count before writing: a client that has read the response (and then
+  // /stats) must already see it reflected in the counters.
+  stats_.RecordResponseCode(response.status_code);
+  (void)server::WriteResponse(fd, response.status_code, response.content_type,
+                              response.body, extra_headers);
+  ::close(fd);
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+Response RouterService::Handle(const HttpRequest& request,
+                               uint64_t queued_micros) {
+  Response response;
+  if (request.method != "GET") {
+    response.status_code = 405;
+    response.body =
+        ErrorBody(Status::InvalidArgument("only GET is supported"));
+    return response;
+  }
+  if (request.path == "/healthz") return HandleHealthz();
+  if (request.path == "/stats") return HandleStats();
+  if (request.path == "/metrics") return HandleMetrics();
+  if (request.path == "/search") return HandleSearch(request, queued_micros);
+  response.status_code = 404;
+  response.body =
+      ErrorBody(Status::NotFound("no such endpoint: " + request.path));
+  return response;
+}
+
+Response RouterService::HandleSearch(const HttpRequest& request,
+                                     uint64_t queued_micros) {
+  const Clock::time_point handle_start = Clock::now();
+  Response response;
+  const auto record_latency = [&] {
+    stats_.search_latency.Record(queued_micros + MicrosSince(handle_start));
+  };
+
+  // ---- parameter parsing (every failure is a 4xx) ----
+  const auto get = [&request](const char* name) -> const std::string* {
+    const auto it = request.params.find(name);
+    return it == request.params.end() ? nullptr : &it->second;
+  };
+  const std::string* q = get("q");
+  if (q == nullptr) {
+    response.status_code = 400;
+    response.body =
+        ErrorBody(Status::InvalidArgument("missing required parameter: q"));
+    record_latency();
+    return response;
+  }
+  std::string scheme = "MeanSum";
+  if (const std::string* text = get("scheme")) scheme = *text;
+  size_t k = options_.default_top_k;
+  if (const std::string* text = get("k")) {
+    StatusOr<size_t> value = core::ParseCount(*text, "k");
+    if (!value.ok()) {
+      response.status_code = HttpCodeForStatus(value.status());
+      response.body = ErrorBody(value.status());
+      record_latency();
+      return response;
+    }
+    k = *value;
+  }
+  if (k == 0 || k > options_.max_top_k) {
+    response.status_code = 400;
+    response.body = ErrorBody(Status::InvalidArgument(
+        "k must be in [1, " + std::to_string(options_.max_top_k) +
+        "] (distributed search cannot return unbounded result sets)"));
+    record_latency();
+    return response;
+  }
+  uint64_t deadline_ms = options_.default_deadline_ms;
+  if (const std::string* text = get("deadline_ms")) {
+    StatusOr<size_t> value = core::ParseCount(*text, "deadline_ms");
+    if (!value.ok() || *value == 0) {
+      const Status status =
+          value.ok() ? Status::InvalidArgument("deadline_ms must be > 0")
+                     : value.status();
+      response.status_code = HttpCodeForStatus(status);
+      response.body = ErrorBody(status);
+      record_latency();
+      return response;
+    }
+    deadline_ms = std::min<uint64_t>(*value, options_.max_deadline_ms);
+  }
+  bool explain = false;
+  if (const std::string* text = get("explain")) {
+    explain = *text == "1" || *text == "true";
+  }
+
+  // The router validates the query and scheme itself (same parser and
+  // registry as the shards), so malformed input burns zero shard budget
+  // and the term list for the stats exchange falls out of the parse.
+  StatusOr<mcalc::Query> parsed = mcalc::ParseQuery(*q);
+  if (!parsed.ok()) {
+    response.status_code = HttpCodeForStatus(parsed.status());
+    response.body = ErrorBody(parsed.status());
+    record_latency();
+    return response;
+  }
+  if (sa::SchemeRegistry::Global().Lookup(scheme) == nullptr) {
+    response.status_code = 404;
+    response.body =
+        ErrorBody(Status::NotFound("unknown scoring scheme: " + scheme));
+    record_latency();
+    return response;
+  }
+  std::vector<std::string> terms;
+  terms.reserve(parsed->variables.size());
+  for (const mcalc::Variable& variable : parsed->variables) {
+    terms.push_back(variable.keyword);
+  }
+
+  stats_.scheme_counts.Record(scheme);
+
+  // ---- fan out ----
+  const uint64_t spent_ms =
+      (queued_micros + MicrosSince(handle_start)) / 1000;
+  if (spent_ms >= deadline_ms) {
+    response.status_code = 504;
+    response.retry_after_s = options_.retry_after_s;
+    response.body = ErrorBody(Status::FailedPrecondition(
+        "deadline of " + std::to_string(deadline_ms) +
+        "ms elapsed before fan-out"));
+    record_latency();
+    return response;
+  }
+  const std::string tail = "q=" + server::UrlEncode(*q) +
+                           "&scheme=" + server::UrlEncode(scheme);
+  StatusOr<GatherResult> gathered =
+      gather_->Search(terms, tail, k, deadline_ms - spent_ms);
+  if (!gathered.ok()) {
+    // A client mistake stays 4xx; everything else is the gateway speaking
+    // for unreachable/failed shards.
+    const int mapped = HttpCodeForStatus(gathered.status());
+    response.status_code = mapped == 400 || mapped == 404 ? mapped : 502;
+    response.body = ErrorBody(gathered.status());
+    record_latency();
+    return response;
+  }
+  if ((queued_micros + MicrosSince(handle_start)) / 1000 >= deadline_ms) {
+    response.status_code = 504;
+    response.retry_after_s = options_.retry_after_s;
+    response.body = ErrorBody(Status::FailedPrecondition(
+        "deadline of " + std::to_string(deadline_ms) +
+        "ms exceeded during fan-out"));
+    record_latency();
+    return response;
+  }
+
+  if (gathered->degraded) {
+    stats_.partial_responses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ---- 200 body: the degradation contract is always present ----
+  std::string body = "{\"query\":\"";
+  JsonAppendEscaped(&body, *q);
+  body += "\",\"scheme\":\"";
+  JsonAppendEscaped(&body, scheme);
+  body += "\",\"k\":" + std::to_string(k);
+  body += ",\"degraded\":";
+  body += gathered->degraded ? "true" : "false";
+  body += ",\"shards_total\":" + std::to_string(gathered->shards_total);
+  body += ",\"shards_ok\":" + std::to_string(gathered->shards_ok);
+  body += ",";
+  AppendShardOutcomes(&body, gathered->outcomes);
+  body += ",\"timings\":{";
+  AppendMsField(&body, "queue_ms", static_cast<double>(queued_micros));
+  body += ",";
+  AppendMsField(&body, "total_ms",
+                static_cast<double>(queued_micros +
+                                    MicrosSince(handle_start)));
+  body += "},";
+  if (explain) {
+    body += "\"explain\":{\"stats_epoch\":";
+    body += std::to_string(gathered->stats_epoch);
+    body += ",\"terms\":[";
+    bool first = true;
+    for (const std::string& term : terms) {
+      if (!first) body += ",";
+      first = false;
+      body += "\"";
+      JsonAppendEscaped(&body, term);
+      body += "\"";
+    }
+    body += "],\"policy\":\"";
+    body += options_.gather.partial_policy == PartialPolicy::kFail
+                ? "fail"
+                : "partial";
+    body += "\",\"hedge_ms\":";
+    body += std::to_string(options_.gather.hedge_ms);
+    body += "},";
+  }
+  body += server::SearchService::FormatResultsFragment(gathered->results);
+  body += "}";
+  response.body = std::move(body);
+  record_latency();
+  return response;
+}
+
+Response RouterService::HandleHealthz() const {
+  // The router is healthy while it can still reach some of the corpus;
+  // per-shard replica health is the detail a prober wants next.
+  size_t dark_shards = 0;
+  std::string shard_list = "[";
+  for (size_t i = 0; i < gather_->shard_count(); ++i) {
+    const ShardClient& shard = gather_->shard(i);
+    if (!shard.any_healthy()) ++dark_shards;
+    if (i > 0) shard_list += ",";
+    shard_list += "{\"shard\":" + std::to_string(i) +
+                  ",\"replicas\":" + std::to_string(shard.replica_count()) +
+                  ",\"healthy\":" + std::to_string(shard.healthy_count()) +
+                  "}";
+  }
+  shard_list += "]";
+  Response response;
+  response.body = "{\"status\":\"";
+  response.body += dark_shards == 0
+                       ? "ok"
+                       : (dark_shards < gather_->shard_count() ? "degraded"
+                                                               : "down");
+  response.body += "\",\"shards\":" + shard_list + "}";
+  return response;
+}
+
+Response RouterService::HandleStats() const {
+  const GatherCounters& gather = gather_->counters();
+  Response response;
+  std::string body = "{\"requests_total\":";
+  body += std::to_string(stats_.requests_total.load(std::memory_order_relaxed));
+  body += ",\"responses_ok\":";
+  body += std::to_string(stats_.responses_ok.load(std::memory_order_relaxed));
+  body += ",\"client_errors\":";
+  body += std::to_string(stats_.client_errors.load(std::memory_order_relaxed));
+  body += ",\"bad_gateway\":";
+  body += std::to_string(stats_.bad_gateway.load(std::memory_order_relaxed));
+  body += ",\"rejected_overload\":";
+  body += std::to_string(
+      stats_.rejected_overload.load(std::memory_order_relaxed));
+  body += ",\"deadline_exceeded\":";
+  body += std::to_string(
+      stats_.deadline_exceeded.load(std::memory_order_relaxed));
+  body += ",\"malformed_requests\":";
+  body += std::to_string(
+      stats_.malformed_requests.load(std::memory_order_relaxed));
+  body += ",\"partial_responses\":";
+  body += std::to_string(
+      stats_.partial_responses.load(std::memory_order_relaxed));
+  body += ",\"gathers\":{\"total\":";
+  body += std::to_string(gather.gathers_total.load(std::memory_order_relaxed));
+  body += ",\"ok\":";
+  body += std::to_string(gather.gathers_ok.load(std::memory_order_relaxed));
+  body += ",\"partial\":";
+  body +=
+      std::to_string(gather.gathers_partial.load(std::memory_order_relaxed));
+  body += ",\"failed\":";
+  body += std::to_string(gather.gathers_failed.load(std::memory_order_relaxed));
+  body += ",\"hedges_launched\":";
+  body +=
+      std::to_string(gather.hedges_launched.load(std::memory_order_relaxed));
+  body += ",\"hedges_won\":";
+  body += std::to_string(gather.hedges_won.load(std::memory_order_relaxed));
+  body += ",\"stats_refreshes\":";
+  body +=
+      std::to_string(gather.stats_refreshes.load(std::memory_order_relaxed));
+  body += ",\"gen_conflicts\":";
+  body += std::to_string(gather.gen_conflicts.load(std::memory_order_relaxed));
+  body += "},\"stats_epoch\":";
+  body += std::to_string(gather_->stats_epoch());
+  body += ",\"shards\":[";
+  for (size_t i = 0; i < gather_->shard_count(); ++i) {
+    const ShardClient& shard = gather_->shard(i);
+    const ShardClientCounters& counters = shard.counters();
+    if (i > 0) body += ",";
+    body += "{\"shard\":" + std::to_string(i);
+    body += ",\"replicas\":" + std::to_string(shard.replica_count());
+    body += ",\"healthy\":" + std::to_string(shard.healthy_count());
+    body += ",\"attempts\":" +
+            std::to_string(counters.attempts.load(std::memory_order_relaxed));
+    body += ",\"failures\":" +
+            std::to_string(counters.failures.load(std::memory_order_relaxed));
+    body += ",\"retries\":" +
+            std::to_string(counters.retries.load(std::memory_order_relaxed));
+    body += ",\"ejections\":" +
+            std::to_string(counters.ejections.load(std::memory_order_relaxed));
+    body += ",\"readmissions\":" + std::to_string(counters.readmissions.load(
+                                       std::memory_order_relaxed));
+    body += ",\"probes\":" +
+            std::to_string(counters.probes.load(std::memory_order_relaxed));
+    body += "}";
+  }
+  body += "],\"search_latency\":";
+  body += stats_.search_latency.ToJson();
+  body += ",\"by_scheme\":";
+  body += stats_.scheme_counts.ToJson();
+  body += ",\"uptime_s\":";
+  body += std::to_string(MicrosSince(started_at_) / 1000000);
+  body += "}";
+  response.body = std::move(body);
+  return response;
+}
+
+Response RouterService::HandleMetrics() const {
+  const GatherCounters& gather = gather_->counters();
+  Response response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  AppendCounterMetric(&body, "graft_router_requests_total",
+                      "Connections accepted by the router.",
+                      stats_.requests_total.load(std::memory_order_relaxed));
+  AppendCounterMetric(&body, "graft_router_responses_ok_total",
+                      "2xx responses (including degraded partials).",
+                      stats_.responses_ok.load(std::memory_order_relaxed));
+  AppendCounterMetric(&body, "graft_router_client_errors_total",
+                      "4xx responses.",
+                      stats_.client_errors.load(std::memory_order_relaxed));
+  AppendCounterMetric(&body, "graft_router_bad_gateway_total",
+                      "502s: shard failures the policy would not degrade.",
+                      stats_.bad_gateway.load(std::memory_order_relaxed));
+  AppendCounterMetric(
+      &body, "graft_router_rejected_overload_total",
+      "503s from the admission cap or shutdown.",
+      stats_.rejected_overload.load(std::memory_order_relaxed));
+  AppendCounterMetric(
+      &body, "graft_router_deadline_exceeded_total", "504s.",
+      stats_.deadline_exceeded.load(std::memory_order_relaxed));
+  AppendCounterMetric(
+      &body, "graft_router_partial_responses_total",
+      "Degraded 200s: some shard did not contribute.",
+      stats_.partial_responses.load(std::memory_order_relaxed));
+  AppendCounterMetric(&body, "graft_router_gathers_total",
+                      "Scatter-gather rounds started.",
+                      gather.gathers_total.load(std::memory_order_relaxed));
+  AppendCounterMetric(&body, "graft_router_gathers_partial_total",
+                      "Gathers merged from a strict subset of shards.",
+                      gather.gathers_partial.load(std::memory_order_relaxed));
+  AppendCounterMetric(&body, "graft_router_gathers_failed_total",
+                      "Gathers that returned an error to the caller.",
+                      gather.gathers_failed.load(std::memory_order_relaxed));
+  AppendCounterMetric(&body, "graft_router_hedges_launched_total",
+                      "Hedged second requests sent to straggler shards.",
+                      gather.hedges_launched.load(std::memory_order_relaxed));
+  AppendCounterMetric(&body, "graft_router_hedges_won_total",
+                      "Hedged requests that beat the primary.",
+                      gather.hedges_won.load(std::memory_order_relaxed));
+  AppendCounterMetric(&body, "graft_router_stats_refreshes_total",
+                      "Stats-epoch invalidations (generation moved).",
+                      gather.stats_refreshes.load(std::memory_order_relaxed));
+  AppendCounterMetric(&body, "graft_router_gen_conflicts_total",
+                      "409 Conflict replies observed from shards.",
+                      gather.gen_conflicts.load(std::memory_order_relaxed));
+
+  body += "# HELP graft_router_stats_epoch Current pinned-stats epoch.\n";
+  body += "# TYPE graft_router_stats_epoch gauge\n";
+  body += "graft_router_stats_epoch " +
+          std::to_string(gather_->stats_epoch()) + "\n";
+
+  // Per-shard wire counters + health gauges, labeled by shard index.
+  body +=
+      "# HELP graft_router_shard_attempts_total Wire attempts per shard.\n";
+  body += "# TYPE graft_router_shard_attempts_total counter\n";
+  for (size_t i = 0; i < gather_->shard_count(); ++i) {
+    body += "graft_router_shard_attempts_total{shard=\"" +
+            std::to_string(i) + "\"} " +
+            std::to_string(gather_->shard(i).counters().attempts.load(
+                std::memory_order_relaxed)) +
+            "\n";
+  }
+  body += "# HELP graft_router_shard_failures_total Failed attempts "
+          "(transport or 5xx) per shard.\n";
+  body += "# TYPE graft_router_shard_failures_total counter\n";
+  for (size_t i = 0; i < gather_->shard_count(); ++i) {
+    body += "graft_router_shard_failures_total{shard=\"" +
+            std::to_string(i) + "\"} " +
+            std::to_string(gather_->shard(i).counters().failures.load(
+                std::memory_order_relaxed)) +
+            "\n";
+  }
+  body += "# HELP graft_router_shard_ejections_total Replica ejections "
+          "per shard.\n";
+  body += "# TYPE graft_router_shard_ejections_total counter\n";
+  for (size_t i = 0; i < gather_->shard_count(); ++i) {
+    body += "graft_router_shard_ejections_total{shard=\"" +
+            std::to_string(i) + "\"} " +
+            std::to_string(gather_->shard(i).counters().ejections.load(
+                std::memory_order_relaxed)) +
+            "\n";
+  }
+  body += "# HELP graft_router_shard_readmissions_total Probe-driven "
+          "replica readmissions per shard.\n";
+  body += "# TYPE graft_router_shard_readmissions_total counter\n";
+  for (size_t i = 0; i < gather_->shard_count(); ++i) {
+    body += "graft_router_shard_readmissions_total{shard=\"" +
+            std::to_string(i) + "\"} " +
+            std::to_string(gather_->shard(i).counters().readmissions.load(
+                std::memory_order_relaxed)) +
+            "\n";
+  }
+  body += "# HELP graft_router_shard_healthy_replicas Non-ejected "
+          "replicas per shard.\n";
+  body += "# TYPE graft_router_shard_healthy_replicas gauge\n";
+  for (size_t i = 0; i < gather_->shard_count(); ++i) {
+    body += "graft_router_shard_healthy_replicas{shard=\"" +
+            std::to_string(i) + "\"} " +
+            std::to_string(gather_->shard(i).healthy_count()) + "\n";
+  }
+
+  // Latency summary, matching the server's exposition shape.
+  body += "# HELP graft_router_search_latency_seconds /search latency.\n";
+  body += "# TYPE graft_router_search_latency_seconds summary\n";
+  const struct {
+    const char* label;
+    double q;
+  } quantiles[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+  char buf[128];
+  for (const auto& quantile : quantiles) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "graft_router_search_latency_seconds{quantile=\"%s\"} %.6f\n",
+        quantile.label,
+        stats_.search_latency.PercentileMicros(quantile.q) / 1e6);
+    body += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "graft_router_search_latency_seconds_sum %.6f\n",
+                static_cast<double>(stats_.search_latency.sum_micros()) / 1e6);
+  body += buf;
+  body += "graft_router_search_latency_seconds_count " +
+          std::to_string(stats_.search_latency.count()) + "\n";
+
+  body += "# HELP graft_router_uptime_seconds Seconds since Start().\n";
+  body += "# TYPE graft_router_uptime_seconds gauge\n";
+  body += "graft_router_uptime_seconds " +
+          std::to_string(MicrosSince(started_at_) / 1000000) + "\n";
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace graft::router

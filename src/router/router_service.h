@@ -1,0 +1,150 @@
+// The scatter-gather front end: an HTTP router process that fans /search
+// out to N shard servers through ScatterGather and serves the merged,
+// score-consistent ranking.
+//
+//   GET /search?q=<query>&scheme=<name>&k=<n>[&deadline_ms=<n>][&explain=1]
+//       -> 200 JSON: the merged top-k over every shard, bit-identical to a
+//          single-process run over the whole corpus when all shards
+//          answer. The response always carries the degradation contract:
+//          "degraded" (true when any shard did not contribute),
+//          "shards_total"/"shards_ok" coverage, and a per-shard "shards"
+//          outcome array (outcome, replica port, attempts, hedged,
+//          results contributed, latency). &explain=1 adds the stats epoch
+//          and the pinned statistics summary.
+//       -> 502 Bad Gateway when every shard failed, or when any shard
+//          failed under --policy fail (a partial answer is never silently
+//          presented as complete).
+//   GET /stats   -> 200 JSON cumulative router counters + percentiles.
+//   GET /metrics -> 200 Prometheus exposition: router counters, gather
+//                   counters (hedges, refreshes, partials), and per-shard
+//                   wire counters + ejected-replica gauges.
+//   GET /healthz -> 200 while any shard is reachable; reports per-shard
+//                   healthy replica counts.
+//
+// Concurrency model mirrors server::SearchService exactly (accept thread +
+// handler pool + connection-level admission cap + Retry-After on 503/504);
+// the request deadline budget is handed to ScatterGather, which spends it
+// across stats collection, retries, backoff, and hedges.
+
+#ifndef GRAFT_ROUTER_ROUTER_SERVICE_H_
+#define GRAFT_ROUTER_ROUTER_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "router/scatter_gather.h"
+#include "server/http.h"
+#include "server/search_service.h"
+#include "server/server_stats.h"
+
+namespace graft::router {
+
+struct RouterOptions {
+  // 0 = kernel-assigned ephemeral port (tests; read back via port()).
+  uint16_t port = 0;
+  // Handler pool workers. 0 = hardware concurrency.
+  size_t handler_threads = 0;
+  // Admission cap, as in server::ServiceOptions.
+  size_t max_inflight = 64;
+  // Deadline budget applied when the client sends no deadline_ms; client
+  // values are clamped to max_deadline_ms.
+  uint64_t default_deadline_ms = 2000;
+  uint64_t max_deadline_ms = 30000;
+  size_t default_top_k = 10;
+  size_t max_top_k = 10000;
+  int io_timeout_ms = 5000;
+  unsigned retry_after_s = 1;
+  // Fan-out behavior (shard client retry discipline, hedging, partial
+  // policy, probe cadence).
+  ScatterGatherOptions gather;
+};
+
+// Cumulative router request counters. Same outcome identity as
+// server::ServerStats: responses_ok + client_errors + bad_gateway +
+// rejected_overload + deadline_exceeded (+ the malformed subset of 4xx)
+// partitions requests_total once drained.
+struct RouterStats {
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> responses_ok{0};        // 2xx (incl. degraded 200s)
+  std::atomic<uint64_t> client_errors{0};       // 4xx
+  std::atomic<uint64_t> bad_gateway{0};         // 502 (shard failures)
+  std::atomic<uint64_t> rejected_overload{0};   // 503
+  std::atomic<uint64_t> deadline_exceeded{0};   // 504
+  std::atomic<uint64_t> malformed_requests{0};
+  // Degraded 200s: a partial merge was served under --policy partial.
+  // Subset of responses_ok.
+  std::atomic<uint64_t> partial_responses{0};
+  server::LatencyHistogram search_latency;
+  server::SchemeCounters scheme_counts;
+
+  void RecordResponseCode(int status_code);
+};
+
+class RouterService {
+ public:
+  // `shard_replicas[i]` lists replica ports of shard i, in global doc-id
+  // order (the contiguous corpus split).
+  RouterService(std::vector<std::vector<uint16_t>> shard_replicas,
+                RouterOptions options);
+  ~RouterService();
+
+  RouterService(const RouterService&) = delete;
+  RouterService& operator=(const RouterService&) = delete;
+
+  // Binds the listener, starts the accept thread + handler pool + the
+  // replica readmission probe thread.
+  Status Start();
+
+  // Stops accepting, drains admitted requests, joins everything.
+  void Shutdown();
+
+  uint16_t port() const { return listener_.port(); }
+  const RouterStats& stats() const { return stats_; }
+  ScatterGather& gather() { return *gather_; }
+  const ScatterGather& gather() const { return *gather_; }
+
+  // Routes one parsed request; exposed so tests can drive the handler
+  // without sockets (mirrors SearchService::Handle).
+  server::Response Handle(const server::HttpRequest& request,
+                          uint64_t queued_micros);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd,
+                        std::chrono::steady_clock::time_point admitted);
+  server::Response HandleSearch(const server::HttpRequest& request,
+                                uint64_t queued_micros);
+  server::Response HandleStats() const;
+  server::Response HandleMetrics() const;
+  server::Response HandleHealthz() const;
+
+  const RouterOptions options_;
+  std::unique_ptr<ScatterGather> gather_;
+
+  server::TcpListener listener_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::thread accept_thread_;
+
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::atomic<size_t> inflight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  RouterStats stats_;
+  std::chrono::steady_clock::time_point started_at_;
+};
+
+}  // namespace graft::router
+
+#endif  // GRAFT_ROUTER_ROUTER_SERVICE_H_

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -52,7 +53,24 @@ Status SetSocketTimeouts(int fd, int timeout_ms) {
   return Status::Ok();
 }
 
-Status WriteAll(int fd, std::string_view data) {
+}  // namespace
+
+void IgnoreSigpipeOnce() {
+  // MSG_NOSIGNAL covers send(); SIG_IGN covers everything else (e.g. a
+  // write on a connect()ed socket whose peer vanished between calls, or
+  // platform paths that bypass send). Belt and suspenders: a dead peer
+  // must be an IOError on one connection, never process death.
+  static const bool ignored = [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_IGN;
+    sigemptyset(&sa.sa_mask);
+    return ::sigaction(SIGPIPE, &sa, nullptr) == 0;
+  }();
+  (void)ignored;
+}
+
+Status SendAll(int fd, std::string_view data) {
   size_t written = 0;
   while (written < data.size()) {
     const ssize_t n =
@@ -66,8 +84,6 @@ Status WriteAll(int fd, std::string_view data) {
   }
   return Status::Ok();
 }
-
-}  // namespace
 
 StatusOr<std::string> UrlDecode(std::string_view text) {
   std::string out;
@@ -182,8 +198,10 @@ std::string_view StatusReason(int status_code) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
     case 504: return "Gateway Timeout";
     default: return "Unknown";
@@ -236,6 +254,7 @@ void JsonAppendEscaped(std::string* out, std::string_view text) {
 TcpListener::~TcpListener() { Close(); }
 
 Status TcpListener::Bind(uint16_t port, int backlog) {
+  IgnoreSigpipeOnce();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     return Status::IOError("socket failed: " +
@@ -250,8 +269,15 @@ Status TcpListener::Bind(uint16_t port, int backlog) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status status = Status::IOError(
-        "bind failed: " + std::string(std::strerror(errno)));
+    // EADDRINUSE gets a precise, actionable message: startup must fail
+    // fast and say which port is taken, not hang or report a vague errno.
+    const Status status =
+        errno == EADDRINUSE
+            ? Status::IOError("port " + std::to_string(port) +
+                              " is already in use on 127.0.0.1 (pick "
+                              "another --port or stop the other process)")
+            : Status::IOError("bind failed: " +
+                              std::string(std::strerror(errno)));
     Close();
     return status;
   }
@@ -343,7 +369,7 @@ StatusOr<HttpRequest> ReadRequest(int fd) {
 
 Status WriteResponse(int fd, int status_code, std::string_view content_type,
                      std::string_view body, std::string_view extra_headers) {
-  return WriteAll(
+  return SendAll(
       fd, SerializeResponse(status_code, content_type, body, extra_headers));
 }
 
@@ -369,6 +395,7 @@ std::string UrlEncode(std::string_view text) {
 
 StatusOr<HttpClientResponse> HttpGet(uint16_t port, std::string_view target,
                                      int timeout_ms) {
+  IgnoreSigpipeOnce();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError("socket failed: " +
@@ -393,7 +420,7 @@ StatusOr<HttpClientResponse> HttpGet(uint16_t port, std::string_view target,
   std::string request = "GET ";
   request += target;
   request += " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
-  GRAFT_RETURN_IF_ERROR(WriteAll(fd, request));
+  GRAFT_RETURN_IF_ERROR(SendAll(fd, request));
 
   std::string raw;
   char buf[4096];

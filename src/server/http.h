@@ -57,6 +57,19 @@ std::string SerializeResponse(int status_code, std::string_view content_type,
 // "Bad Request", ...); "Unknown" otherwise.
 std::string_view StatusReason(int status_code);
 
+// Writes all of `data` to `fd`, retrying short writes and EINTR, with
+// SIGPIPE suppressed (MSG_NOSIGNAL + a process-wide SIG_IGN installed by
+// the transport). The single write path shared by the server side
+// (WriteResponse) and the client side (HttpGet, the router's ShardClient):
+// a peer that disappears mid-response surfaces as Status::IOError on this
+// connection, never as a process-killing signal.
+Status SendAll(int fd, std::string_view data);
+
+// Idempotently installs SIG_IGN for SIGPIPE. Bind() and HttpGet() call it;
+// multi-process front ends (graft_server, graft_router) inherit the
+// protection through their first socket operation.
+void IgnoreSigpipeOnce();
+
 // Appends `text` to `out` with JSON string escaping (quotes, backslash,
 // control characters). Shared by the stats and search serializers.
 void JsonAppendEscaped(std::string* out, std::string_view text);

@@ -1,0 +1,151 @@
+#include "server/pinned_stats.h"
+
+#include <cstdlib>
+
+namespace graft::server {
+
+namespace {
+
+// Codec-level escaping: keeps ';' (record separator) and ':' (field
+// separator) unambiguous for arbitrary term text, independent of the URL
+// percent-encoding applied by the HTTP layer on top.
+void AppendEscapedTerm(std::string* out, std::string_view term) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  for (const char c : term) {
+    if (c == '%' || c == ':' || c == ';') {
+      const unsigned char u = static_cast<unsigned char>(c);
+      out->push_back('%');
+      out->push_back(kHex[u >> 4]);
+      out->push_back(kHex[u & 0xF]);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+StatusOr<std::string> UnescapeTerm(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c != '%') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 2 >= text.size()) {
+      return Status::InvalidArgument("pinned stats: truncated term escape");
+    }
+    const int hi = HexValue(text[i + 1]);
+    const int lo = HexValue(text[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("pinned stats: invalid term escape");
+    }
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+// Strict uint64 parse: digits only, no signs, no empties, no trailing
+// garbage (the same drift-prevention stance as core::ParseCount, but for
+// 64-bit corpus counters).
+StatusOr<uint64_t> ParseU64(std::string_view text, const char* what) {
+  if (text.empty()) {
+    return Status::InvalidArgument(std::string("pinned stats: empty ") + what);
+  }
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string("pinned stats: bad ") + what +
+                                     ": '" + std::string(text) + "'");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument(std::string("pinned stats: ") + what +
+                                     " overflows uint64");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const size_t pos = text.find(sep);
+    parts.push_back(text.substr(0, pos));
+    if (pos == std::string_view::npos) break;
+    text = text.substr(pos + 1);
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::string EncodePinnedStats(const PinnedStats& stats) {
+  std::string out;
+  out.reserve(24 + stats.terms.size() * 24);
+  out += std::to_string(stats.doc_count);
+  out += ';';
+  out += std::to_string(stats.total_words);
+  for (const PinnedTermStats& term : stats.terms) {
+    out += ';';
+    AppendEscapedTerm(&out, term.term);
+    out += ':';
+    out += std::to_string(term.doc_freq);
+    out += ':';
+    out += std::to_string(term.collection_freq);
+  }
+  return out;
+}
+
+StatusOr<PinnedStats> DecodePinnedStats(std::string_view encoded) {
+  const std::vector<std::string_view> records = Split(encoded, ';');
+  if (records.size() < 2) {
+    return Status::InvalidArgument(
+        "pinned stats: expected '<docs>;<words>[;term:df:cf]...'");
+  }
+  PinnedStats stats;
+  GRAFT_ASSIGN_OR_RETURN(stats.doc_count, ParseU64(records[0], "doc_count"));
+  GRAFT_ASSIGN_OR_RETURN(stats.total_words,
+                         ParseU64(records[1], "total_words"));
+  stats.terms.reserve(records.size() - 2);
+  for (size_t i = 2; i < records.size(); ++i) {
+    const std::vector<std::string_view> fields = Split(records[i], ':');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          "pinned stats: term record is not 'term:df:cf': '" +
+          std::string(records[i]) + "'");
+    }
+    PinnedTermStats term;
+    GRAFT_ASSIGN_OR_RETURN(term.term, UnescapeTerm(fields[0]));
+    if (term.term.empty()) {
+      return Status::InvalidArgument("pinned stats: empty term");
+    }
+    GRAFT_ASSIGN_OR_RETURN(term.doc_freq, ParseU64(fields[1], "doc_freq"));
+    GRAFT_ASSIGN_OR_RETURN(term.collection_freq,
+                           ParseU64(fields[2], "collection_freq"));
+    stats.terms.push_back(std::move(term));
+  }
+  return stats;
+}
+
+index::StatsOverlay ToOverlay(const PinnedStats& stats) {
+  index::StatsOverlay overlay;
+  overlay.SetCollectionSize(stats.doc_count);
+  overlay.SetTotalWords(stats.total_words);
+  for (const PinnedTermStats& term : stats.terms) {
+    overlay.SetDocFreq(term.term, term.doc_freq);
+    overlay.SetCollectionFreq(term.term, term.collection_freq);
+  }
+  return overlay;
+}
+
+}  // namespace graft::server

@@ -1,0 +1,68 @@
+// The wire form of GRAFT's distributed score-consistency contract.
+//
+// A router shard scores bit-identically to a single-process run iff it
+// scores with the whole corpus' collection statistics (scores depend only
+// on per-document match rows plus collection statistics — DESIGN.md and
+// src/index/segmented_index.h state the invariant for the in-process
+// case). PinnedStats is the collection-statistics snapshot the router
+// broadcasts with every fanned-out /search: corpus doc count, corpus word
+// count, and the summed df/cf for exactly the query's terms. The shard
+// installs it as a per-request index::StatsOverlay
+// (SearchOptions::stats_overlay), so every collection-level statistic the
+// scheme reads resolves against the pinned values.
+//
+// Per-query term stats (not a full-vocabulary broadcast) keep the encoded
+// form small enough for a GET request head (kMaxRequestHeadBytes = 16 KiB)
+// and make the exchange O(query terms), like the DFS phase of
+// distributed Lucene/ES. Terms a shard has never seen are fine: they
+// resolve to kInvalidTerm locally and contribute empty scans, exactly as
+// in a monolithic index that lacks the term.
+//
+// Encoding (one URL parameter value; the HTTP layer percent-encodes it):
+//
+//   <doc_count>;<total_words>[;<term>:<df>:<cf>]...
+//
+// '%', ':' and ';' inside a term are %-escaped by this codec itself so the
+// format stays unambiguous for any token text.
+
+#ifndef GRAFT_SERVER_PINNED_STATS_H_
+#define GRAFT_SERVER_PINNED_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "index/stats.h"
+
+namespace graft::server {
+
+struct PinnedTermStats {
+  std::string term;
+  uint64_t doc_freq = 0;
+  uint64_t collection_freq = 0;
+};
+
+struct PinnedStats {
+  uint64_t doc_count = 0;
+  uint64_t total_words = 0;
+  std::vector<PinnedTermStats> terms;
+};
+
+// Serializes to the ';'-separated form above. Deterministic: terms are
+// emitted in the order given.
+std::string EncodePinnedStats(const PinnedStats& stats);
+
+// Parses the encoded form. Every malformed input (bad escape, missing
+// field, non-numeric count, trailing garbage) is InvalidArgument — a shard
+// maps it to 400, never trusts it partially.
+StatusOr<PinnedStats> DecodePinnedStats(std::string_view encoded);
+
+// Expands into the string-keyed overlay the engine consumes:
+// SetCollectionSize + SetTotalWords + per-term SetDocFreq/SetCollectionFreq.
+index::StatsOverlay ToOverlay(const PinnedStats& stats);
+
+}  // namespace graft::server
+
+#endif  // GRAFT_SERVER_PINNED_STATS_H_

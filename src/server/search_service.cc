@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/failpoint.h"
+#include "server/pinned_stats.h"
 
 namespace graft::server {
 
@@ -331,6 +332,7 @@ Response SearchService::Handle(const HttpRequest& request,
     return response;
   }
   if (request.path == "/healthz") return HandleHealthz();
+  if (request.path == "/shard/stats") return HandleShardStats(request);
   if (request.path == "/stats") return HandleStats();
   if (request.path == "/metrics") return HandleMetrics();
   if (request.path == "/admin/reload") return HandleReload();
@@ -338,6 +340,54 @@ Response SearchService::Handle(const HttpRequest& request,
   response.status_code = 404;
   response.body =
       ErrorBody(Status::NotFound("no such endpoint: " + request.path));
+  return response;
+}
+
+Response SearchService::HandleShardStats(const HttpRequest& request) {
+  stats_.shard_stats_requests.fetch_add(1, std::memory_order_relaxed);
+  // Pin engine + generation together: the generation in this response is
+  // the one the reported statistics came from, which is what the router's
+  // expect_gen check on the subsequent /search validates against.
+  const std::shared_ptr<const core::Engine> engine = SnapshotEngine();
+  const uint64_t pinned_generation = generation();
+  const index::InvertedIndex& index = engine->index();
+
+  Response response;
+  std::string body = "{\"generation\":";
+  body += std::to_string(pinned_generation);
+  body += ",\"doc_count\":";
+  body += std::to_string(index.doc_count());
+  body += ",\"total_words\":";
+  body += std::to_string(index.total_words());
+  body += ",\"terms\":[";
+  const auto it = request.params.find("terms");
+  std::string_view terms = it == request.params.end()
+                               ? std::string_view()
+                               : std::string_view(it->second);
+  bool first = true;
+  while (!terms.empty()) {
+    const size_t comma = terms.find(',');
+    const std::string_view term = terms.substr(0, comma);
+    terms = comma == std::string_view::npos ? std::string_view()
+                                            : terms.substr(comma + 1);
+    if (term.empty()) continue;
+    // Terms this shard has never seen are a normal outcome of corpus
+    // partitioning, not an error: df=0/cf=0 sums correctly at the router.
+    const TermId id = index.LookupTerm(term);
+    const uint64_t df = id == kInvalidTerm ? 0 : index.DocFreq(id);
+    const uint64_t cf = id == kInvalidTerm ? 0 : index.CollectionFreq(id);
+    if (!first) body += ",";
+    first = false;
+    body += "{\"term\":\"";
+    JsonAppendEscaped(&body, term);
+    body += "\",\"df\":";
+    body += std::to_string(df);
+    body += ",\"cf\":";
+    body += std::to_string(cf);
+    body += "}";
+  }
+  body += "]}";
+  response.body = std::move(body);
   return response;
 }
 
@@ -497,6 +547,28 @@ Response SearchService::HandleSearch(const HttpRequest& request,
   const std::shared_ptr<const core::Engine> engine = SnapshotEngine();
   const uint64_t pinned_generation = generation();
 
+  // Router generation fence: the pinned statistics in gstats were summed
+  // from /shard/stats responses at a specific generation; if a reload
+  // landed since, scoring would silently mix new postings with old global
+  // statistics. 409 tells the router to re-collect and retry.
+  if (const std::string* text = get("expect_gen")) {
+    StatusOr<size_t> expected = core::ParseCount(*text, "expect_gen");
+    if (!expected.ok()) {
+      response.status_code = HttpCodeForStatus(expected.status());
+      response.body = ErrorBody(expected.status());
+      return response;
+    }
+    if (*expected != pinned_generation) {
+      stats_.generation_conflicts.fetch_add(1, std::memory_order_relaxed);
+      response.status_code = 409;
+      response.body = "{\"error\":\"generation_conflict\",\"expected\":" +
+                      std::to_string(*expected) + ",\"generation\":" +
+                      std::to_string(pinned_generation) + "}";
+      stats_.search_latency.Record(queued_micros + MicrosSince(handle_start));
+      return response;
+    }
+  }
+
   StatusOr<core::ResolvedRequest> resolved =
       core::ResolveRequest(*engine, params);
   if (!resolved.ok()) {
@@ -508,6 +580,24 @@ Response SearchService::HandleSearch(const HttpRequest& request,
   common::QueryTrace trace;  // outlives the engine call
   if (explain) {
     resolved->options.trace = &trace;
+  }
+
+  // Pinned global statistics from the router (phase 2 of the stats
+  // exchange). Installed as a per-request overlay; execution is forced
+  // monolithic because the per-request overlay is rejected on the
+  // segmented fan-out path (scores are identical either way).
+  index::StatsOverlay pinned_overlay;  // outlives the engine call
+  if (const std::string* text = get("gstats")) {
+    StatusOr<PinnedStats> pinned = DecodePinnedStats(*text);
+    if (!pinned.ok()) {
+      response.status_code = HttpCodeForStatus(pinned.status());
+      response.body = ErrorBody(pinned.status());
+      stats_.search_latency.Record(queued_micros + MicrosSince(handle_start));
+      return response;
+    }
+    pinned_overlay = ToOverlay(*pinned);
+    resolved->options.stats_overlay = &pinned_overlay;
+    resolved->options.use_segmented = false;
   }
 
   if (options_.test_search_delay_ms > 0) {

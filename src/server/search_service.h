@@ -8,6 +8,17 @@
 //       Adding &explain=1 appends an "explain" JSON block: the pinned
 //       engine generation, every attempted rewrite with its gate verdict,
 //       the full per-operator counters, and the span trace.
+//       Router extras: &gstats=<encoded PinnedStats> installs the
+//       router-pinned global collection statistics as a per-request
+//       overlay (and forces monolithic execution), so this shard scores
+//       bit-identically to a single-process run over the whole corpus;
+//       &expect_gen=<g> answers 409 Conflict when this server's engine
+//       generation differs (a reload raced the router's stats exchange),
+//       so the router re-collects instead of merging mixed-stat scores.
+//   GET /shard/stats?terms=<t1,t2,...> -> 200 JSON: this server's engine
+//       generation, corpus doc/word counts, and per-term df/cf for the
+//       requested terms — phase 1 of the router's two-phase stats
+//       exchange (src/server/pinned_stats.h). Unknown terms report df=0.
 //   GET /stats   -> 200 JSON: cumulative counters + latency percentiles
 //                   + reload generation / degraded state.
 //   GET /metrics -> 200 Prometheus text exposition of the same counters.
@@ -175,6 +186,7 @@ class SearchService {
   void HandleConnection(int fd,
                         std::chrono::steady_clock::time_point admitted);
   Response HandleSearch(const HttpRequest& request, uint64_t queued_micros);
+  Response HandleShardStats(const HttpRequest& request);
   Response HandleStats() const;
   Response HandleMetrics() const;
   Response HandleHealthz() const;

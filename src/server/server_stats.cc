@@ -176,6 +176,10 @@ std::string ServerStats::ToJson() const {
   out += std::to_string(reloads_failed.load(std::memory_order_relaxed));
   out += ",\"slow_queries\":";
   out += std::to_string(slow_queries.load(std::memory_order_relaxed));
+  out += ",\"generation_conflicts\":";
+  out += std::to_string(generation_conflicts.load(std::memory_order_relaxed));
+  out += ",\"shard_stats_requests\":";
+  out += std::to_string(shard_stats_requests.load(std::memory_order_relaxed));
   out += ",\"pruned_searches\":";
   out += std::to_string(pruned_searches.load(std::memory_order_relaxed));
   out += ",\"topk_blocks_skipped\":";
@@ -243,6 +247,13 @@ std::string ServerStats::ToPrometheus() const {
   AppendMetric(&out, "graft_slow_queries_total",
                "Searches over the slow-query threshold.", "counter",
                slow_queries.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_generation_conflicts_total",
+               "409s: router expect_gen stale after a reload.", "counter",
+               generation_conflicts.load(std::memory_order_relaxed));
+  AppendMetric(&out, "graft_shard_stats_requests_total",
+               "/shard/stats requests (router stats exchange phase 1).",
+               "counter",
+               shard_stats_requests.load(std::memory_order_relaxed));
   AppendMetric(&out, "graft_pruned_searches_total",
                "Searches served by the block-max pruned top-k operator.",
                "counter", pruned_searches.load(std::memory_order_relaxed));

@@ -90,6 +90,15 @@ struct ServerStats {
   // /search responses whose total latency crossed the configured
   // slow-query threshold (0 while the slow-query log is disabled).
   std::atomic<uint64_t> slow_queries{0};
+  // 409s answered to a router whose expect_gen no longer matches this
+  // server's engine generation (a reload landed between the router's stats
+  // collection and this search). Subset of client_errors — the outcome
+  // identity above is untouched; this counter exists so a dashboard can
+  // tell "router racing reloads" apart from plain bad requests.
+  std::atomic<uint64_t> generation_conflicts{0};
+  // /shard/stats requests served (phase 1 of the router's two-phase
+  // stats exchange).
+  std::atomic<uint64_t> shard_stats_requests{0};
   // Block-max top-k pruning on the search path: searches whose plan ran
   // the pruned operator, and the cumulative posting blocks it skipped.
   // Both stay 0 when the gate blocks pruning (scheme, query shape, v3

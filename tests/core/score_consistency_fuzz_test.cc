@@ -54,6 +54,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -62,10 +63,14 @@
 #include "core/engine.h"
 #include "core/optimization_gate.h"
 #include "core/optimizer.h"
+#include "core/request.h"
 #include "exec/maxscore_topk.h"
 #include "exec/rank_join.h"
 #include "index/segmented_index.h"
 #include "ma/plan.h"
+#include "router/scatter_gather.h"
+#include "server/http.h"
+#include "server/search_service.h"
 #include "text/corpus.h"
 
 namespace graft::core {
@@ -77,18 +82,29 @@ uint64_t EnvOr(const char* name, uint64_t fallback) {
   return std::strtoull(value, nullptr, 10);
 }
 
-const index::InvertedIndex& FuzzIndex() {
-  static const index::InvertedIndex& index = *[] {
+// The fuzz corpus as raw token vectors: the monolithic index and the
+// 3-shard router topology below must index the SAME documents.
+const std::vector<std::vector<std::string>>& FuzzDocs() {
+  static const std::vector<std::vector<std::string>>& docs = *[] {
     text::CorpusConfig config = text::WikipediaLikeConfig(350, /*seed=*/97);
     for (auto& bundle : config.bundles) {
       bundle.doc_fraction = std::min(1.0, bundle.doc_fraction * 60);
     }
-    index::IndexBuilder builder;
+    auto* out = new std::vector<std::vector<std::string>>();
     text::CorpusGenerator generator(config);
     generator.Generate(
-        [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
-          builder.AddDocument(tokens);
+        [out](uint64_t, const std::vector<std::string_view>& tokens) {
+          out->emplace_back(tokens.begin(), tokens.end());
         });
+    return out;
+  }();
+  return docs;
+}
+
+const index::InvertedIndex& FuzzIndex() {
+  static const index::InvertedIndex& index = *[] {
+    index::IndexBuilder builder;
+    for (const auto& doc : FuzzDocs()) builder.AddDocumentStrings(doc);
     return new index::InvertedIndex(builder.Build());
   }();
   return index;
@@ -112,6 +128,59 @@ const Engine& SegmentedEngine() {
   static const Engine engine(&FuzzIndex(), &FuzzSegments(),
                              /*pool_threads=*/2);
   return engine;
+}
+
+// ---- Sixth configuration: the distributed router --------------------------
+//
+// Three in-process shard servers over a contiguous split of the SAME fuzz
+// corpus, fronted by a ScatterGather. The distributed analogue of the
+// opt-vs-seg claim: the two-phase stats exchange pins whole-corpus
+// statistics, so per-document scores are bit-identical across processes
+// and the k-way merge must reproduce the single-process top-k exactly.
+struct RouterTopology {
+  std::vector<EngineBundle> bundles;
+  std::vector<std::unique_ptr<server::SearchService>> services;
+  std::unique_ptr<router::ScatterGather> gather;
+};
+
+RouterTopology& FuzzRouter() {
+  static RouterTopology& topology = *[] {
+    auto* t = new RouterTopology();
+    const auto& docs = FuzzDocs();
+    constexpr size_t kShards = 3;
+    const size_t chunk = (docs.size() + kShards - 1) / kShards;
+    for (size_t shard = 0; shard < kShards; ++shard) {
+      index::IndexBuilder builder;
+      const size_t begin = shard * chunk;
+      const size_t end = std::min(docs.size(), begin + chunk);
+      for (size_t i = begin; i < end; ++i) {
+        builder.AddDocumentStrings(docs[i]);
+      }
+      auto bundle = MakeEngineBundle(builder.Build(), /*segments=*/1,
+                                     /*pool_threads=*/0);
+      if (!bundle.ok()) std::abort();
+      t->bundles.push_back(std::move(bundle).value());
+    }
+    server::ServiceOptions options;
+    options.default_deadline_ms = 120000;
+    options.max_deadline_ms = 120000;
+    std::vector<std::vector<uint16_t>> ports;
+    for (auto& bundle : t->bundles) {
+      t->services.push_back(std::make_unique<server::SearchService>(
+          bundle.engine.get(), options));
+      if (!t->services.back()->Start().ok()) std::abort();
+      ports.push_back({t->services.back()->port()});
+    }
+    router::ScatterGatherOptions gopts;
+    gopts.client.max_attempts = 2;
+    gopts.client.backoff_base_ms = 1;
+    gopts.client.backoff_max_ms = 4;
+    gopts.client.io_timeout_ms = 120000;
+    t->gather = std::make_unique<router::ScatterGather>(std::move(ports),
+                                                        gopts);
+    return t;
+  }();
+  return topology;
 }
 
 // Vocabulary pool mixing frequent, mid, rare, and absent words.
@@ -455,6 +524,112 @@ std::string CheckQuery(const mcalc::Query& query,
   return "";
 }
 
+// Renders a generated AST in the Section-8 surface syntax that
+// /search?q= accepts (parser.h grammar). NOT guaranteed to be
+// structure-preserving: a parenthesized predicate group re-binds the
+// predicate to EVERY variable in the group, while the generator's
+// DISTANCE calls may name a subset. Callers therefore reparse the
+// rendering and use the reparsed query on both sides of the comparison;
+// renderings the parser rejects (subset-bound DISTANCE over a 3-keyword
+// group fails arity validation) are skipped.
+std::string SurfaceNode(const mcalc::Node& node);
+
+std::string SurfaceChild(const mcalc::Node& child) {
+  if (child.kind == mcalc::NodeKind::kAnd ||
+      child.kind == mcalc::NodeKind::kOr) {
+    return "(" + SurfaceNode(child) + ")";
+  }
+  return SurfaceNode(child);  // keyword, !keyword, (group)PRED[...]
+}
+
+std::string SurfaceNode(const mcalc::Node& node) {
+  switch (node.kind) {
+    case mcalc::NodeKind::kKeyword:
+      return node.keyword;
+    case mcalc::NodeKind::kNot:
+      return "!" + SurfaceChild(*node.children[0]);
+    case mcalc::NodeKind::kAnd:
+    case mcalc::NodeKind::kOr: {
+      const char* sep = node.kind == mcalc::NodeKind::kAnd ? " " : " | ";
+      std::string out;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += SurfaceChild(*node.children[i]);
+      }
+      return out;
+    }
+    case mcalc::NodeKind::kConstrained: {
+      std::string out = "(" + SurfaceNode(*node.children[0]) + ")";
+      for (const mcalc::PredicateCall& call : node.constraints) {
+        out += call.name;
+        if (!call.params.empty()) {
+          out += "[";
+          for (size_t i = 0; i < call.params.size(); ++i) {
+            if (i > 0) out += ",";
+            out += std::to_string(call.params[i]);
+          }
+          out += "]";
+        }
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+// Sixth configuration: the query travels to the shards as surface-syntax
+// text, each shard scores its slice against the pinned global statistics,
+// and the merged top-k must be bit-identical — doc ids and %.17g score
+// renderings — to the monolithic engine running the SAME reparsed query.
+// Queries the engine rejects must fail through the router too: every
+// shard answers an error, so the gather errors out rather than merging a
+// partial fiction.
+std::string CheckRouterQuery(const mcalc::Query& query,
+                             const sa::ScoringScheme& scheme) {
+  constexpr size_t kTopK = 10;
+  const std::string text = SurfaceNode(*query.root);
+  auto reparsed = mcalc::ParseQuery(text);
+  if (!reparsed.ok()) return "";  // not expressible in surface syntax
+
+  RouterTopology& topology = FuzzRouter();
+  auto topk =
+      MonoEngine().SearchQuery(*reparsed, scheme, TopKOptions(kTopK, false));
+
+  std::vector<std::string> terms;
+  for (const auto& variable : reparsed->variables) {
+    terms.push_back(variable.keyword);
+  }
+  const std::string tail = "q=" + server::UrlEncode(text) +
+                           "&scheme=" + std::string(scheme.name());
+  auto gathered =
+      topology.gather->Search(terms, tail, kTopK, /*budget_ms=*/120000);
+
+  if (!topk.ok()) {
+    if (gathered.ok()) {
+      return "engine rejected (" + topk.status().ToString() +
+             ") but the router merged a result";
+    }
+    return "";
+  }
+  if (!gathered.ok()) {
+    return "router failed: " + gathered.status().ToString();
+  }
+  if (gathered->degraded ||
+      gathered->shards_ok != topology.gather->shard_count()) {
+    return "router degraded with every shard alive (shards_ok " +
+           std::to_string(gathered->shards_ok) + ")";
+  }
+  const std::string want =
+      server::SearchService::FormatResultsFragment(topk->results);
+  const std::string got =
+      server::SearchService::FormatResultsFragment(gathered->results);
+  if (want != got) {
+    return "router merge diverged from single-process top-k (q=" + text +
+           "):\n  router: " + got + "\n  engine: " + want;
+  }
+  return "";
+}
+
 // ---- Minimizer -----------------------------------------------------------
 
 // Rebuilds a standalone Query from a subtree: clones it, renumbers the
@@ -584,15 +759,21 @@ std::vector<mcalc::Query> ShrinkCandidates(const mcalc::Query& query) {
   return candidates;
 }
 
-// Greedily shrinks `query` while CheckQuery still reports a disagreement
-// for `scheme`. Bounded so a pathological repro cannot hang the test.
-mcalc::Query Minimize(mcalc::Query query, const sa::ScoringScheme& scheme) {
+// Greedily shrinks `query` while `check` (CheckQuery for the in-process
+// configurations, CheckRouterQuery for the distributed one) still reports
+// a disagreement for `scheme`. Bounded so a pathological repro cannot
+// hang the test.
+using QueryChecker = std::string (*)(const mcalc::Query&,
+                                     const sa::ScoringScheme&);
+
+mcalc::Query Minimize(mcalc::Query query, const sa::ScoringScheme& scheme,
+                      QueryChecker check = &CheckQuery) {
   for (int round = 0; round < 64; ++round) {
     const size_t current = CountNodes(*query.root);
     bool improved = false;
     for (mcalc::Query& candidate : ShrinkCandidates(query)) {
       if (CountNodes(*candidate.root) >= current) continue;
-      if (!CheckQuery(candidate, scheme).empty()) {
+      if (!check(candidate, scheme).empty()) {
         query = std::move(candidate);
         improved = true;
         break;
@@ -666,6 +847,43 @@ TEST_P(ScoreConsistencyFuzzTest, AllPlansBitIdenticalForEveryScheme) {
              << "\nminimized disagreement: "
              << (min_diff.empty() ? diff : min_diff) << "\n"
              << ExplainBoth(minimized, *scheme);
+    }
+  }
+}
+
+// Sixth configuration, separately parameterized so a router disagreement
+// is attributed to the distributed path and not mistaken for an engine
+// inconsistency (the in-process variant above stays green when only the
+// wire protocol or the merge is wrong).
+TEST_P(ScoreConsistencyFuzzTest, RouterMergeBitIdenticalForEveryScheme) {
+  const uint64_t base_seed = EnvOr("GRAFT_FUZZ_SEED", 8312011u);
+  const uint64_t iters = EnvOr("GRAFT_FUZZ_ITERS", 50u);
+  const uint64_t shard = static_cast<uint64_t>(GetParam());
+  std::fprintf(stderr, "[fuzz/router] shard=%llu base_seed=%llu iters=%llu\n",
+               static_cast<unsigned long long>(shard),
+               static_cast<unsigned long long>(base_seed),
+               static_cast<unsigned long long>(iters));
+
+  for (uint64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = base_seed + shard * 1000003u + i;
+    QueryGenerator generator(seed);
+    const mcalc::Query query = generator.Generate();
+    ASSERT_TRUE(mcalc::ValidateQuery(query).ok())
+        << "generator produced invalid query (seed " << seed
+        << "): " << mcalc::ToMCalcString(query);
+
+    for (const sa::ScoringScheme* scheme :
+         sa::SchemeRegistry::Global().All()) {
+      const std::string diff = CheckRouterQuery(query, *scheme);
+      if (diff.empty()) continue;
+      const mcalc::Query minimized =
+          Minimize(query.Clone(), *scheme, &CheckRouterQuery);
+      const std::string min_diff = CheckRouterQuery(minimized, *scheme);
+      FAIL() << "router inconsistency (seed " << seed << ", scheme "
+             << scheme->name() << "): " << diff
+             << "\nminimized query: " << mcalc::ToMCalcString(minimized)
+             << "\nminimized disagreement: "
+             << (min_diff.empty() ? diff : min_diff);
     }
   }
 }

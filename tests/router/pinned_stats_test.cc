@@ -1,0 +1,99 @@
+// PinnedStats wire codec: round-trips, escaping of the format's own
+// delimiters inside terms, and strict rejection of malformed input — the
+// router and the shards must agree on every byte, because the pinned
+// statistics define the scores.
+
+#include "server/pinned_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "index/stats.h"
+
+namespace graft::server {
+namespace {
+
+TEST(PinnedStatsTest, RoundTripsBasic) {
+  PinnedStats stats;
+  stats.doc_count = 4638535;
+  stats.total_words = 987654321;
+  stats.terms.push_back({"software", 71735, 99999});
+  stats.terms.push_back({"windows", 43949, 50000});
+
+  const std::string encoded = EncodePinnedStats(stats);
+  auto decoded = DecodePinnedStats(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->doc_count, stats.doc_count);
+  EXPECT_EQ(decoded->total_words, stats.total_words);
+  ASSERT_EQ(decoded->terms.size(), 2u);
+  EXPECT_EQ(decoded->terms[0].term, "software");
+  EXPECT_EQ(decoded->terms[0].doc_freq, 71735u);
+  EXPECT_EQ(decoded->terms[0].collection_freq, 99999u);
+  EXPECT_EQ(decoded->terms[1].term, "windows");
+  // Re-encoding is byte-stable (the router may cache encoded forms).
+  EXPECT_EQ(EncodePinnedStats(*decoded), encoded);
+}
+
+TEST(PinnedStatsTest, RoundTripsEmptyTermList) {
+  PinnedStats stats;
+  stats.doc_count = 7;
+  stats.total_words = 13;
+  auto decoded = DecodePinnedStats(EncodePinnedStats(stats));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->doc_count, 7u);
+  EXPECT_EQ(decoded->total_words, 13u);
+  EXPECT_TRUE(decoded->terms.empty());
+}
+
+TEST(PinnedStatsTest, EscapesDelimitersInsideTerms) {
+  PinnedStats stats;
+  stats.doc_count = 1;
+  stats.total_words = 2;
+  stats.terms.push_back({"a:b;c%d", 3, 4});
+  const std::string encoded = EncodePinnedStats(stats);
+  auto decoded = DecodePinnedStats(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status() << " encoded=" << encoded;
+  ASSERT_EQ(decoded->terms.size(), 1u);
+  EXPECT_EQ(decoded->terms[0].term, "a:b;c%d");
+  EXPECT_EQ(decoded->terms[0].doc_freq, 3u);
+  EXPECT_EQ(decoded->terms[0].collection_freq, 4u);
+}
+
+TEST(PinnedStatsTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",                 // nothing
+      "12",               // missing total_words
+      "a;b",              // non-numeric
+      "1;2;term",         // term record missing counts
+      "1;2;term:3",       // term record missing cf
+      "1;2;term:3:x",     // non-numeric cf
+      "1;2;term:3:4:5",   // trailing field
+      "-1;2",             // sign
+      "1;2;t%zz:1:1",     // invalid escape
+      "99999999999999999999;2",  // u64 overflow
+  };
+  for (const char* input : bad) {
+    EXPECT_FALSE(DecodePinnedStats(input).ok()) << "accepted: " << input;
+  }
+}
+
+TEST(PinnedStatsTest, ToOverlayInstallsEveryStatistic) {
+  PinnedStats stats;
+  stats.doc_count = 100;
+  stats.total_words = 5000;
+  stats.terms.push_back({"foo", 17, 42});
+  const index::StatsOverlay overlay = ToOverlay(stats);
+  ASSERT_TRUE(overlay.collection_size().has_value());
+  EXPECT_EQ(*overlay.collection_size(), 100u);
+  ASSERT_TRUE(overlay.total_words().has_value());
+  EXPECT_EQ(*overlay.total_words(), 5000u);
+  ASSERT_TRUE(overlay.doc_freq("foo").has_value());
+  EXPECT_EQ(*overlay.doc_freq("foo"), 17u);
+  ASSERT_TRUE(overlay.collection_freq("foo").has_value());
+  EXPECT_EQ(*overlay.collection_freq("foo"), 42u);
+  EXPECT_FALSE(overlay.doc_freq("bar").has_value());
+}
+
+}  // namespace
+}  // namespace graft::server

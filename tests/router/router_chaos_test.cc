@@ -1,0 +1,461 @@
+// Multi-process chaos for the scatter-gather layer: real forked shard
+// server processes under a live ScatterGather, with SIGKILL mid-load,
+// same-port restart, probe-driven readmission — and failpoint-injected
+// wire faults (connect refusal, stragglers, garbled and cut bodies).
+//
+// The invariant under every fault: a 200 is either the complete
+// bit-identical ranking (degraded=false) or an explicitly partial one
+// (degraded=true with shard coverage) — never silently wrong, never
+// merged from corrupted bytes.
+
+#ifdef GRAFT_FAILPOINTS_ENABLED
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/request.h"
+#include "index/index_io.h"
+#include "index/inverted_index.h"
+#include "mcalc/parser.h"
+#include "router/scatter_gather.h"
+#include "server/http.h"
+#include "server/search_service.h"
+#include "text/corpus.h"
+
+namespace graft::router {
+namespace {
+
+constexpr size_t kShards = 3;
+constexpr uint64_t kBudgetMs = 120000;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/graft_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+std::vector<std::string> TermsOf(const std::string& query) {
+  auto parsed = mcalc::ParseQuery(query);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  std::vector<std::string> terms;
+  for (const auto& variable : parsed->variables) {
+    terms.push_back(variable.keyword);
+  }
+  return terms;
+}
+
+std::string Tail(const std::string& query, const std::string& scheme) {
+  return "q=" + server::UrlEncode(query) + "&scheme=" + scheme;
+}
+
+server::ServiceOptions LenientOptions() {
+  server::ServiceOptions options;
+  options.default_deadline_ms = kBudgetMs;
+  options.max_deadline_ms = kBudgetMs;
+  options.max_top_k = 100000;
+  return options;
+}
+
+struct ShardProcess {
+  pid_t pid = -1;
+  uint16_t port = 0;
+};
+
+// Forks a real shard server process: the child loads `index_path`, serves
+// it on `port` (0 = ephemeral), reports the bound port through a pipe, and
+// then sleeps until the parent SIGKILLs it — exactly the lifecycle of a
+// graft_server the chaos scenario murders.
+ShardProcess SpawnShard(const std::string& index_path, uint16_t port) {
+  int fds[2];
+  EXPECT_EQ(::pipe(fds), 0);
+  const pid_t pid = ::fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(fds[0]);
+    auto bundle = core::LoadEngineBundle(index_path, /*segments=*/1,
+                                         /*pool_threads=*/2);
+    if (!bundle.ok()) std::_Exit(97);
+    server::ServiceOptions options = LenientOptions();
+    options.port = port;
+    server::SearchService service(
+        std::make_shared<const core::EngineBundle>(std::move(bundle).value()),
+        options);
+    if (!service.Start().ok()) std::_Exit(96);
+    const uint16_t bound = service.port();
+    if (::write(fds[1], &bound, sizeof(bound)) != sizeof(bound)) {
+      std::_Exit(95);
+    }
+    ::close(fds[1]);
+    for (;;) ::pause();  // SIGKILL is the only way out
+  }
+  ::close(fds[1]);
+  ShardProcess shard;
+  shard.pid = pid;
+  EXPECT_EQ(::read(fds[0], &shard.port, sizeof(shard.port)),
+            static_cast<ssize_t>(sizeof(shard.port)))
+      << "shard child did not come up";
+  ::close(fds[0]);
+  return shard;
+}
+
+void KillShard(ShardProcess* shard) {
+  if (shard->pid <= 0) return;
+  ::kill(shard->pid, SIGKILL);
+  int wstatus = 0;
+  ::waitpid(shard->pid, &wstatus, 0);
+  shard->pid = -1;
+}
+
+// Corpus + per-shard slice index files + full-corpus ground truth, built
+// once in the parent before any forking.
+struct ChaosCorpus {
+  core::EngineBundle full;
+  std::vector<std::string> shard_paths;
+};
+
+ChaosCorpus BuildChaosCorpus() {
+  ChaosCorpus corpus;
+  std::vector<std::vector<std::string>> docs;
+  text::CorpusGenerator generator(
+      text::WikipediaLikeConfig(300, /*seed=*/31));
+  generator.Generate(
+      [&docs](uint64_t, const std::vector<std::string_view>& tokens) {
+        docs.emplace_back(tokens.begin(), tokens.end());
+      });
+  index::IndexBuilder full_builder;
+  for (const auto& doc : docs) full_builder.AddDocumentStrings(doc);
+  auto full = core::MakeEngineBundle(full_builder.Build(), 1, 0);
+  EXPECT_TRUE(full.ok()) << full.status();
+  corpus.full = std::move(full).value();
+
+  const size_t chunk = (docs.size() + kShards - 1) / kShards;
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    index::IndexBuilder builder;
+    const size_t begin = shard * chunk;
+    const size_t end = std::min(docs.size(), begin + chunk);
+    for (size_t i = begin; i < end; ++i) builder.AddDocumentStrings(docs[i]);
+    const std::string path =
+        TempPath(("chaos_shard" + std::to_string(shard) + ".idx").c_str());
+    EXPECT_TRUE(index::SaveIndex(builder.Build(), path).ok());
+    corpus.shard_paths.push_back(path);
+  }
+  return corpus;
+}
+
+std::string GroundTruthFragment(const core::EngineBundle& full,
+                                const std::string& query,
+                                const std::string& scheme, size_t k) {
+  core::SearchRequestParams params;
+  params.query = query;
+  params.scheme = scheme;
+  params.top_k = k;
+  auto resolved = core::ResolveRequest(*full.engine, params);
+  EXPECT_TRUE(resolved.ok()) << resolved.status();
+  auto result = full.engine->SearchQuery(resolved->query, *resolved->scheme,
+                                         resolved->options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return server::SearchService::FormatResultsFragment(result->results);
+}
+
+ScatterGatherOptions ChaosGatherOptions() {
+  ScatterGatherOptions options;
+  options.client.max_attempts = 2;
+  options.client.backoff_base_ms = 1;
+  options.client.backoff_max_ms = 4;
+  options.client.eject_after = 2;
+  options.client.io_timeout_ms = static_cast<int>(kBudgetMs);
+  options.partial_policy = PartialPolicy::kPartial;
+  options.probe_interval_ms = 50;
+  return options;
+}
+
+TEST(RouterChaosTest, SigkillAndSamePortRestartUnderLoad) {
+  ChaosCorpus corpus = BuildChaosCorpus();
+  std::vector<ShardProcess> shards;
+  std::vector<std::vector<uint16_t>> ports;
+  for (const std::string& path : corpus.shard_paths) {
+    shards.push_back(SpawnShard(path, /*port=*/0));
+    ASSERT_GT(shards.back().port, 0);
+    ports.push_back({shards.back().port});
+  }
+
+  const std::string query = "free software";
+  const std::string scheme = "MeanSum";
+  const std::string expected =
+      GroundTruthFragment(corpus.full, query, scheme, 10);
+
+  ScatterGather gather(ports, ChaosGatherOptions());
+  gather.StartProbes();
+
+  // Healthy baseline: the forked topology is bit-identical to the
+  // monolithic engine (this also primes the stats cache, which is what
+  // lets later queries degrade instead of failing once a shard dies).
+  {
+    auto gathered =
+        gather.Search(TermsOf(query), Tail(query, scheme), 10, kBudgetMs);
+    ASSERT_TRUE(gathered.ok()) << gathered.status();
+    ASSERT_FALSE(gathered->degraded);
+    ASSERT_EQ(
+        server::SearchService::FormatResultsFragment(gathered->results),
+        expected);
+  }
+
+  // Load thread: hammers the same query and checks the honesty invariant
+  // on every answer. While a shard is down the response must be degraded
+  // with coverage 2/3; while all are up it must be the exact full ranking.
+  std::atomic<bool> stop_load{false};
+  std::atomic<uint64_t> load_ok{0};
+  std::atomic<uint64_t> load_degraded{0};
+  std::thread load([&] {
+    while (!stop_load.load()) {
+      auto gathered =
+          gather.Search(TermsOf(query), Tail(query, scheme), 10, 5000);
+      if (!gathered.ok()) continue;  // budget blips are not dishonesty
+      if (gathered->degraded) {
+        EXPECT_EQ(gathered->shards_ok, kShards - 1);
+        EXPECT_EQ(gathered->outcomes[1].outcome, "failed");
+        load_degraded.fetch_add(1);
+      } else {
+        EXPECT_EQ(
+            server::SearchService::FormatResultsFragment(gathered->results),
+            expected);
+        load_ok.fetch_add(1);
+      }
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Murder shard 1 mid-load, let the degradation window be observed, then
+  // restart it on the SAME port from the same index file.
+  const uint16_t shard1_port = shards[1].port;
+  KillShard(&shards[1]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  shards[1] = SpawnShard(corpus.shard_paths[1], shard1_port);
+  ASSERT_EQ(shards[1].port, shard1_port);
+
+  // The background probes must readmit the restarted replica; wait until
+  // a fresh query comes back complete again.
+  bool recovered = false;
+  for (int i = 0; i < 200 && !recovered; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    auto gathered =
+        gather.Search(TermsOf(query), Tail(query, scheme), 10, 5000);
+    recovered = gathered.ok() && !gathered->degraded;
+    if (recovered) {
+      EXPECT_EQ(
+          server::SearchService::FormatResultsFragment(gathered->results),
+          expected);
+    }
+  }
+  stop_load.store(true);
+  load.join();
+  gather.StopProbes();
+
+  EXPECT_TRUE(recovered) << "topology never healed after restart";
+  EXPECT_GE(load_ok.load(), 1u);
+  EXPECT_GE(load_degraded.load(), 1u)
+      << "the kill window was never observed as degraded";
+  EXPECT_GE(gather.counters().gathers_partial.load(), 1u);
+  EXPECT_GE(gather.shard(1).counters().failures.load(), 1u);
+
+  for (ShardProcess& shard : shards) KillShard(&shard);
+  for (const std::string& path : corpus.shard_paths) {
+    std::remove(path.c_str());
+  }
+}
+
+// In-process topology for the wire-fault injections (no forking needed:
+// the faults strike inside the shard CLIENT).
+struct LocalTopology {
+  std::vector<core::EngineBundle> bundles;
+  std::vector<std::unique_ptr<server::SearchService>> services;
+  std::vector<std::vector<uint16_t>> ports;
+  core::EngineBundle full;
+};
+
+LocalTopology MakeLocalTopology() {
+  LocalTopology topology;
+  std::vector<std::vector<std::string>> docs;
+  text::CorpusGenerator generator(
+      text::WikipediaLikeConfig(200, /*seed=*/37));
+  generator.Generate(
+      [&docs](uint64_t, const std::vector<std::string_view>& tokens) {
+        docs.emplace_back(tokens.begin(), tokens.end());
+      });
+  index::IndexBuilder full_builder;
+  for (const auto& doc : docs) full_builder.AddDocumentStrings(doc);
+  auto full = core::MakeEngineBundle(full_builder.Build(), 1, 0);
+  EXPECT_TRUE(full.ok());
+  topology.full = std::move(full).value();
+
+  const size_t chunk = (docs.size() + kShards - 1) / kShards;
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    index::IndexBuilder builder;
+    const size_t begin = shard * chunk;
+    const size_t end = std::min(docs.size(), begin + chunk);
+    for (size_t i = begin; i < end; ++i) builder.AddDocumentStrings(docs[i]);
+    auto bundle = core::MakeEngineBundle(builder.Build(), 1, 0);
+    EXPECT_TRUE(bundle.ok());
+    topology.bundles.push_back(std::move(bundle).value());
+    topology.services.push_back(std::make_unique<server::SearchService>(
+        topology.bundles.back().engine.get(), LenientOptions()));
+    EXPECT_TRUE(topology.services.back()->Start().ok());
+    topology.ports.push_back({topology.services.back()->port()});
+  }
+  return topology;
+}
+
+class RouterFailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    common::FailpointRegistry::Global().DeactivateAll();
+  }
+};
+
+TEST_F(RouterFailpointTest, InjectedConnectFailureIsRetriedTransparently) {
+  LocalTopology topology = MakeLocalTopology();
+  ScatterGather gather(topology.ports, ChaosGatherOptions());
+  const std::string query = "software";
+  const std::string expected =
+      GroundTruthFragment(topology.full, query, "MeanSum", 10);
+
+  // Exactly one connect attempt dies; the retry must absorb it with no
+  // visible degradation.
+  common::FailpointConfig config;
+  config.action = common::FailpointAction::kError;
+  config.error_code = StatusCode::kIOError;
+  config.message = "injected connect refusal";
+  config.max_fires = 1;
+  ASSERT_TRUE(common::FailpointRegistry::Global()
+                  .Activate("router.client.connect", config)
+                  .ok());
+  auto gathered =
+      gather.Search(TermsOf(query), Tail(query, "MeanSum"), 10, kBudgetMs);
+  ASSERT_TRUE(gathered.ok()) << gathered.status();
+  EXPECT_FALSE(gathered->degraded);
+  EXPECT_EQ(server::SearchService::FormatResultsFragment(gathered->results),
+            expected);
+  uint64_t retries = 0;
+  for (size_t i = 0; i < kShards; ++i) {
+    retries += gather.shard(i).counters().retries.load();
+  }
+  EXPECT_GE(retries, 1u);
+}
+
+TEST_F(RouterFailpointTest, GarbledBodyBecomesShardFailureNotGarbage) {
+  LocalTopology topology = MakeLocalTopology();
+  ScatterGather gather(topology.ports, ChaosGatherOptions());
+  const std::string query = "free software";
+  const std::string expected =
+      GroundTruthFragment(topology.full, query, "Lucene", 10);
+
+  // Healthy first (primes the stats cache so the degraded pass can run).
+  auto healthy =
+      gather.Search(TermsOf(query), Tail(query, "Lucene"), 10, kBudgetMs);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  ASSERT_EQ(server::SearchService::FormatResultsFragment(healthy->results),
+            expected);
+
+  // One shard's reply body is bit-inverted on the wire. The strict parser
+  // must turn that into a shard failure: an honest partial, never a merge
+  // of garbage doc ids / scores.
+  common::FailpointConfig config;
+  config.action = common::FailpointAction::kError;
+  config.max_fires = 1;
+  ASSERT_TRUE(common::FailpointRegistry::Global()
+                  .Activate("router.client.garbled_body", config)
+                  .ok());
+  auto gathered =
+      gather.Search(TermsOf(query), Tail(query, "Lucene"), 10, kBudgetMs);
+  ASSERT_TRUE(gathered.ok()) << gathered.status();
+  EXPECT_TRUE(gathered->degraded);
+  EXPECT_EQ(gathered->shards_ok, kShards - 1);
+  size_t failed = 0;
+  for (const ShardOutcome& outcome : gathered->outcomes) {
+    if (outcome.outcome == "failed") {
+      ++failed;
+      EXPECT_NE(outcome.error.find("shard reply"), std::string::npos)
+          << outcome.error;
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+  // Every surviving result is genuine: present in the full ranking with
+  // the identical score.
+  common::FailpointRegistry::Global().DeactivateAll();
+  auto full_again =
+      gather.Search(TermsOf(query), Tail(query, "Lucene"), 10, kBudgetMs);
+  ASSERT_TRUE(full_again.ok());
+  EXPECT_EQ(
+      server::SearchService::FormatResultsFragment(full_again->results),
+      expected);
+}
+
+TEST_F(RouterFailpointTest, CutBodyBecomesShardFailureNotGarbage) {
+  LocalTopology topology = MakeLocalTopology();
+  ScatterGather gather(topology.ports, ChaosGatherOptions());
+  const std::string query = "software";
+  auto healthy =
+      gather.Search(TermsOf(query), Tail(query, "AnySum"), 10, kBudgetMs);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+
+  common::FailpointConfig config;
+  config.action = common::FailpointAction::kError;
+  config.max_fires = 1;
+  ASSERT_TRUE(common::FailpointRegistry::Global()
+                  .Activate("router.client.cut_body", config)
+                  .ok());
+  auto gathered =
+      gather.Search(TermsOf(query), Tail(query, "AnySum"), 10, kBudgetMs);
+  ASSERT_TRUE(gathered.ok()) << gathered.status();
+  EXPECT_TRUE(gathered->degraded);
+  EXPECT_EQ(gathered->shards_ok, kShards - 1);
+}
+
+TEST_F(RouterFailpointTest, InjectedStragglerDelaysButStaysCorrect) {
+  LocalTopology topology = MakeLocalTopology();
+  ScatterGatherOptions options = ChaosGatherOptions();
+  ScatterGather gather(topology.ports, options);
+  const std::string query = "software";
+  const std::string expected =
+      GroundTruthFragment(topology.full, query, "MeanSum", 10);
+  auto healthy =
+      gather.Search(TermsOf(query), Tail(query, "MeanSum"), 10, kBudgetMs);
+  ASSERT_TRUE(healthy.ok());
+
+  // One leg sleeps 200ms before its request: without hedging the gather
+  // simply waits it out and the answer is still complete and exact.
+  common::FailpointConfig config;
+  config.action = common::FailpointAction::kDelay;
+  config.delay_ms = 200;
+  config.max_fires = 1;
+  ASSERT_TRUE(common::FailpointRegistry::Global()
+                  .Activate("router.client.slow_reply", config)
+                  .ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto gathered =
+      gather.Search(TermsOf(query), Tail(query, "MeanSum"), 10, kBudgetMs);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(gathered.ok()) << gathered.status();
+  EXPECT_FALSE(gathered->degraded);
+  EXPECT_EQ(server::SearchService::FormatResultsFragment(gathered->results),
+            expected);
+  EXPECT_GE(elapsed.count(), 190);
+}
+
+}  // namespace
+}  // namespace graft::router
+
+#endif  // GRAFT_FAILPOINTS_ENABLED

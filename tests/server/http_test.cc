@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <string>
@@ -136,6 +139,70 @@ TEST(ListenerTest, ClientServerRoundTrip) {
   ASSERT_TRUE(response.ok()) << response.status();
   EXPECT_EQ(response->status_code, 200);
   EXPECT_EQ(response->body, "pong");
+}
+
+TEST(ListenerTest, BindFailsFastWithClearErrorWhenPortTaken) {
+  TcpListener first;
+  ASSERT_TRUE(first.Bind(0).ok());
+  TcpListener second;
+  const Status status = second.Bind(first.port());
+  EXPECT_FALSE(status.ok());
+  // The message must name the port and say what to do — the graft_server /
+  // graft_router startup error a misconfigured operator actually reads.
+  EXPECT_NE(status.message().find(std::to_string(first.port())),
+            std::string::npos)
+      << status;
+  EXPECT_NE(status.message().find("already in use"), std::string::npos)
+      << status;
+  first.Close();
+}
+
+TEST(SendAllTest, PeerClosingMidResponseDoesNotKillTheProcess) {
+  // Regression for the transport hardening: a peer that disappears while
+  // the server is still writing must surface as an IOError on that fd —
+  // not as a SIGPIPE that terminates the process. A large body guarantees
+  // the kernel send buffer fills and the write hits the dead socket.
+  TcpListener listener;
+  ASSERT_TRUE(listener.Bind(0).ok());
+  std::thread server([&] {
+    auto fd = listener.Accept(2000);
+    ASSERT_TRUE(fd.ok()) << fd.status();
+    auto request = ReadRequest(*fd);
+    ASSERT_TRUE(request.ok()) << request.status();
+    // 32 MiB: far beyond any socket buffer, so SendAll is mid-flight when
+    // the client hangs up.
+    const std::string huge(32 * 1024 * 1024, 'x');
+    const Status sent = WriteResponse(*fd, 200, "text/plain", huge);
+    // Either the peer died mid-write (IOError) or the kernel buffered a
+    // surprising amount (ok); both are fine — being alive is the test.
+    EXPECT_TRUE(sent.ok() || sent.code() == StatusCode::kIOError)
+        << sent;
+    ::close(*fd);
+  });
+
+  // A raw client that sends the request and slams the connection shut
+  // without reading a single response byte.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(listener.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string request = "GET /never-read HTTP/1.1\r\n\r\n";
+    ASSERT_TRUE(SendAll(fd, request).ok());
+    // RST on close (SO_LINGER 0) so the server's in-flight writes fail
+    // immediately instead of filling a dead socket's window.
+    linger hard{.l_onoff = 1, .l_linger = 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    ::close(fd);
+  }
+  server.join();
+  // The process is alive to run this line — SIGPIPE did not fire.
+  SUCCEED();
 }
 
 }  // namespace

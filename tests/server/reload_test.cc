@@ -364,5 +364,99 @@ TEST(ReloadTest, FailpointInjectedReloadFailuresDegradeAndRecover) {
 }
 #endif  // GRAFT_FAILPOINTS_ENABLED
 
+TEST(ReloadTest, RetryAfterSurvivesCombinedOverloadAndReload) {
+  // Overload and hot reload at the same time: back-pressure responses must
+  // keep their Retry-After header (with the configured value) throughout,
+  // and 503s and 504s must be counted distinctly in /stats.
+  const std::string index_path = TempPath("retry_after.idx");
+  ASSERT_TRUE(
+      index::SaveIndex(BuildCorpusIndex(120, /*seed=*/5), index_path).ok());
+  auto loaded = core::LoadEngineBundle(index_path, kSegments, 2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ServiceOptions options;
+  options.default_deadline_ms = 120000;
+  options.max_deadline_ms = 120000;
+  options.index_path = index_path;
+  options.segments = kSegments;
+  options.engine_threads = 2;
+  options.max_inflight = 2;
+  options.handler_threads = 2;
+  options.test_search_delay_ms = 200;
+  options.retry_after_s = 2;
+  SearchService service(
+      std::make_shared<const core::EngineBundle>(std::move(loaded).value()),
+      options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // Reload continuously while the flood runs.
+  std::atomic<bool> stop_reloads{false};
+  std::thread reloader([&] {
+    while (!stop_reloads.load()) {
+      EXPECT_TRUE(service.Reload().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  constexpr size_t kClients = 8;
+  std::atomic<size_t> ok_count{0};
+  std::atomic<size_t> rejected{0};
+  std::atomic<size_t> bad{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto response = HttpGet(service.port(), SearchTarget("MeanSum"));
+      if (!response.ok()) {
+        bad.fetch_add(1);
+        return;
+      }
+      if (response->status_code == 200) {
+        ok_count.fetch_add(1);
+        return;
+      }
+      if (response->status_code != 503) {
+        bad.fetch_add(1);
+        return;
+      }
+      const auto retry_after = response->headers.find("retry-after");
+      if (retry_after == response->headers.end() ||
+          retry_after->second != "2") {
+        bad.fetch_add(1);
+        return;
+      }
+      rejected.fetch_add(1);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(ok_count.load() + rejected.load(), kClients);
+  EXPECT_GT(rejected.load(), 0u);
+
+  // With the flood gone, an impossible client deadline rides the same
+  // 200ms handler delay into a 504 — which must also carry the header.
+  auto late = HttpGet(service.port(),
+                      SearchTarget("MeanSum") + "&deadline_ms=10");
+  ASSERT_TRUE(late.ok()) << late.status();
+  EXPECT_EQ(late->status_code, 504) << late->body;
+  const auto retry_after = late->headers.find("retry-after");
+  ASSERT_NE(retry_after, late->headers.end());
+  EXPECT_EQ(retry_after->second, "2");
+  stop_reloads.store(true);
+  reloader.join();
+
+  // The two back-pressure outcomes are distinct counters, and both landed.
+  EXPECT_EQ(service.stats().rejected_overload.load(), rejected.load());
+  EXPECT_EQ(service.stats().deadline_exceeded.load(), 1u);
+  auto stats = HttpGet(service.port(), "/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->body.find("\"rejected_overload\":" +
+                             std::to_string(rejected.load())),
+            std::string::npos)
+      << stats->body;
+  EXPECT_NE(stats->body.find("\"deadline_exceeded\":1"), std::string::npos)
+      << stats->body;
+  service.Shutdown();
+  std::remove(index_path.c_str());
+}
+
 }  // namespace
 }  // namespace graft::server

@@ -24,6 +24,7 @@
 #include "core/request.h"
 #include "index/inverted_index.h"
 #include "server/http.h"
+#include "server/pinned_stats.h"
 #include "text/corpus.h"
 
 namespace graft::server {
@@ -384,6 +385,124 @@ TEST(SearchServiceTest, StatsEndpointReflectsTraffic) {
     EXPECT_NE(stats->body.find(field), std::string::npos)
         << field << " missing from " << stats->body;
   }
+  service.Shutdown();
+}
+
+TEST(SearchServiceTest, ShardStatsEndpointReportsGenerationAndTermStats) {
+  SearchService service(SharedBundle().engine.get(), LenientOptions());
+  ASSERT_TRUE(service.Start().ok());
+  const index::InvertedIndex& index = *SharedBundle().index;
+  const TermId software = index.LookupTerm("software");
+  ASSERT_NE(software, kInvalidTerm);
+  auto response =
+      HttpGet(service.port(), "/shard/stats?terms=software,nosuchterm");
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->status_code, 200) << response->body;
+  EXPECT_NE(response->body.find("\"generation\":1"), std::string::npos);
+  EXPECT_NE(response->body.find(
+                "\"doc_count\":" + std::to_string(index.doc_count())),
+            std::string::npos)
+      << response->body;
+  EXPECT_NE(response->body.find(
+                "\"total_words\":" + std::to_string(index.total_words())),
+            std::string::npos);
+  EXPECT_NE(
+      response->body.find("{\"term\":\"software\",\"df\":" +
+                          std::to_string(index.DocFreq(software)) +
+                          ",\"cf\":" +
+                          std::to_string(index.CollectionFreq(software))),
+      std::string::npos)
+      << response->body;
+  // Unknown terms are a normal partitioning outcome, reported as zeros.
+  EXPECT_NE(
+      response->body.find("{\"term\":\"nosuchterm\",\"df\":0,\"cf\":0}"),
+      std::string::npos)
+      << response->body;
+  EXPECT_EQ(service.stats().shard_stats_requests.load(), 1u);
+  auto stats = HttpGet(service.port(), "/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->body.find("\"shard_stats_requests\":1"),
+            std::string::npos);
+  service.Shutdown();
+}
+
+TEST(SearchServiceTest, GstatsOverlayOfOwnStatsIsBitIdentical) {
+  // The degenerate one-shard deployment: pinning the server's OWN
+  // statistics through gstats must reproduce its plain answers exactly —
+  // the overlay path introduces no drift.
+  SearchService service(SharedBundle().engine.get(), LenientOptions());
+  ASSERT_TRUE(service.Start().ok());
+  const index::InvertedIndex& index = *SharedBundle().index;
+  for (const char* scheme : kSchemes) {
+    for (const char* query : kQueries) {
+      auto parsed = mcalc::ParseQuery(query);
+      ASSERT_TRUE(parsed.ok()) << parsed.status();
+      PinnedStats pinned;
+      pinned.doc_count = index.doc_count();
+      pinned.total_words = index.total_words();
+      for (const auto& variable : parsed->variables) {
+        const TermId id = index.LookupTerm(variable.keyword);
+        pinned.terms.push_back(
+            {variable.keyword,
+             id == kInvalidTerm ? 0 : index.DocFreq(id),
+             id == kInvalidTerm ? 0 : index.CollectionFreq(id)});
+      }
+      const std::string target =
+          SearchTarget(query, scheme, 10) +
+          "&gstats=" + UrlEncode(EncodePinnedStats(pinned)) +
+          "&expect_gen=1";
+      auto overlaid = HttpGet(service.port(), target);
+      ASSERT_TRUE(overlaid.ok()) << overlaid.status();
+      ASSERT_EQ(overlaid->status_code, 200)
+          << scheme << " " << query << ": " << overlaid->body;
+      EXPECT_EQ(ResultsFragment(overlaid->body),
+                ExpectedFragment(query, scheme, 10))
+          << scheme << " " << query;
+    }
+  }
+  service.Shutdown();
+}
+
+TEST(SearchServiceTest, ExpectGenMismatchAnswers409Conflict) {
+  SearchService service(SharedBundle().engine.get(), LenientOptions());
+  ASSERT_TRUE(service.Start().ok());
+  // Matching fence: normal answer.
+  auto matched = HttpGet(
+      service.port(), SearchTarget("software", "MeanSum", 5) + "&expect_gen=1");
+  ASSERT_TRUE(matched.ok());
+  EXPECT_EQ(matched->status_code, 200);
+  // Mismatched fence: 409 with both generations, counted distinctly.
+  auto conflicted = HttpGet(
+      service.port(), SearchTarget("software", "MeanSum", 5) + "&expect_gen=7");
+  ASSERT_TRUE(conflicted.ok());
+  EXPECT_EQ(conflicted->status_code, 409) << conflicted->body;
+  EXPECT_NE(conflicted->body.find("\"error\":\"generation_conflict\""),
+            std::string::npos);
+  EXPECT_NE(conflicted->body.find("\"expected\":7"), std::string::npos);
+  EXPECT_NE(conflicted->body.find("\"generation\":1"), std::string::npos);
+  EXPECT_EQ(service.stats().generation_conflicts.load(), 1u);
+  auto stats = HttpGet(service.port(), "/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->body.find("\"generation_conflicts\":1"),
+            std::string::npos);
+  // Malformed fence values are a client error, not a conflict.
+  auto malformed = HttpGet(
+      service.port(), SearchTarget("software", "MeanSum", 5) + "&expect_gen=x");
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_EQ(malformed->status_code, 400);
+  EXPECT_EQ(service.stats().generation_conflicts.load(), 1u);
+  service.Shutdown();
+}
+
+TEST(SearchServiceTest, MalformedGstatsIsClean400) {
+  SearchService service(SharedBundle().engine.get(), LenientOptions());
+  ASSERT_TRUE(service.Start().ok());
+  auto response = HttpGet(
+      service.port(),
+      SearchTarget("software", "MeanSum", 5) + "&gstats=not-a-codec");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 400) << response->body;
+  EXPECT_NE(response->body.find("\"error\""), std::string::npos);
   service.Shutdown();
 }
 

@@ -10,6 +10,9 @@ Fails (exit 1) when the reference pages under docs/ fall behind the code:
     literal) must appear in docs/operations.md;
   * every command-line flag graft_server parses (arg == "--flag" in
     tools/graft_server.cc) must appear in docs/operations.md;
+  * likewise for the router: every "graft_..." metric name in
+    src/router/router_service.cc and every flag graft_router parses must
+    appear in docs/distributed.md;
   * every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md
     and docs/*.md must resolve to an existing file.
 
@@ -27,6 +30,8 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 METRIC_SOURCES = ("src/server/server_stats.cc", "src/server/search_service.cc")
 FLAG_SOURCE = "tools/graft_server.cc"
+ROUTER_METRIC_SOURCES = ("src/router/router_service.cc",)
+ROUTER_FLAG_SOURCE = "tools/graft_router.cc"
 LINKED_DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
 
 
@@ -75,9 +80,9 @@ def exported_metrics(source_texts):
     return sorted(names)
 
 
-def check_metrics(ops_text, metric_names):
+def check_metrics(ops_text, metric_names, page="docs/operations.md"):
     return [
-        f"docs/operations.md does not document exported metric {name}"
+        f"{page} does not document exported metric {name}"
         for name in metric_names
         if name not in ops_text
     ]
@@ -90,9 +95,9 @@ def server_flags(flag_source_text):
     return sorted(set(re.findall(r'arg == "(--[a-z][a-z-]*)"', flag_source_text)))
 
 
-def check_flags(ops_text, flags):
+def check_flags(ops_text, flags, page="docs/operations.md", binary="graft_server"):
     return [
-        f"docs/operations.md does not document graft_server flag {flag}"
+        f"{page} does not document {binary} flag {flag}"
         for flag in flags
         if f"`{flag}" not in ops_text and f"| {flag}" not in ops_text
         and flag not in ops_text
@@ -133,10 +138,22 @@ def docs_to_link_check(repo=REPO):
 def run_checks():
     arch = read("docs/architecture.md")
     ops = read("docs/operations.md")
+    dist = read("docs/distributed.md")
     errors = []
     errors += check_architecture(arch, src_subdirs())
     errors += check_metrics(ops, exported_metrics(read(p) for p in METRIC_SOURCES))
     errors += check_flags(ops, server_flags(read(FLAG_SOURCE)))
+    errors += check_metrics(
+        dist,
+        exported_metrics(read(p) for p in ROUTER_METRIC_SOURCES),
+        page="docs/distributed.md",
+    )
+    errors += check_flags(
+        dist,
+        server_flags(read(ROUTER_FLAG_SOURCE)),
+        page="docs/distributed.md",
+        binary="graft_router",
+    )
     for doc in docs_to_link_check():
         errors += check_links(doc, read(doc))
     return errors
@@ -171,6 +188,31 @@ def self_test():
         failures.append("flags check missed a removed flag row")
     if check_flags(ops, flags):
         failures.append("flags check fails on the real docs")
+
+    dist = read("docs/distributed.md")
+    router_metrics = exported_metrics(read(p) for p in ROUTER_METRIC_SOURCES)
+    if "graft_router_gathers_total" not in router_metrics:
+        failures.append("metric extraction lost graft_router_gathers_total")
+    mutated = dist.replace(
+        "graft_router_gathers_total", "graft_router_gathers_renamed"
+    )
+    if not check_metrics(mutated, router_metrics, page="docs/distributed.md"):
+        failures.append("router metrics check missed a removed metric row")
+    if check_metrics(dist, router_metrics, page="docs/distributed.md"):
+        failures.append("router metrics check fails on the real docs")
+
+    router_flags = server_flags(read(ROUTER_FLAG_SOURCE))
+    if "--hedge-ms" not in router_flags:
+        failures.append("flag extraction lost --hedge-ms")
+    mutated = dist.replace("--hedge-ms", "--renamed-flag")
+    if not check_flags(
+        mutated, router_flags, page="docs/distributed.md", binary="graft_router"
+    ):
+        failures.append("router flags check missed a removed flag row")
+    if check_flags(
+        dist, router_flags, page="docs/distributed.md", binary="graft_router"
+    ):
+        failures.append("router flags check fails on the real docs")
 
     broken = "see [the docs](docs/definitely-not-a-real-file.md) for more"
     if not check_links("README.md", broken):
