@@ -5,7 +5,10 @@
 #include <mutex>
 
 #include "core/cost_model.h"
+#include "core/rewrite_rules.h"
 #include "exec/maxscore_topk.h"
+#include "exec/nra_topk.h"
+#include "exec/threshold_topk.h"
 #include "ma/reference_evaluator.h"
 
 namespace graft::core {
@@ -53,6 +56,42 @@ void FoldPruneStats(const exec::PruneStats& prune, exec::ExecStats* stats) {
   stats->topk_threshold_updates += prune.threshold_updates;
 }
 
+// Folds Fagin TA counters into the per-query ExecStats view.
+void FoldTaStats(const exec::TaStats& ta, exec::ExecStats* stats) {
+  stats->rank_heap_ops += ta.heap_ops;
+  stats->rank_stopping_depth += ta.stopping_depth;
+  stats->docs_scored += ta.candidates_scored;
+  stats->docs_pruned += ta.entries_pruned();
+  stats->topk_sorted_accesses += ta.sorted_accesses;
+  stats->topk_random_accesses += ta.random_accesses;
+}
+
+// Folds Fagin NRA counters into the per-query ExecStats view.
+void FoldNraStats(const exec::NraStats& nra, exec::ExecStats* stats) {
+  stats->rank_heap_ops += nra.heap_ops;
+  stats->rank_stopping_depth += nra.stopping_depth;
+  stats->docs_scored += nra.candidates_resolved;
+  stats->docs_pruned += nra.entries_pruned();
+  stats->topk_sorted_accesses += nra.sorted_accesses;
+  stats->topk_bound_refinements += nra.bound_refinements;
+}
+
+// Stamps one count per fired rewrite rule (registry order) into the
+// result's ExecStats — the per-rule counters /metrics aggregates.
+void StampRuleCounters(SearchResult* result) {
+  const auto& rules = RewriteRuleRegistry::Global().All();
+  for (const RewriteAttempt& attempt : result->rewrite_attempts) {
+    if (!attempt.fired) continue;
+    for (size_t i = 0; i < rules.size() && i < exec::ExecStats::kMaxRules;
+         ++i) {
+      if (rules[i].opt == attempt.opt) {
+        ++result->exec_stats.rule_fired[i];
+        break;
+      }
+    }
+  }
+}
+
 // Rewrite-attempt table for the rank-processing path, where the optimizer
 // never runs: the gate verdicts are still what admitted rank processing,
 // so EXPLAIN ANALYZE and ?explain=1 stay complete on this path too.
@@ -60,7 +99,8 @@ void FoldPruneStats(const exec::PruneStats& prune, exec::ExecStats* stats) {
 // says why the pruned operator stood down.
 std::vector<RewriteAttempt> RankPathAttempts(
     const mcalc::Query& query, const sa::ScoringScheme& scheme,
-    const std::string& pruning_verdict, bool pruned) {
+    const std::string& pruning_verdict, bool pruned,
+    const std::string& operator_note = "; threshold top-k execution") {
   const Optimization fired_opt = query.root->kind == mcalc::NodeKind::kOr
                                      ? Optimization::kRankUnion
                                      : Optimization::kRankJoin;
@@ -81,7 +121,7 @@ std::vector<RewriteAttempt> RankPathAttempts(
           pruned ? "superseded by block-max pruned top-k"
                  : "gate ok: " +
                        ExplainGate(opt, scheme.properties()).reason +
-                       "; threshold top-k execution";
+                       operator_note;
     } else {
       attempt.verdict = "not attempted (rank processing path)";
     }
@@ -115,6 +155,25 @@ std::string FormatExecStats(const exec::ExecStats& s) {
            " ceiling_probes=" + std::to_string(s.topk_ceiling_probes) +
            " threshold_updates=" + std::to_string(s.topk_threshold_updates) +
            "\n";
+  }
+  if (s.topk_sorted_accesses != 0 || s.topk_random_accesses != 0 ||
+      s.topk_bound_refinements != 0) {
+    out += "  fagin: sorted_accesses=" +
+           std::to_string(s.topk_sorted_accesses) +
+           " random_accesses=" + std::to_string(s.topk_random_accesses) +
+           " bound_refinements=" +
+           std::to_string(s.topk_bound_refinements) + "\n";
+  }
+  std::string rules;
+  const auto& catalog = RewriteRuleRegistry::Global().All();
+  for (size_t i = 0; i < catalog.size() && i < exec::ExecStats::kMaxRules;
+       ++i) {
+    if (s.rule_fired[i] == 0) continue;
+    if (!rules.empty()) rules += " ";
+    rules += catalog[i].id + "=" + std::to_string(s.rule_fired[i]);
+  }
+  if (!rules.empty()) {
+    out += "  rules_fired: " + rules + "\n";
   }
   return out;
 }
@@ -252,10 +311,53 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
     return result;
   }
 
+  // Forced Fagin middleware strategies (TA / NRA): run the requested
+  // operator when its gate licenses it; otherwise fall back to full
+  // ranking + truncate below (never a different top-k operator, so the
+  // comparison benches and the fuzzer see exactly the strategy they ask
+  // for).
+  if (options.top_k > 0 && options.allow_rank_processing &&
+      options.topk_strategy == TopKStrategy::kThreshold &&
+      exec::ThresholdTopK::Supports(query, scheme)) {
+    common::ScopedSpan rank_span(trace, "rank");
+    exec::ThresholdTopK ta(index_, &scheme, overlay);
+    GRAFT_ASSIGN_OR_RETURN(result.results, ta.TopK(query, options.top_k));
+    rank_span.End("stopping_depth=" +
+                  std::to_string(ta.stats().stopping_depth));
+    result.used_rank_processing = true;
+    result.topk_operator = "ta";
+    result.applied_optimizations = "threshold top-k (TA, forced)";
+    result.rewrite_attempts = RankPathAttempts(
+        query, scheme, "not attempted (TA strategy forced)",
+        /*pruned=*/false, "; threshold top-k (TA) execution");
+    FoldTaStats(ta.stats(), &result.exec_stats);
+    StampRuleCounters(&result);
+    return result;
+  }
+  if (options.top_k > 0 && options.allow_rank_processing &&
+      options.topk_strategy == TopKStrategy::kNra &&
+      exec::NraTopK::Supports(query, scheme)) {
+    common::ScopedSpan rank_span(trace, "rank");
+    exec::NraTopK nra(index_, &scheme, overlay);
+    GRAFT_ASSIGN_OR_RETURN(result.results, nra.TopK(query, options.top_k));
+    rank_span.End("stopping_depth=" +
+                  std::to_string(nra.stats().stopping_depth));
+    result.used_rank_processing = true;
+    result.topk_operator = "nra";
+    result.applied_optimizations = "NRA top-k (forced)";
+    result.rewrite_attempts = RankPathAttempts(
+        query, scheme, "not attempted (NRA strategy forced)",
+        /*pruned=*/false, "; no-random-access top-k (NRA) execution");
+    FoldNraStats(nra.stats(), &result.exec_stats);
+    StampRuleCounters(&result);
+    return result;
+  }
+
   // Top-k rank processing when the gate admits it. The block-max pruned
   // operator runs first when its (stricter) gate also passes; it gates
   // itself off conservatively and falls back to the threshold algorithm.
   if (options.top_k > 0 && options.allow_rank_processing &&
+      options.topk_strategy == TopKStrategy::kAuto &&
       exec::TopKRankEngine::Supports(query, scheme)) {
     const std::string prune_verdict =
         options.allow_block_max_pruning
@@ -271,10 +373,12 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
                     std::to_string(pruner.stats().blocks_skipped));
       result.used_rank_processing = true;
       result.used_block_max_pruning = true;
+      result.topk_operator = "maxscore";
       result.applied_optimizations = "block-max pruned top-k";
       result.rewrite_attempts =
           RankPathAttempts(query, scheme, prune_verdict, /*pruned=*/true);
       FoldPruneStats(pruner.stats(), &result.exec_stats);
+      StampRuleCounters(&result);
       return result;
     }
     common::ScopedSpan rank_span(trace, "rank");
@@ -284,10 +388,12 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
     rank_span.End("stopping_depth=" +
                   std::to_string(rank_engine.stats().stopping_depth));
     result.used_rank_processing = true;
+    result.topk_operator = "hrjn";
     result.applied_optimizations = "rank-join/rank-union (top-k)";
     result.rewrite_attempts =
         RankPathAttempts(query, scheme, prune_verdict, /*pruned=*/false);
     FoldRankStats(rank_engine.stats(), &result.exec_stats);
+    StampRuleCounters(&result);
     return result;
   }
 
@@ -305,6 +411,7 @@ StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
   result.applied_optimizations = plan.AppliedToString();
   result.rewrite_attempts = std::move(plan.attempts);
   result.exec_stats = executor.stats();
+  StampRuleCounters(&result);
   if (options.top_k > 0 && result.results.size() > options.top_k) {
     result.results.resize(options.top_k);
   }
@@ -328,19 +435,34 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
 
   // Top-k rank processing: per-segment threshold-algorithm top-k against
   // global statistics, then a k-way merge — score-consistent because each
-  // segment's top-k is exact for its documents.
-  if (options.top_k > 0 && options.allow_rank_processing &&
-      exec::TopKRankEngine::Supports(query, scheme)) {
+  // segment's top-k is exact for its documents. Forced TA/NRA strategies
+  // fan out the same way (each segment runs the forced operator against
+  // global statistics); unlicensed forced strategies fall through to the
+  // full streaming path below.
+  const bool force_ta =
+      options.topk_strategy == TopKStrategy::kThreshold &&
+      exec::ThresholdTopK::Supports(query, scheme);
+  const bool force_nra = options.topk_strategy == TopKStrategy::kNra &&
+                         exec::NraTopK::Supports(query, scheme);
+  const bool rank_path =
+      options.top_k > 0 && options.allow_rank_processing &&
+      (options.topk_strategy == TopKStrategy::kAuto
+           ? exec::TopKRankEngine::Supports(query, scheme)
+           : (force_ta || force_nra));
+  if (rank_path) {
     // Per-segment pruning: each segment carries its own block-max metadata
     // (rebuilt over the rebased slice iff the source index has it), prunes
     // against its local threshold, and the k-way merge reproduces the
     // monolithic order because per-segment scores use global statistics.
     const std::string prune_verdict =
-        options.allow_block_max_pruning
-            ? exec::MaxScoreTopK::GateVerdict(query, scheme, *index_,
-                                              overlay_)
-            : "blocked: disabled by request options";
-    const bool prune = prune_verdict.empty();
+        force_ta || force_nra
+            ? std::string("not attempted (") +
+                  (force_ta ? "TA" : "NRA") + " strategy forced)"
+            : options.allow_block_max_pruning
+                  ? exec::MaxScoreTopK::GateVerdict(query, scheme, *index_,
+                                                    overlay_)
+                  : "blocked: disabled by request options";
+    const bool prune = !force_ta && !force_nra && prune_verdict.empty();
     common::ScopedSpan rank_span(
         trace, "rank", "segments=" + std::to_string(num_segments));
     common::ParallelFor(
@@ -351,7 +473,17 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
           StatusOr<std::vector<ma::ScoredDoc>> local =
               Status::Internal("unreached");
           exec::ExecStats rank_stats;
-          if (prune) {
+          if (force_ta) {
+            exec::ThresholdTopK ta(&seg.index, &scheme,
+                                   /*overlay=*/nullptr, &seg.stats);
+            local = ta.TopK(query, options.top_k);
+            FoldTaStats(ta.stats(), &rank_stats);
+          } else if (force_nra) {
+            exec::NraTopK nra(&seg.index, &scheme,
+                              /*overlay=*/nullptr, &seg.stats);
+            local = nra.TopK(query, options.top_k);
+            FoldNraStats(nra.stats(), &rank_stats);
+          } else if (prune) {
             exec::MaxScoreTopK pruner(&seg.index, &scheme, &seg.stats);
             local = pruner.TopK(query, options.top_k);
             FoldPruneStats(pruner.stats(), &rank_stats);
@@ -380,13 +512,25 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
     merge_span.End("results=" + std::to_string(result.results.size()));
     result.used_rank_processing = true;
     result.used_block_max_pruning = prune;
+    result.topk_operator =
+        force_ta ? "ta" : force_nra ? "nra" : prune ? "maxscore" : "hrjn";
     result.applied_optimizations =
-        (prune ? std::string("block-max pruned top-k, segmented ×")
-               : std::string("rank-join/rank-union (top-k), segmented ×")) +
+        (force_ta
+             ? std::string("threshold top-k (TA, forced), segmented ×")
+             : force_nra
+                   ? std::string("NRA top-k (forced), segmented ×")
+                   : prune
+                         ? std::string("block-max pruned top-k, segmented ×")
+                         : std::string(
+                               "rank-join/rank-union (top-k), segmented ×")) +
         std::to_string(num_segments);
-    result.rewrite_attempts =
-        RankPathAttempts(query, scheme, prune_verdict, prune);
+    result.rewrite_attempts = RankPathAttempts(
+        query, scheme, prune_verdict, prune,
+        force_ta ? "; threshold top-k (TA) execution"
+                 : force_nra ? "; no-random-access top-k (NRA) execution"
+                             : "; threshold top-k execution");
     result.exec_stats = agg_stats.stats;
+    StampRuleCounters(&result);
     return result;
   }
 
@@ -437,6 +581,7 @@ StatusOr<SearchResult> Engine::SearchQuerySegmented(
       plan.AppliedToString() + ", segmented ×" + std::to_string(num_segments);
   result.rewrite_attempts = std::move(plan.attempts);
   result.exec_stats = agg_stats.stats;
+  StampRuleCounters(&result);
   return result;
 }
 
@@ -460,6 +605,17 @@ StatusOr<std::string> Engine::Explain(std::string_view query_text,
     out += "top-k strategy (k=" + std::to_string(options.top_k) + "): ";
     if (!options.allow_rank_processing) {
       out += "full ranking + truncate (rank processing disabled)\n";
+    } else if (options.topk_strategy == TopKStrategy::kThreshold) {
+      const std::string verdict =
+          exec::ThresholdTopK::GateVerdict(query, *scheme);
+      out += verdict.empty()
+                 ? "threshold top-k (TA, forced)\n"
+                 : "full ranking + truncate; TA " + verdict + "\n";
+    } else if (options.topk_strategy == TopKStrategy::kNra) {
+      const std::string verdict = exec::NraTopK::GateVerdict(query, *scheme);
+      out += verdict.empty()
+                 ? "NRA top-k (forced)\n"
+                 : "full ranking + truncate; NRA " + verdict + "\n";
     } else if (exec::TopKRankEngine::Supports(query, *scheme)) {
       const std::string prune_verdict =
           options.allow_block_max_pruning

@@ -1,6 +1,12 @@
 #include "core/optimization_gate.h"
 
+#include "core/rewrite_rules.h"
+
 namespace graft::core {
+
+// The gate is a thin view over the declarative rule catalog
+// (rewrite_rules.cc): each Optimization's Table-1 requirements live on its
+// RewriteRule, and the decision logic below just evaluates them.
 
 std::string OptimizationName(Optimization opt) {
   switch (opt) {
@@ -51,111 +57,17 @@ std::string DirectionRequirement(Optimization opt) {
 
 bool IsOptimizationValid(Optimization opt,
                          const sa::SchemeProperties& props) {
-  switch (opt) {
-    case Optimization::kSortElimination:
-      return props.alt.commutative;
-    case Optimization::kJoinReordering:
-    case Optimization::kSelectionPushing:
-    case Optimization::kZigZagJoin:
-    case Optimization::kEagerCounting:
-      // No restrictions: score aggregation is decoupled from join and
-      // selection operators (the central point of Section 5.2.4).
-      return true;
-    case Optimization::kForwardScanJoin:
-    case Optimization::kAlternateElimination:
-      return props.constant;
-    case Optimization::kEagerAggregation:
-      return props.alt.associative && !props.row_first();
-    case Optimization::kPreCounting:
-      return !props.positional;
-    case Optimization::kRankJoin:
-      return props.conj.monotonic_increasing && props.diagonal();
-    case Optimization::kRankUnion:
-      return props.disj.monotonic_increasing && props.diagonal();
-    case Optimization::kBlockMaxPruning:
-      // A block ceiling evaluates α over the block's (tf, doc length)
-      // Pareto frontier; the best point bounds every document's column
-      // score only when α is upper-boundable, one match stands for all
-      // alternates (⊕
-      // idempotent, where ⊗ is the identity), the row combinators cannot
-      // shrink under a larger input, and the scheme walks the table
-      // column-wise (diagonal).
-      return props.bounded && props.alt.idempotent && props.diagonal() &&
-             props.conj.monotonic_increasing &&
-             props.disj.monotonic_increasing;
-  }
-  return false;
+  const RewriteRule* rule = RewriteRuleRegistry::Global().Find(opt);
+  return rule != nullptr && rule->Licensed(props);
 }
 
 GateDecision ExplainGate(Optimization opt,
                          const sa::SchemeProperties& props) {
-  GateDecision decision;
-  decision.valid = IsOptimizationValid(opt, props);
-  switch (opt) {
-    case Optimization::kSortElimination:
-      decision.reason =
-          decision.valid ? "⊕ commutes" : "⊕ not commutative";
-      break;
-    case Optimization::kJoinReordering:
-    case Optimization::kSelectionPushing:
-    case Optimization::kZigZagJoin:
-    case Optimization::kEagerCounting:
-      decision.reason = "no scheme requirement (Section 5.2.4)";
-      break;
-    case Optimization::kForwardScanJoin:
-    case Optimization::kAlternateElimination:
-      decision.reason =
-          decision.valid ? "scheme is constant" : "scheme not constant";
-      break;
-    case Optimization::kEagerAggregation:
-      if (decision.valid) {
-        decision.reason = "⊕ fully associative, not row-first";
-      } else if (!props.alt.associative) {
-        decision.reason = "⊕ not fully associative";
-      } else {
-        decision.reason = "scheme is row-first";
-      }
-      break;
-    case Optimization::kPreCounting:
-      decision.reason = decision.valid ? "non-positional scheme"
-                                       : "scheme is positional";
-      break;
-    case Optimization::kRankJoin:
-      if (decision.valid) {
-        decision.reason = "⊘ monotonic increasing, diagonal";
-      } else if (!props.conj.monotonic_increasing) {
-        decision.reason = "⊘ not monotonic increasing";
-      } else {
-        decision.reason = "scheme not diagonal";
-      }
-      break;
-    case Optimization::kRankUnion:
-      if (decision.valid) {
-        decision.reason = "⊚ monotonic increasing, diagonal";
-      } else if (!props.disj.monotonic_increasing) {
-        decision.reason = "⊚ not monotonic increasing";
-      } else {
-        decision.reason = "scheme not diagonal";
-      }
-      break;
-    case Optimization::kBlockMaxPruning:
-      if (decision.valid) {
-        decision.reason =
-            "α bounded, ⊕ idempotent, ⊘/⊚ monotonic increasing, diagonal";
-      } else if (!props.bounded) {
-        decision.reason = "α not upper-boundable";
-      } else if (!props.alt.idempotent) {
-        decision.reason = "⊕ not idempotent";
-      } else if (!props.diagonal()) {
-        decision.reason = "scheme not diagonal";
-      } else if (!props.conj.monotonic_increasing) {
-        decision.reason = "⊘ not monotonic increasing";
-      } else {
-        decision.reason = "⊚ not monotonic increasing";
-      }
-      break;
+  const RewriteRule* rule = RewriteRuleRegistry::Global().Find(opt);
+  if (rule == nullptr) {
+    return GateDecision{false, "optimization not in the rule catalog"};
   }
-  return decision;
+  return rule->Explain(props);
 }
 
 std::vector<Optimization> ValidOptimizations(

@@ -736,112 +736,46 @@ StatusOr<OptimizedPlan> Optimizer::Optimize(
   // Zig-zag joins are the default physical join everywhere (always valid).
   result.applied.push_back(Optimization::kZigZagJoin);
 
-  // Record the complete rewrite-attempt table (catalog order): for every
-  // optimization, whether it fired and the gate/option/structural reason.
-  // This is what EXPLAIN prints and what the differential fuzzer checks
-  // against `applied`.
+  // Record the complete rewrite-attempt table (catalog order) by iterating
+  // the declarative rule registry: for every rule, whether it fired and the
+  // gate/option/structural reason. This is what EXPLAIN prints and what the
+  // differential fuzzer checks against `applied`.
   {
     const auto fired = [&result](Optimization opt) {
       return std::find(result.applied.begin(), result.applied.end(), opt) !=
              result.applied.end();
     };
-    const bool had_predicates =
-        !mcalc::AllConstraints(*query.root).empty();
-    const bool no_free_leaves =
+    RuleQueryFacts facts;
+    facts.sort_eliminated = sort_eliminated;
+    facts.can_alt_elim = can_alt_elim;
+    facts.can_eager_agg = can_eager_agg;
+    facts.use_pre_count = ctx.use_pre_count;
+    facts.no_free_leaves =
         ctx.counted_vars.empty() && ctx.aggregated_vars.empty();
-    for (const Optimization opt : kAllOptimizations) {
+    facts.has_disjunction = has_disjunction(*query.root);
+    facts.positional_scheme = props.positional;
+    facts.row_first_scheme = props.row_first();
+    for (const RewriteRule& rule : RewriteRuleRegistry::Global().All()) {
       RewriteAttempt attempt;
-      attempt.opt = opt;
-      attempt.fired = fired(opt);
-      const GateDecision gate = ExplainGate(opt, props);
+      attempt.opt = rule.opt;
+      attempt.fired = fired(rule.opt);
+      const GateDecision gate = rule.Explain(props);
       if (attempt.fired) {
         attempt.verdict = "gate ok: " + gate.reason;
       } else if (!gate.valid) {
         attempt.verdict = "blocked by gate: " + gate.reason;
+      } else if (rule.stage == RuleStage::kExecution) {
+        // Execution-stage strategies never fire at plan time; the verdict
+        // records that the gate would license them on the top-k path.
+        attempt.verdict = "gate ok: " + gate.reason + rule.execution_note;
+      } else if (!rule.Enabled(options_)) {
+        attempt.verdict = "disabled by options";
       } else {
-        // Gate admits it; an option toggle or the query's structure kept
+        // Gate admits it and the toggle is on; the query's structure kept
         // it from firing.
-        switch (opt) {
-          case Optimization::kJoinReordering:
-            attempt.verdict = "disabled by options";
-            break;
-          case Optimization::kSelectionPushing:
-            attempt.verdict = options_.push_selections
-                                  ? "no predicates to push"
-                                  : "disabled by options";
-            break;
-          case Optimization::kSortElimination:
-            attempt.verdict = "disabled by options";
-            break;
-          case Optimization::kForwardScanJoin:
-          case Optimization::kAlternateElimination:
-            if (!options_.alternate_elimination) {
-              attempt.verdict = "disabled by options";
-            } else {
-              attempt.verdict = "requires sort elimination";
-            }
-            break;
-          case Optimization::kEagerAggregation:
-            if (!options_.eager_aggregation) {
-              attempt.verdict = "disabled by options";
-            } else if (!sort_eliminated) {
-              attempt.verdict = "requires sort elimination";
-            } else if (can_alt_elim) {
-              attempt.verdict =
-                  "superseded by alternate elimination (constant scheme)";
-            } else {
-              attempt.verdict = "no predicate-free keyword leaves";
-            }
-            break;
-          case Optimization::kEagerCounting:
-            if (!options_.eager_counting) {
-              attempt.verdict = "disabled by options";
-            } else if (!sort_eliminated) {
-              attempt.verdict = "requires sort elimination";
-            } else if (can_alt_elim) {
-              attempt.verdict =
-                  "superseded by alternate elimination (constant scheme)";
-            } else if (can_eager_agg) {
-              attempt.verdict = ctx.use_pre_count
-                                    ? "superseded by pre-counting"
-                                    : "no predicate-free keyword leaves";
-            } else if (props.positional) {
-              attempt.verdict = "positions required by α (positional scheme)";
-            } else if (!props.row_first() &&
-                       has_disjunction(*query.root)) {
-              attempt.verdict =
-                  "query has disjunction and scheme is not row-first";
-            } else {
-              attempt.verdict = "no predicate-free keyword leaves";
-            }
-            break;
-          case Optimization::kPreCounting:
-            if (!options_.pre_counting) {
-              attempt.verdict = "disabled by options";
-            } else if (!sort_eliminated) {
-              attempt.verdict = "requires sort elimination";
-            } else if (no_free_leaves) {
-              attempt.verdict = "no predicate-free keyword leaves";
-            } else {
-              attempt.verdict = "no counting path applicable";
-            }
-            break;
-          case Optimization::kRankJoin:
-          case Optimization::kRankUnion:
-            attempt.verdict =
-                "gate ok: " + gate.reason +
-                "; applies to top-k pure keyword queries at execution";
-            break;
-          case Optimization::kBlockMaxPruning:
-            attempt.verdict =
-                "gate ok: " + gate.reason +
-                "; applies to top-k pure keyword queries over block-max "
-                "indexes at execution";
-            break;
-          case Optimization::kZigZagJoin:
-            attempt.verdict = "always applied";
-            break;
-        }
+        attempt.verdict = rule.skip_reason != nullptr
+                              ? rule.skip_reason(options_, facts)
+                              : "always applied";
       }
       if (trace != nullptr) {
         trace->AddEvent("rewrite " + OptimizationName(attempt.opt),

@@ -28,6 +28,7 @@
 #include "common/trace.h"
 #include "core/canonical_plan.h"
 #include "core/optimization_gate.h"
+#include "core/rewrite_rules.h"
 #include "index/inverted_index.h"
 #include "ma/plan.h"
 #include "mcalc/ast.h"
@@ -35,22 +36,8 @@
 
 namespace graft::core {
 
-// Per-rewrite toggles. All default on; the optimizer still only applies a
-// rewrite when the gate validates it for the scheme. Benches toggle these
-// to isolate individual optimizations (Figure 3).
-struct OptimizerOptions {
-  bool push_selections = true;
-  bool reorder_joins = true;
-  // Order join inputs with the cost model (estimated document counts)
-  // instead of the paper's heuristic (positions-scanned ascending). The
-  // default matches the paper; bench_join_order_ablation compares the two.
-  bool cost_based_join_order = false;
-  bool eliminate_sort = true;
-  bool eager_aggregation = true;
-  bool eager_counting = true;
-  bool pre_counting = true;
-  bool alternate_elimination = true;
-};
+// OptimizerOptions (the per-rewrite toggles) lives in rewrite_rules.h next
+// to the declarative rule catalog that binds each toggle to its rule.
 
 // One catalog rewrite's outcome for this query + scheme: fired or not,
 // and why — the gate verdict with the deciding Table-1/Table-2 property,

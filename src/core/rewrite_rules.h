@@ -1,0 +1,130 @@
+// The §5 rewrite catalog as declarative, verifiable data.
+//
+// Each catalog entry is a RewriteRule: a match pattern and transform
+// (human-readable), the SA properties (sa/properties.h) the rule needs to
+// be score-consistent (Table 1), the optimizer option that toggles it, and
+// a structural skip-reason callback for EXPLAIN's rewrite table. The
+// optimization gate (optimization_gate.h) delegates to this registry, the
+// optimizer iterates it to build the rewrite-attempt table, the
+// differential fuzzer runs once per rule with only that rule enabled
+// (GRAFT_FUZZ_RULE), and /metrics exports a fired counter per rule id.
+//
+// Adding a rule declaratively = appending a RewriteRule here; the fuzzer
+// matrix and the EXPLAIN/metrics surfaces pick it up from the registry.
+
+#ifndef GRAFT_CORE_REWRITE_RULES_H_
+#define GRAFT_CORE_REWRITE_RULES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/optimization_gate.h"
+#include "sa/properties.h"
+
+namespace graft::core {
+
+// Per-rewrite toggles. All default on; the optimizer still only applies a
+// rewrite when the gate validates it for the scheme. Benches toggle these
+// to isolate individual optimizations (Figure 3).
+struct OptimizerOptions {
+  bool push_selections = true;
+  bool reorder_joins = true;
+  // Order join inputs with the cost model (estimated document counts)
+  // instead of the paper's heuristic (positions-scanned ascending). The
+  // default matches the paper; bench_join_order_ablation compares the two.
+  bool cost_based_join_order = false;
+  bool eliminate_sort = true;
+  bool eager_aggregation = true;
+  bool eager_counting = true;
+  bool pre_counting = true;
+  bool alternate_elimination = true;
+};
+
+// One scheme property a rule needs: the satisfied/violated wording that
+// ExplainGate reports, and the predicate over the declared properties.
+struct PropertyRequirement {
+  std::string name;         // wording when satisfied ("⊕ commutes")
+  std::string fail_reason;  // wording when violated ("⊕ not commutative")
+  bool (*check)(const sa::SchemeProperties&) = nullptr;
+};
+
+// Where in the pipeline a rule applies.
+enum class RuleStage {
+  kPlan,       // applied by the Optimizer while rewriting the MA plan
+  kExecution,  // licensed physical strategy chosen at execution (top-k)
+};
+
+// Structural facts about one optimization run, for skip-reason callbacks:
+// why did a gate-admitted, option-enabled rule not fire on this query?
+struct RuleQueryFacts {
+  bool sort_eliminated = false;
+  bool can_alt_elim = false;
+  bool can_eager_agg = false;
+  bool use_pre_count = false;
+  bool no_free_leaves = false;
+  bool has_disjunction = false;
+  bool positional_scheme = false;
+  bool row_first_scheme = false;
+};
+
+struct RewriteRule {
+  Optimization opt;
+  // Stable ASCII identifier: GRAFT_FUZZ_RULE value, /metrics label,
+  // `graft_cli rules` output. Never reuse or rename.
+  std::string id;
+  std::string pattern;    // what the rule matches, human-readable
+  std::string transform;  // what it rewrites to, human-readable
+  RuleStage stage = RuleStage::kPlan;
+  // Table-1 requirements in gate-check order; empty = always valid
+  // (Section 5.2.4: scoring is decoupled from matching).
+  std::vector<PropertyRequirement> requirements;
+  // When set, replaces the ", "-joined requirement names as the licensed
+  // reason (used when the canonical Table-1 wording orders the properties
+  // differently from the check order).
+  std::string licensed_reason;
+  // The OptimizerOptions member that enables the rule; nullptr for rules
+  // with no plan-stage toggle (zig-zag join, execution-stage strategies).
+  bool OptimizerOptions::* toggle = nullptr;
+  // Toggles that must also be on for this rule to be structurally
+  // reachable (e.g. the counting rules only exist below an eliminated
+  // sort); OnlyRuleOptions enables these alongside `toggle`.
+  std::vector<bool OptimizerOptions::*> prerequisites;
+  // EXPLAIN verdict when the rule was admitted and enabled but did not
+  // fire for structural reasons; nullptr → "always applied".
+  std::string (*skip_reason)(const OptimizerOptions& options,
+                             const RuleQueryFacts& facts) = nullptr;
+  // Appended after "gate ok: <reason>" for execution-stage rules in the
+  // plan-path rewrite table (they never fire at plan time).
+  std::string execution_note;
+
+  // Table-1 decision logic for this rule: all requirements hold.
+  bool Licensed(const sa::SchemeProperties& props) const;
+  // The deciding requirement, human-readable (ExplainGate's reason).
+  GateDecision Explain(const sa::SchemeProperties& props) const;
+  bool Enabled(const OptimizerOptions& options) const;
+};
+
+// The catalog, in kAllOptimizations order (EXPLAIN's rewrite-table order).
+class RewriteRuleRegistry {
+ public:
+  static const RewriteRuleRegistry& Global();
+
+  const std::vector<RewriteRule>& All() const { return rules_; }
+  const RewriteRule* Lookup(std::string_view id) const;
+  const RewriteRule* Find(Optimization opt) const;
+
+  // OptimizerOptions with every rewrite toggle off except `rule`'s (plus
+  // its structural prerequisites) — the per-rule fuzzer configuration.
+  // Execution-stage rules have no optimizer toggle: all-off options.
+  OptimizerOptions OnlyRuleOptions(const RewriteRule& rule) const;
+  OptimizerOptions AllRulesOff() const;
+
+ private:
+  RewriteRuleRegistry();
+  std::vector<RewriteRule> rules_;
+};
+
+}  // namespace graft::core
+
+#endif  // GRAFT_CORE_REWRITE_RULES_H_

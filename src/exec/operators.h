@@ -58,6 +58,17 @@ struct ExecStats {
                                         // block on the unpruned top-k)
   uint64_t topk_ceiling_probes = 0;     // block/term ceiling evaluations
   uint64_t topk_threshold_updates = 0;  // k-th-best-score improvements
+  // Fagin middleware-aggregation counters; zero unless the ThresholdTopK
+  // (TA) or NraTopK (NRA) strategy ran.
+  uint64_t topk_sorted_accesses = 0;    // score-ordered stream entries read
+  uint64_t topk_random_accesses = 0;    // TA candidate completions by probe
+  uint64_t topk_bound_refinements = 0;  // NRA candidate upper-bound updates
+  // Per-rewrite-rule fired counters, indexed by the rule's position in
+  // core::RewriteRuleRegistry (kAllOptimizations order). Sized with slack
+  // so exec/ needs no core/ include; the engine stamps one count per fired
+  // rule per query and the server aggregates them into /metrics.
+  static constexpr size_t kMaxRules = 16;
+  uint64_t rule_fired[kMaxRules] = {};
 
   void Accumulate(const ExecStats& other) {
     positions_scanned += other.positions_scanned;
@@ -76,6 +87,12 @@ struct ExecStats {
     topk_blocks_decoded += other.topk_blocks_decoded;
     topk_ceiling_probes += other.topk_ceiling_probes;
     topk_threshold_updates += other.topk_threshold_updates;
+    topk_sorted_accesses += other.topk_sorted_accesses;
+    topk_random_accesses += other.topk_random_accesses;
+    topk_bound_refinements += other.topk_bound_refinements;
+    for (size_t i = 0; i < kMaxRules; ++i) {
+      rule_fired[i] += other.rule_fired[i];
+    }
   }
 };
 

@@ -1,0 +1,107 @@
+// Shared machinery for the Fagin-style middleware top-k operators
+// (ThresholdTopK, NraTopK): the pure-keyword query-shape probe and the
+// exact column/row scorer.
+//
+// The scorer reproduces the full engine's α/⊘/⊚/⊕/ω pipeline bit-for-bit
+// (the same discipline as TopKRankEngine): a column's score is α at the
+// first offset, ⊗-scaled by the term frequency, with tf == 0 mapping to
+// the ∅ cell; the document score folds the columns in keyword order with
+// ⊘/⊚ and applies ω under the real document context. Only the *set of
+// documents scored* may differ between operators — never a score.
+
+#ifndef GRAFT_EXEC_TOPK_COMMON_H_
+#define GRAFT_EXEC_TOPK_COMMON_H_
+
+#include <vector>
+
+#include "index/stats.h"
+#include "mcalc/ast.h"
+#include "sa/scoring_scheme.h"
+
+namespace graft::exec::topk {
+
+// Query shape probe: And(keywords...) or Or(keywords...) or one keyword.
+enum class Shape { kUnsupported, kConjunction, kDisjunction };
+
+inline Shape QueryShape(const mcalc::Query& query,
+                        std::vector<const mcalc::Node*>* keywords) {
+  const mcalc::Node& root = *query.root;
+  if (root.kind == mcalc::NodeKind::kKeyword) {
+    keywords->push_back(&root);
+    return Shape::kConjunction;
+  }
+  if (root.kind != mcalc::NodeKind::kAnd &&
+      root.kind != mcalc::NodeKind::kOr) {
+    return Shape::kUnsupported;
+  }
+  for (const mcalc::NodePtr& child : root.children) {
+    if (child->kind != mcalc::NodeKind::kKeyword) {
+      return Shape::kUnsupported;
+    }
+    keywords->push_back(child.get());
+  }
+  return root.kind == mcalc::NodeKind::kAnd ? Shape::kConjunction
+                                            : Shape::kDisjunction;
+}
+
+class ColumnScorer {
+ public:
+  ColumnScorer(const index::StatsView* view, const sa::ScoringScheme* scheme,
+               uint32_t num_columns)
+      : view_(view), scheme_(scheme) {
+    query_ctx_.num_columns = num_columns;
+  }
+
+  sa::DocContext DocCtx(DocId doc) const {
+    sa::DocContext ctx;
+    ctx.doc = doc;
+    ctx.length = view_->DocLength(doc);
+    ctx.collection_size = view_->CollectionSize();
+    ctx.avg_doc_length = view_->AverageDocLength();
+    return ctx;
+  }
+
+  // The column score: the ⊕-fold of the tf equal alternates = ⊗.
+  sa::InternalScore ColumnScoreTf(TermId term, uint32_t tf, DocId doc) const {
+    sa::ColumnContext col;
+    col.term = term;
+    col.doc_freq = term == kInvalidTerm ? 0 : view_->DocFreq(term);
+    col.tf_in_doc = tf;
+    const sa::DocContext dctx = DocCtx(doc);
+    if (tf == 0) {
+      return scheme_->Init(dctx, col, kEmptyOffset);
+    }
+    const sa::InternalScore unit = scheme_->Init(dctx, col, /*offset=*/0);
+    return tf <= 1 ? unit : scheme_->Scale(unit, tf);
+  }
+
+  sa::InternalScore Combine(Shape shape, const sa::InternalScore& acc,
+                            const sa::InternalScore& column) const {
+    return shape == Shape::kConjunction ? scheme_->Conj(acc, column)
+                                        : scheme_->Disj(acc, column);
+  }
+
+  double Finalize(DocId doc, const sa::InternalScore& acc) const {
+    return scheme_->Finalize(DocCtx(doc), query_ctx_, acc);
+  }
+
+  // ω over a generic document context (length 1): used for stream-tail
+  // thresholds, where no concrete document exists. ω is monotone in the
+  // aggregate for the rank-eligible schemes.
+  double FinalizeGeneric(const sa::InternalScore& acc) const {
+    sa::DocContext generic;
+    generic.length = 1;
+    generic.collection_size = view_->CollectionSize();
+    generic.avg_doc_length = view_->AverageDocLength();
+    return scheme_->Finalize(generic, query_ctx_, acc);
+  }
+
+ private:
+  const index::StatsView* view_;
+  const sa::ScoringScheme* scheme_;
+  sa::QueryContext query_ctx_;
+};
+
+}  // namespace graft::exec::topk
+
+#endif  // GRAFT_EXEC_TOPK_COMMON_H_

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/failpoint.h"
+#include "core/rewrite_rules.h"
 #include "server/pinned_stats.h"
 
 namespace graft::server {
@@ -84,7 +85,13 @@ void AppendFullExecJson(std::string* out, const exec::ExecStats& s) {
           ",\"topk_ceiling_probes\":" +
           std::to_string(s.topk_ceiling_probes) +
           ",\"topk_threshold_updates\":" +
-          std::to_string(s.topk_threshold_updates) + "}";
+          std::to_string(s.topk_threshold_updates) +
+          ",\"topk_sorted_accesses\":" +
+          std::to_string(s.topk_sorted_accesses) +
+          ",\"topk_random_accesses\":" +
+          std::to_string(s.topk_random_accesses) +
+          ",\"topk_bound_refinements\":" +
+          std::to_string(s.topk_bound_refinements) + "}";
 }
 
 // "explain":{...} block: pinned generation, rewrite table, counters, trace.
@@ -629,6 +636,18 @@ Response SearchService::HandleSearch(const HttpRequest& request,
     stats_.pruned_searches.fetch_add(1, std::memory_order_relaxed);
     stats_.topk_blocks_skipped.fetch_add(
         result->exec_stats.topk_blocks_skipped, std::memory_order_relaxed);
+  }
+  if (result.ok()) {
+    // Per-rule fire counts, slot-aligned with the rewrite-rule registry
+    // (exported as graft_rewrite_rule_fired_total{rule=...}).
+    const size_t rules = std::min(core::RewriteRuleRegistry::Global().All().size(),
+                                  ServerStats::kMaxRules);
+    for (size_t i = 0; i < rules; ++i) {
+      const uint64_t fired = result->exec_stats.rule_fired[i];
+      if (fired != 0) {
+        stats_.rule_fired[i].fetch_add(fired, std::memory_order_relaxed);
+      }
+    }
   }
   // Slow-query log: threshold on the full latency the client saw
   // (queue + handling), which is what a tail-latency alert fires on.

@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/rewrite_rules.h"
+#include "exec/operators.h"
 #include "sa/scoring_scheme.h"
 #include "server/http.h"
 
 namespace graft::server {
+
+// One server-side slot per exec-side slot: StampRuleCounters writes by
+// registry index, so the two arrays must stay width-matched.
+static_assert(ServerStats::kMaxRules == exec::ExecStats::kMaxRules,
+              "per-rule counter widths diverged");
 
 namespace {
 
@@ -184,6 +191,19 @@ std::string ServerStats::ToJson() const {
   out += std::to_string(pruned_searches.load(std::memory_order_relaxed));
   out += ",\"topk_blocks_skipped\":";
   out += std::to_string(topk_blocks_skipped.load(std::memory_order_relaxed));
+  out += ",\"rule_fired\":{";
+  {
+    const auto& rules = core::RewriteRuleRegistry::Global().All();
+    bool first = true;
+    for (size_t i = 0; i < rules.size() && i < kMaxRules; ++i) {
+      const uint64_t n = rule_fired[i].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + rules[i].id + "\":" + std::to_string(n);
+    }
+  }
+  out += "}";
   out += ",\"search_latency\":";
   out += search_latency.ToJson();
   out += ",\"scheme_counts\":";
@@ -260,6 +280,28 @@ std::string ServerStats::ToPrometheus() const {
   AppendMetric(&out, "graft_topk_blocks_skipped_total",
                "Posting blocks skipped via block-max ceilings.", "counter",
                topk_blocks_skipped.load(std::memory_order_relaxed));
+
+  {
+    const auto& rules = core::RewriteRuleRegistry::Global().All();
+    bool any = false;
+    for (size_t i = 0; i < rules.size() && i < kMaxRules; ++i) {
+      any = any || rule_fired[i].load(std::memory_order_relaxed) != 0;
+    }
+    if (any) {
+      out +=
+          "# HELP graft_rewrite_rule_fired_total Rewrite-rule applications "
+          "per catalog rule across served searches.\n"
+          "# TYPE graft_rewrite_rule_fired_total counter\n";
+      for (size_t i = 0; i < rules.size() && i < kMaxRules; ++i) {
+        const uint64_t n = rule_fired[i].load(std::memory_order_relaxed);
+        if (n == 0) continue;
+        // Rule ids are stable lowercase identifiers — no label escaping
+        // needed beyond quoting.
+        out += "graft_rewrite_rule_fired_total{rule=\"" + rules[i].id +
+               "\"} " + std::to_string(n) + "\n";
+      }
+    }
+  }
 
   out +=
       "# HELP graft_search_latency_microseconds /search latency "

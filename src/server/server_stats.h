@@ -105,6 +105,12 @@ struct ServerStats {
   // index) — a dashboard on these shows whether pruning is earning rent.
   std::atomic<uint64_t> pruned_searches{0};
   std::atomic<uint64_t> topk_blocks_skipped{0};
+  // Rewrite-rule fire counts, slot-indexed by the declarative catalog
+  // (core/rewrite_rules.h registry order); exported as
+  // graft_rewrite_rule_fired_total{rule="<id>"}. Sized to match
+  // exec::ExecStats::kMaxRules (static_assert in the .cc).
+  static constexpr size_t kMaxRules = 16;
+  std::atomic<uint64_t> rule_fired[kMaxRules] = {};
   LatencyHistogram search_latency;                // /search only, all codes
   SchemeCounters scheme_counts;
 

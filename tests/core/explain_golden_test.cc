@@ -160,5 +160,34 @@ TEST(ExplainGolden, TopKBlockedMeanSum) {
               options);
 }
 
+// Forced Fagin middleware strategies: the strategy line names the forced
+// operator when its gate licenses the query + scheme, and shows the
+// full-ranking fallback with the blocking verdict otherwise. The rewrite
+// table carries the per-rule verdicts either way.
+
+TEST(ExplainGolden, TopKThresholdForcedAnySum) {
+  SearchOptions options;
+  options.top_k = 10;
+  options.topk_strategy = TopKStrategy::kThreshold;
+  CheckGolden("explain_topk_ta_forced_anysum", "free software", "AnySum",
+              options);
+}
+
+TEST(ExplainGolden, TopKNraForcedAnySum) {
+  SearchOptions options;
+  options.top_k = 10;
+  options.topk_strategy = TopKStrategy::kNra;
+  CheckGolden("explain_topk_nra_forced_anysum", "free software", "AnySum",
+              options);
+}
+
+TEST(ExplainGolden, TopKNraBlockedMeanSum) {
+  SearchOptions options;
+  options.top_k = 10;
+  options.topk_strategy = TopKStrategy::kNra;
+  CheckGolden("explain_topk_nra_blocked_meansum", "free software", "MeanSum",
+              options);
+}
+
 }  // namespace
 }  // namespace graft::core

@@ -1,0 +1,188 @@
+// Registry invariants for the declarative rewrite-rule catalog: the gate's
+// Table-1 logic and the catalog must be two views of the same data, ids
+// must be stable (they are /metrics labels and GRAFT_FUZZ_RULE values),
+// and the per-rule fuzzer configurations must enable exactly the rule
+// under test plus its structural prerequisites.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/optimization_gate.h"
+#include "core/rewrite_rules.h"
+#include "sa/schemes.h"
+
+namespace graft::core {
+namespace {
+
+TEST(RewriteRuleRegistry, OneRulePerOptimizationInTableOrder) {
+  const auto& rules = RewriteRuleRegistry::Global().All();
+  ASSERT_EQ(rules.size(), std::size(kAllOptimizations));
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].opt, kAllOptimizations[i])
+        << "catalog order must match kAllOptimizations (EXPLAIN's "
+           "rewrite-table order) at index "
+        << i;
+  }
+}
+
+TEST(RewriteRuleRegistry, IdsAreUniqueNonEmptyAndStable) {
+  std::set<std::string> ids;
+  for (const RewriteRule& rule : RewriteRuleRegistry::Global().All()) {
+    ASSERT_FALSE(rule.id.empty());
+    EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate id " << rule.id;
+    // Metrics-label / env-var safe: lowercase + underscores only.
+    for (const char c : rule.id) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_')
+          << "id " << rule.id << " is not a stable lowercase identifier";
+    }
+    EXPECT_FALSE(rule.pattern.empty()) << rule.id;
+    EXPECT_FALSE(rule.transform.empty()) << rule.id;
+  }
+  // The published names; renaming one breaks dashboards and CI matrices.
+  for (const char* id :
+       {"sort_elimination", "join_reordering", "selection_pushing",
+        "zigzag_join", "forward_scan_join", "alternate_elimination",
+        "eager_aggregation", "eager_counting", "pre_counting", "rank_join",
+        "rank_union", "block_max_pruning"}) {
+    EXPECT_NE(RewriteRuleRegistry::Global().Lookup(id), nullptr) << id;
+  }
+  EXPECT_EQ(RewriteRuleRegistry::Global().Lookup("no_such_rule"), nullptr);
+}
+
+TEST(RewriteRuleRegistry, LookupAndFindAgree) {
+  const RewriteRuleRegistry& registry = RewriteRuleRegistry::Global();
+  for (const RewriteRule& rule : registry.All()) {
+    EXPECT_EQ(registry.Lookup(rule.id), &rule);
+    EXPECT_EQ(registry.Find(rule.opt), &rule);
+  }
+}
+
+// The tentpole's core claim: the gate IS the catalog. For every registered
+// scheme and every optimization, IsOptimizationValid/ExplainGate must agree
+// with the rule's own Licensed/Explain — same verdict, same wording.
+TEST(RewriteRuleRegistry, GateDelegatesToCatalogForEveryScheme) {
+  const RewriteRuleRegistry& registry = RewriteRuleRegistry::Global();
+  for (const sa::ScoringScheme* scheme : sa::SchemeRegistry::Global().All()) {
+    const sa::SchemeProperties& props = scheme->properties();
+    for (const Optimization opt : kAllOptimizations) {
+      const RewriteRule* rule = registry.Find(opt);
+      ASSERT_NE(rule, nullptr) << OptimizationName(opt);
+      EXPECT_EQ(IsOptimizationValid(opt, props), rule->Licensed(props))
+          << scheme->name() << " / " << rule->id;
+      const GateDecision via_gate = ExplainGate(opt, props);
+      const GateDecision via_rule = rule->Explain(props);
+      EXPECT_EQ(via_gate.valid, via_rule.valid)
+          << scheme->name() << " / " << rule->id;
+      EXPECT_EQ(via_gate.reason, via_rule.reason)
+          << scheme->name() << " / " << rule->id;
+    }
+  }
+}
+
+TEST(RewriteRuleRegistry, StagesAndTogglesMatchThePipeline) {
+  const RewriteRuleRegistry& registry = RewriteRuleRegistry::Global();
+  for (const RewriteRule& rule : registry.All()) {
+    const bool execution = rule.opt == Optimization::kRankJoin ||
+                           rule.opt == Optimization::kRankUnion ||
+                           rule.opt == Optimization::kBlockMaxPruning;
+    EXPECT_EQ(rule.stage == RuleStage::kExecution, execution) << rule.id;
+    // Execution-stage strategies and the always-on zig-zag join have no
+    // plan toggle; every other rule must bind one.
+    const bool has_toggle = rule.toggle != nullptr;
+    EXPECT_EQ(has_toggle,
+              !execution && rule.opt != Optimization::kZigZagJoin)
+        << rule.id;
+    if (execution) {
+      EXPECT_FALSE(rule.execution_note.empty()) << rule.id;
+    }
+  }
+}
+
+TEST(RewriteRuleRegistry, AllRulesOffDisablesEveryToggle) {
+  const OptimizerOptions off = RewriteRuleRegistry::Global().AllRulesOff();
+  EXPECT_FALSE(off.push_selections);
+  EXPECT_FALSE(off.reorder_joins);
+  EXPECT_FALSE(off.cost_based_join_order);
+  EXPECT_FALSE(off.eliminate_sort);
+  EXPECT_FALSE(off.eager_aggregation);
+  EXPECT_FALSE(off.eager_counting);
+  EXPECT_FALSE(off.pre_counting);
+  EXPECT_FALSE(off.alternate_elimination);
+}
+
+TEST(RewriteRuleRegistry, OnlyRuleOptionsEnablesRulePlusPrerequisites) {
+  const RewriteRuleRegistry& registry = RewriteRuleRegistry::Global();
+  for (const RewriteRule& rule : registry.All()) {
+    const OptimizerOptions options = registry.OnlyRuleOptions(rule);
+    EXPECT_TRUE(rule.Enabled(options)) << rule.id;
+    if (rule.toggle != nullptr) {
+      EXPECT_TRUE(options.*(rule.toggle)) << rule.id;
+    }
+    for (bool OptimizerOptions::* prereq : rule.prerequisites) {
+      EXPECT_TRUE(options.*prereq) << rule.id;
+    }
+    // No rule other than this one and its prerequisites may be enabled.
+    for (const RewriteRule& other : registry.All()) {
+      if (other.toggle == nullptr || &other == &rule) continue;
+      bool is_prereq = other.toggle == rule.toggle;
+      for (bool OptimizerOptions::* prereq : rule.prerequisites) {
+        is_prereq = is_prereq || prereq == other.toggle;
+      }
+      EXPECT_EQ(options.*(other.toggle), is_prereq)
+          << rule.id << " unexpectedly toggles " << other.id;
+    }
+  }
+}
+
+TEST(RewriteRuleRegistry, PreCountingPullsInItsWholeStructuralPath) {
+  const RewriteRule* rule =
+      RewriteRuleRegistry::Global().Lookup("pre_counting");
+  ASSERT_NE(rule, nullptr);
+  const OptimizerOptions options =
+      RewriteRuleRegistry::Global().OnlyRuleOptions(*rule);
+  EXPECT_TRUE(options.pre_counting);
+  EXPECT_TRUE(options.eliminate_sort);
+  EXPECT_TRUE(options.alternate_elimination);
+  EXPECT_TRUE(options.eager_aggregation);
+  EXPECT_FALSE(options.push_selections);
+  EXPECT_FALSE(options.reorder_joins);
+  EXPECT_FALSE(options.eager_counting);
+}
+
+// Known Table-1 rows, as spot checks that the declarative data encodes the
+// paper's matrix (the full cross product is covered by parity above plus
+// optimization_gate_test.cc).
+TEST(RewriteRuleRegistry, KnownLicensingRows) {
+  const RewriteRuleRegistry& registry = RewriteRuleRegistry::Global();
+  const auto props = [](const char* name) {
+    const sa::ScoringScheme* scheme =
+        sa::SchemeRegistry::Global().Lookup(name);
+    EXPECT_NE(scheme, nullptr) << name;
+    return scheme->properties();
+  };
+  EXPECT_TRUE(registry.Lookup("rank_join")->Licensed(props("AnySum")));
+  EXPECT_FALSE(
+      registry.Lookup("rank_join")->Licensed(props("BestSumMinDist")));
+  EXPECT_TRUE(
+      registry.Lookup("block_max_pruning")->Licensed(props("AnySum")));
+  EXPECT_FALSE(
+      registry.Lookup("block_max_pruning")->Licensed(props("MeanSum")));
+  EXPECT_TRUE(
+      registry.Lookup("alternate_elimination")->Licensed(props("AnySum")));
+  EXPECT_FALSE(
+      registry.Lookup("alternate_elimination")->Licensed(props("MeanSum")));
+  // Always-valid rules (Section 5.2.4).
+  for (const char* id :
+       {"join_reordering", "selection_pushing", "zigzag_join"}) {
+    for (const sa::ScoringScheme* scheme :
+         sa::SchemeRegistry::Global().All()) {
+      EXPECT_TRUE(registry.Lookup(id)->Licensed(scheme->properties()))
+          << id << " / " << scheme->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graft::core

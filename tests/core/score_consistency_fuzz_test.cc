@@ -64,8 +64,11 @@
 #include "core/optimization_gate.h"
 #include "core/optimizer.h"
 #include "core/request.h"
+#include "core/rewrite_rules.h"
 #include "exec/maxscore_topk.h"
+#include "exec/nra_topk.h"
 #include "exec/rank_join.h"
+#include "exec/threshold_topk.h"
 #include "index/segmented_index.h"
 #include "ma/plan.h"
 #include "router/scatter_gather.h"
@@ -80,6 +83,44 @@ uint64_t EnvOr(const char* name, uint64_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   return std::strtoull(value, nullptr, 10);
+}
+
+// Single-rule mode: GRAFT_FUZZ_RULE=<rule id> restricts the optimized and
+// segmented configurations to exactly that catalog rule (every other
+// toggle off, with the rule's structural prerequisites). CI iterates the
+// registry through this knob so a regression names the rule that caused
+// it. An unknown id aborts loudly rather than silently fuzzing nothing.
+const RewriteRule* FuzzRuleFilter() {
+  static const RewriteRule* rule = [] {
+    const char* name = std::getenv("GRAFT_FUZZ_RULE");
+    if (name == nullptr || *name == '\0') {
+      return static_cast<const RewriteRule*>(nullptr);
+    }
+    const RewriteRule* found = RewriteRuleRegistry::Global().Lookup(name);
+    if (found == nullptr) {
+      std::fprintf(stderr,
+                   "[fuzz] GRAFT_FUZZ_RULE=%s does not name a catalog rule; "
+                   "valid ids:\n",
+                   name);
+      for (const RewriteRule& r : RewriteRuleRegistry::Global().All()) {
+        std::fprintf(stderr, "  %s\n", r.id.c_str());
+      }
+      std::abort();
+    }
+    std::fprintf(stderr, "[fuzz] single-rule mode: %s\n", found->id.c_str());
+    return found;
+  }();
+  return rule;
+}
+
+// Optimizer toggles for the filtered rule: plan-stage rules run alone (plus
+// prerequisites); execution-stage rules (rank join/union, block-max) have
+// no plan toggle, so the plan side goes all-off and the rule is exercised
+// through the top-k configurations' allow flags below.
+OptimizerOptions FilteredOptimizer(const RewriteRule& rule) {
+  const RewriteRuleRegistry& registry = RewriteRuleRegistry::Global();
+  return rule.stage == RuleStage::kPlan ? registry.OnlyRuleOptions(rule)
+                                        : registry.AllRulesOff();
 }
 
 // The fuzz corpus as raw token vectors: the monolithic index and the
@@ -303,6 +344,9 @@ SearchOptions BaseOptions() {
 
 SearchOptions OptimizedOptions() {
   SearchOptions options;
+  if (const RewriteRule* rule = FuzzRuleFilter()) {
+    options.optimizer = FilteredOptimizer(*rule);
+  }
   options.allow_rank_processing = false;
   options.use_segmented = false;
   return options;
@@ -310,6 +354,9 @@ SearchOptions OptimizedOptions() {
 
 SearchOptions SegmentedOptions() {
   SearchOptions options;
+  if (const RewriteRule* rule = FuzzRuleFilter()) {
+    options.optimizer = FilteredOptimizer(*rule);
+  }
   options.allow_rank_processing = false;
   return options;  // use_segmented = true (default)
 }
@@ -318,6 +365,15 @@ SearchOptions TopKOptions(size_t k, bool use_segmented) {
   SearchOptions options;
   options.top_k = k;
   options.use_segmented = use_segmented;
+  if (const RewriteRule* rule = FuzzRuleFilter()) {
+    options.optimizer = FilteredOptimizer(*rule);
+    // Execution-stage rules are what the rank path implements; plan-stage
+    // filters keep rank processing off so the top-k pair still exercises
+    // just the one rule under test.
+    options.allow_rank_processing = rule->stage == RuleStage::kExecution;
+    options.allow_block_max_pruning =
+        rule->opt == Optimization::kBlockMaxPruning;
+  }
   return options;  // allow_rank_processing = true (default)
 }
 
@@ -484,8 +540,13 @@ std::string CheckQuery(const mcalc::Query& query,
   }
 
   // Activation invariant: the pruned operator fires exactly when the
-  // extended gate licenses it — provably never for a blocked scheme.
+  // extended gate licenses it — provably never for a blocked scheme. Under
+  // a GRAFT_FUZZ_RULE filter the top-k options may disable rank processing
+  // or pruning outright, so the expectation honors those flags too.
+  const SearchOptions topk_mono_opts = TopKOptions(kTopK, false);
   const bool expect_prune =
+      topk_mono_opts.allow_rank_processing &&
+      topk_mono_opts.allow_block_max_pruning &&
       exec::TopKRankEngine::Supports(query, scheme) &&
       exec::MaxScoreTopK::GateVerdict(query, scheme, FuzzIndex(),
                                       /*overlay=*/nullptr)
@@ -520,6 +581,55 @@ std::string CheckQuery(const mcalc::Query& query,
   if (!scheme.properties().bounded &&
       (topk->used_block_max_pruning || topk_seg->used_block_max_pruning)) {
     return "pruning activated for a scheme whose α is not bounded";
+  }
+
+  // Seventh/eighth configurations: the forced Fagin middleware strategies.
+  // TA and NRA must each be bit-identical to the full ranking's prefix when
+  // their gate licenses the query + scheme, and must fall back to full
+  // ranking + truncate (topk_operator empty) when blocked — NEVER run a
+  // different top-k operator. Skipped in single-rule mode, where the top-k
+  // options deliberately pin a single rule's behaviour instead.
+  if (FuzzRuleFilter() == nullptr) {
+    struct ForcedStrategy {
+      TopKStrategy strategy;
+      const char* label;
+      const char* op;
+      std::string verdict;
+    };
+    const ForcedStrategy strategies[] = {
+        {TopKStrategy::kThreshold, "TA top-k", "ta",
+         exec::ThresholdTopK::GateVerdict(query, scheme)},
+        {TopKStrategy::kNra, "NRA top-k", "nra",
+         exec::NraTopK::GateVerdict(query, scheme)},
+    };
+    for (const ForcedStrategy& forced : strategies) {
+      for (const bool segmented : {false, true}) {
+        SearchOptions forced_opts = TopKOptions(kTopK, segmented);
+        forced_opts.topk_strategy = forced.strategy;
+        const Engine& engine = segmented ? SegmentedEngine() : MonoEngine();
+        const std::string label =
+            (segmented ? std::string("segmented ") : std::string()) +
+            forced.label;
+        auto run = engine.SearchQuery(query, scheme, forced_opts);
+        if (!run.ok()) {
+          return label + " failed: " + run.status().ToString();
+        }
+        if (std::string diff = DiffTopK(opt->results, opt_map, run->results,
+                                        kTopK, label.c_str());
+            !diff.empty()) {
+          return diff;
+        }
+        const char* expect_op = forced.verdict.empty() ? forced.op : "";
+        if (run->topk_operator != expect_op) {
+          return label + ": topk_operator='" + run->topk_operator +
+                 "' but the operator gate says '" +
+                 (forced.verdict.empty() ? "licensed" : forced.verdict) + "'";
+        }
+        if (run->used_block_max_pruning) {
+          return label + " reports used_block_max_pruning";
+        }
+      }
+    }
   }
   return "";
 }

@@ -1,0 +1,148 @@
+// Property-based test for the segmented k-way top-k merge: for random
+// corpora, random segment partitions, and random k, the segmented engine's
+// merged top-k must be bit-identical to the monolithic engine's ranking
+// prefix — same result count, same score sequence, and every returned
+// document carrying its exact monolithic score. Ties are the hard part
+// (a k-way merge can pick either of two equal-scored documents at the
+// cut), so half the trials run a deliberately tie-heavy corpus of repeated
+// documents under the constant AnySum scheme, where nearly every score
+// collides.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "index/segmented_index.h"
+#include "mcalc/parser.h"
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+
+namespace graft::core {
+namespace {
+
+// The merged top-k against the monolithic full ranking: exact score
+// sequence, documents drawn from the full set at their exact scores (equal
+// scores may permute document order at the cut).
+void ExpectTopKMatchesPrefix(const std::vector<ma::ScoredDoc>& full,
+                             const std::vector<ma::ScoredDoc>& got, size_t k,
+                             const std::string& context) {
+  const size_t want = std::min(k, full.size());
+  ASSERT_EQ(got.size(), want) << context;
+  std::map<DocId, double> full_map;
+  for (const ma::ScoredDoc& r : full) full_map[r.doc] = r.score;
+  for (size_t i = 0; i < want; ++i) {
+    EXPECT_EQ(got[i].score, full[i].score)
+        << context << " rank " << i << " score sequence diverged";
+    const auto it = full_map.find(got[i].doc);
+    ASSERT_NE(it, full_map.end())
+        << context << " rank " << i << " doc " << got[i].doc
+        << " not in the full ranking";
+    EXPECT_EQ(it->second, got[i].score)
+        << context << " rank " << i << " doc " << got[i].doc;
+  }
+}
+
+void RunTrial(const std::vector<std::vector<std::string>>& docs,
+              size_t num_segments, const std::vector<std::string>& queries,
+              const std::vector<std::string>& schemes, Rng* rng,
+              const std::string& corpus_label) {
+  index::IndexBuilder builder;
+  for (const auto& doc : docs) builder.AddDocumentStrings(doc);
+  const index::InvertedIndex index = builder.Build();
+  auto segmented =
+      index::SegmentedIndex::BuildFromMonolithic(index, num_segments);
+  ASSERT_TRUE(segmented.ok()) << segmented.status().ToString();
+
+  const Engine mono(&index);
+  const Engine parallel(&index, &*segmented, /*pool_threads=*/2);
+
+  for (const std::string& query_text : queries) {
+    auto query = mcalc::ParseQuery(query_text);
+    ASSERT_TRUE(query.ok()) << query_text;
+    for (const std::string& scheme_name : schemes) {
+      const sa::ScoringScheme* scheme =
+          sa::SchemeRegistry::Global().Lookup(scheme_name);
+      ASSERT_NE(scheme, nullptr) << scheme_name;
+
+      SearchOptions full_options;
+      full_options.allow_rank_processing = false;
+      full_options.use_segmented = false;
+      auto full = mono.SearchQuery(*query, *scheme, full_options);
+      ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+      // Random k each (query, scheme): below, at, and beyond the result
+      // count all happen across trials.
+      const size_t k = 1 + rng->NextBounded(30);
+      SearchOptions topk_options;
+      topk_options.top_k = k;
+      auto merged = parallel.SearchQuery(*query, *scheme, topk_options);
+      ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+      EXPECT_EQ(merged->segments_searched, num_segments);
+
+      ExpectTopKMatchesPrefix(
+          full->results, merged->results, k,
+          corpus_label + " segments=" + std::to_string(num_segments) +
+              " q=" + query_text + " scheme=" + scheme_name +
+              " k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(TopKMergeProperty, RandomPartitionsMergeBitIdentically) {
+  Rng rng(271828);
+  const std::vector<std::string> queries = {
+      "free software", "free | software | service", "county line",
+      "image | species | fishing", "emulator"};
+  const std::vector<std::string> schemes = {"AnySum", "Lucene", "MeanSum"};
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const uint64_t corpus_seed = 1000 + rng.NextBounded(100000);
+    std::vector<std::vector<std::string>> docs;
+    text::CorpusGenerator generator(text::WikipediaLikeConfig(
+        200 + rng.NextBounded(200), corpus_seed));
+    generator.Generate(
+        [&docs](uint64_t, const std::vector<std::string_view>& tokens) {
+          docs.emplace_back(tokens.begin(), tokens.end());
+        });
+    const size_t num_segments = 2 + rng.NextBounded(4);
+    RunTrial(docs, num_segments, queries, schemes, &rng,
+             "trial=" + std::to_string(trial) +
+                 " seed=" + std::to_string(corpus_seed));
+  }
+}
+
+// Tie-heavy: 180 documents drawn from only five distinct token sequences,
+// scored with the constant AnySum scheme — per-document scores collapse to
+// a handful of values, so every merge boundary lands on a tie. The merged
+// score sequence must still reproduce the monolithic prefix exactly.
+TEST(TopKMergeProperty, TieHeavyCorporaMergeConsistently) {
+  Rng rng(314159);
+  const char* templates[] = {
+      "free software for windows users",
+      "free software emulator for the county",
+      "image of the species in the city",
+      "fishing line and service",
+      "free free software software windows",
+  };
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<std::vector<std::string>> docs;
+    for (int i = 0; i < 180; ++i) {
+      const std::string tokens_src =
+          templates[rng.NextBounded(std::size(templates))];
+      const auto tokens = text::Tokenize(tokens_src);
+      docs.emplace_back(tokens.begin(), tokens.end());
+    }
+    const size_t num_segments = 2 + rng.NextBounded(4);
+    RunTrial(docs, num_segments,
+             {"free software", "free | image | fishing", "software windows"},
+             {"AnySum", "AnyProd"}, &rng, "tie trial=" + std::to_string(trial));
+  }
+}
+
+}  // namespace
+}  // namespace graft::core

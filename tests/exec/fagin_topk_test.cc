@@ -1,0 +1,212 @@
+// The Fagin middleware operators (TA / NRA): gating, exactness against the
+// full engine's ranking, early termination, and the access-model counters
+// that distinguish them (TA pays random accesses, NRA never does).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/engine.h"
+#include "exec/nra_topk.h"
+#include "exec/threshold_topk.h"
+#include "mcalc/parser.h"
+#include "text/corpus.h"
+
+namespace graft::exec {
+namespace {
+
+const index::InvertedIndex& CorpusIndex() {
+  static const index::InvertedIndex& index = *[] {
+    text::CorpusConfig config = text::WikipediaLikeConfig(3000, /*seed=*/13);
+    index::IndexBuilder builder;
+    text::CorpusGenerator generator(config);
+    generator.Generate(
+        [&builder](uint64_t, const std::vector<std::string_view>& tokens) {
+          builder.AddDocument(tokens);
+        });
+    return new index::InvertedIndex(builder.Build());
+  }();
+  return index;
+}
+
+TEST(FaginGateTest, BothOperatorsFollowTheRankGatePlusIdempotence) {
+  auto conjunctive = mcalc::ParseQuery("free software");
+  auto disjunctive = mcalc::ParseQuery("free | software");
+  auto with_predicate = mcalc::ParseQuery("\"free software\"");
+  ASSERT_TRUE(conjunctive.ok());
+  ASSERT_TRUE(disjunctive.ok());
+  ASSERT_TRUE(with_predicate.ok());
+
+  const auto& registry = sa::SchemeRegistry::Global();
+  // Same licensed set as TopKRankEngine: diagonal, monotone ⊘/⊚,
+  // idempotent ⊕ — and all three of these schemes are bounded, so NRA's
+  // extra requirement does not shrink the set.
+  for (const char* name : {"AnySum", "AnyProd", "Lucene"}) {
+    EXPECT_TRUE(ThresholdTopK::Supports(*conjunctive, *registry.Lookup(name)))
+        << name;
+    EXPECT_TRUE(NraTopK::Supports(*conjunctive, *registry.Lookup(name)))
+        << name;
+    EXPECT_TRUE(ThresholdTopK::Supports(*disjunctive, *registry.Lookup(name)))
+        << name;
+    EXPECT_TRUE(NraTopK::Supports(*disjunctive, *registry.Lookup(name)))
+        << name;
+  }
+  for (const char* name : {"SumBest", "EventModel", "BestSumMinDist",
+                           "JoinNormalized", "MeanSum"}) {
+    EXPECT_FALSE(
+        ThresholdTopK::Supports(*conjunctive, *registry.Lookup(name)))
+        << name;
+    EXPECT_FALSE(NraTopK::Supports(*conjunctive, *registry.Lookup(name)))
+        << name;
+  }
+  // Positional predicates disqualify the pure-keyword shape.
+  EXPECT_FALSE(
+      ThresholdTopK::Supports(*with_predicate, *registry.Lookup("AnySum")));
+  EXPECT_FALSE(
+      NraTopK::Supports(*with_predicate, *registry.Lookup("AnySum")));
+
+  // The verdicts are EXPLAIN text, not just booleans.
+  EXPECT_NE(ThresholdTopK::GateVerdict(*conjunctive,
+                                       *registry.Lookup("MeanSum"))
+                .find("⊕ not idempotent"),
+            std::string::npos);
+  EXPECT_NE(NraTopK::GateVerdict(*with_predicate, *registry.Lookup("AnySum"))
+                .find("not a pure keyword"),
+            std::string::npos);
+}
+
+TEST(FaginGateTest, BlockedRunReturnsFailedPrecondition) {
+  auto query = mcalc::ParseQuery("free software");
+  ASSERT_TRUE(query.ok());
+  const sa::ScoringScheme* meansum =
+      sa::SchemeRegistry::Global().Lookup("MeanSum");
+  ThresholdTopK ta(&CorpusIndex(), meansum);
+  EXPECT_FALSE(ta.TopK(*query, 10).ok());
+  NraTopK nra(&CorpusIndex(), meansum);
+  EXPECT_FALSE(nra.TopK(*query, 10).ok());
+}
+
+struct FaginCase {
+  std::string query;
+  std::string scheme;
+};
+
+class FaginExactnessTest : public ::testing::TestWithParam<FaginCase> {};
+
+// Both operators must reproduce the optimized engine's full ranking prefix
+// bit-identically: same docs, same score bits (the operators evaluate the
+// exact α/⊘/⊚/ω pipeline, not an approximation of it).
+TEST_P(FaginExactnessTest, TopKEqualsFullRankingPrefixBitIdentically) {
+  const FaginCase& test_case = GetParam();
+  auto query = mcalc::ParseQuery(test_case.query);
+  ASSERT_TRUE(query.ok());
+  const sa::ScoringScheme* scheme =
+      sa::SchemeRegistry::Global().Lookup(test_case.scheme);
+  ASSERT_NE(scheme, nullptr);
+
+  core::Engine engine(&CorpusIndex());
+  core::SearchOptions options;
+  options.allow_rank_processing = false;
+  auto full = engine.SearchQuery(*query, *scheme, options);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  constexpr size_t kK = 10;
+  const size_t expected = std::min(kK, full->results.size());
+
+  ThresholdTopK ta(&CorpusIndex(), scheme);
+  auto ta_top = ta.TopK(*query, kK);
+  ASSERT_TRUE(ta_top.ok()) << ta_top.status().ToString();
+  ASSERT_EQ(ta_top->size(), expected);
+
+  NraTopK nra(&CorpusIndex(), scheme);
+  auto nra_top = nra.TopK(*query, kK);
+  ASSERT_TRUE(nra_top.ok()) << nra_top.status().ToString();
+  ASSERT_EQ(nra_top->size(), expected);
+
+  for (size_t i = 0; i < expected; ++i) {
+    EXPECT_EQ((*ta_top)[i].doc, full->results[i].doc) << "TA rank " << i;
+    EXPECT_EQ((*ta_top)[i].score, full->results[i].score) << "TA rank " << i;
+    EXPECT_EQ((*nra_top)[i].doc, full->results[i].doc) << "NRA rank " << i;
+    EXPECT_EQ((*nra_top)[i].score, full->results[i].score)
+        << "NRA rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EligibleSchemes, FaginExactnessTest,
+    ::testing::Values(FaginCase{"free software", "AnySum"},
+                      FaginCase{"free software", "AnyProd"},
+                      FaginCase{"free software", "Lucene"},
+                      FaginCase{"free software windows", "Lucene"},
+                      FaginCase{"san francisco", "AnySum"},
+                      FaginCase{"free | software | service", "AnySum"},
+                      FaginCase{"fishing | hunting | dinosaur", "Lucene"},
+                      FaginCase{"free | windows", "AnyProd"},
+                      FaginCase{"service", "AnySum"},
+                      FaginCase{"neverseenword free", "Lucene"},
+                      FaginCase{"neverseenword | free", "Lucene"}));
+
+TEST(FaginAccessModelTest, TaPaysRandomAccessesNraCountsBounds) {
+  auto query = mcalc::ParseQuery("free software");
+  ASSERT_TRUE(query.ok());
+  const sa::ScoringScheme* scheme =
+      sa::SchemeRegistry::Global().Lookup("Lucene");
+
+  ThresholdTopK ta(&CorpusIndex(), scheme);
+  auto ta_top = ta.TopK(*query, 5);
+  ASSERT_TRUE(ta_top.ok());
+  EXPECT_GT(ta.stats().sorted_accesses, 0u);
+  EXPECT_GT(ta.stats().random_accesses, 0u);
+  EXPECT_GT(ta.stats().threshold_checks, 0u);
+  // The threshold stop must beat full exhaustion on a selective top-5.
+  EXPECT_GT(ta.stats().entries_pruned(), 0u);
+  EXPECT_EQ(ta.stats().stopping_depth, ta.stats().sorted_accesses);
+
+  NraTopK nra(&CorpusIndex(), scheme);
+  auto nra_top = nra.TopK(*query, 5);
+  ASSERT_TRUE(nra_top.ok());
+  EXPECT_GT(nra.stats().sorted_accesses, 0u);
+  EXPECT_GT(nra.stats().candidates_tracked, 0u);
+  EXPECT_GT(nra.stats().rounds, 0u);
+
+  // NRA's early stop needs the candidate bounds to converge before the
+  // streams drain, which depends on score skew: additive schemes over
+  // this corpus's flat tf distribution run to exhaustion, while AnyProd's
+  // multiplicative bounds collapse quickly. Assert the stop on AnyProd,
+  // and only stream accounting (never negative pruning) on Lucene.
+  EXPECT_LE(nra.stats().sorted_accesses, nra.stats().total_entries);
+  const sa::ScoringScheme* product =
+      sa::SchemeRegistry::Global().Lookup("AnyProd");
+  NraTopK nra_prod(&CorpusIndex(), product);
+  auto prod_top = nra_prod.TopK(*query, 5);
+  ASSERT_TRUE(prod_top.ok());
+  EXPECT_GT(nra_prod.stats().entries_pruned(), 0u)
+      << "NRA never stopped early even under a product scheme";
+}
+
+TEST(FaginEdgeCaseTest, ZeroKAndOversizedK) {
+  auto query = mcalc::ParseQuery("emulator foss");
+  ASSERT_TRUE(query.ok());
+  const sa::ScoringScheme* scheme =
+      sa::SchemeRegistry::Global().Lookup("AnySum");
+
+  ThresholdTopK ta(&CorpusIndex(), scheme);
+  auto empty = ta.TopK(*query, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  core::Engine engine(&CorpusIndex());
+  core::SearchOptions options;
+  options.allow_rank_processing = false;
+  auto full = engine.SearchQuery(*query, *scheme, options);
+  ASSERT_TRUE(full.ok());
+
+  NraTopK nra(&CorpusIndex(), scheme);
+  auto all = nra.TopK(*query, full->results.size() + 100);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), full->results.size());
+}
+
+}  // namespace
+}  // namespace graft::exec

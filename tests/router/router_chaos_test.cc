@@ -237,13 +237,43 @@ TEST(RouterChaosTest, SigkillAndSamePortRestartUnderLoad) {
 
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
 
-  // Murder shard 1 mid-load, let the degradation window be observed, then
-  // restart it on the SAME port from the same index file.
+  // Murder shard 1 mid-load, wait until the load thread actually OBSERVES
+  // the degradation window (a fixed sleep raced on loaded machines: the
+  // restart could land before any degraded answer, failing the
+  // load_degraded assertion below), then restart it on the SAME port from
+  // the same index file.
   const uint16_t shard1_port = shards[1].port;
   KillShard(&shards[1]);
-  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (load_degraded.load() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_GT(load_degraded.load(), 0u)
+        << "kill window closed before any degraded answer was observed";
+  }
   shards[1] = SpawnShard(corpus.shard_paths[1], shard1_port);
   ASSERT_EQ(shards[1].port, shard1_port);
+
+  // Confirm the restarted process is actually serving before asserting
+  // anything about readmission: poll its /healthz with a deadline (the
+  // fork/pipe handshake proves the listener exists, not that the accept
+  // loop is answering).
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    bool healthy = false;
+    while (!healthy && std::chrono::steady_clock::now() < deadline) {
+      auto health = server::HttpGet(shard1_port, "/healthz", /*timeout_ms=*/500);
+      healthy = health.ok() && health->status_code == 200;
+      if (!healthy) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    ASSERT_TRUE(healthy) << "restarted shard never answered /healthz";
+  }
 
   // The background probes must readmit the restarted replica; wait until
   // a fresh query comes back complete again.

@@ -256,14 +256,15 @@ TEST(ExplainEndpointTest, ExplainBlockCarriesRewritesCountersAndTrace) {
   EXPECT_NE(body.find("\"fired\":true"), std::string::npos)
       << "at least one rewrite must fire for a conjunction under MeanSum";
 
-  // All sixteen operator counters.
+  // All nineteen operator counters.
   for (const char* counter :
        {"docs_visited", "rows_built", "positions_scanned",
         "count_entries_scanned", "blocks_decoded", "gallop_probes",
         "skip_calls", "skip_hits", "rank_heap_ops", "rank_stopping_depth",
         "docs_scored", "docs_pruned", "topk_blocks_skipped",
         "topk_blocks_decoded", "topk_ceiling_probes",
-        "topk_threshold_updates"}) {
+        "topk_threshold_updates", "topk_sorted_accesses",
+        "topk_random_accesses", "topk_bound_refinements"}) {
     EXPECT_NE(body.find("\"" + std::string(counter) + "\":"),
               std::string::npos)
         << "missing counter " << counter;
@@ -371,10 +372,19 @@ TEST(MetricsTest, PrunedSearchCountsIntoMetricsStatsAndExplain) {
   ASSERT_NO_FATAL_FAILURE(ParseExposition(metrics->body, &samples));
   EXPECT_GE(samples.at("graft_pruned_searches_total"), 1);
   EXPECT_TRUE(samples.count("graft_topk_blocks_skipped_total"));
+  // Per-rule fire counts: the MeanSum search executed the full rewritten
+  // plan, so its fired plan rules (join_reordering among them) were
+  // stamped; the AnySum search took the pruned rank path, which skips the
+  // plan rewrites entirely.
+  EXPECT_GE(
+      samples["graft_rewrite_rule_fired_total{rule=\"join_reordering\"}"], 1)
+      << metrics->body;
   auto stats = HttpGet(service.port(), "/stats");
   ASSERT_TRUE(stats.ok());
   EXPECT_NE(stats->body.find("\"pruned_searches\":"), std::string::npos);
   EXPECT_NE(stats->body.find("\"topk_blocks_skipped\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"rule_fired\":{"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"join_reordering\":"), std::string::npos);
 
   service.Shutdown();
 }

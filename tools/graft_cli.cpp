@@ -9,6 +9,10 @@
 //     prints the measured per-operator counters plus the span trace
 //     (EXPLAIN ANALYZE).
 //   graft_cli schemes                                 list schemes
+//   graft_cli rules [--ids] [scheme]                  rewrite-rule catalog
+//     prints the declarative catalog (pattern, transform, required SA
+//     properties); --ids emits one rule id per line for scripting, and a
+//     scheme name adds that scheme's per-rule gate verdict.
 //
 // search accepts two parallel-execution flags (before or after the
 // positional arguments):
@@ -37,6 +41,7 @@
 #include "common/failpoint.h"
 #include "core/engine.h"
 #include "core/request.h"
+#include "core/rewrite_rules.h"
 #include "index/index_io.h"
 #include "sa/property_checker.h"
 #include "text/structure.h"
@@ -156,6 +161,68 @@ int CmdSearchOrExplain(bool explain, int argc, char** argv) {
   return 0;
 }
 
+// `rules` prints the declarative rewrite catalog; `rules --ids` prints one
+// id per line for scripting (CI iterates these as GRAFT_FUZZ_RULE values).
+// With a scheme name, each rule additionally shows that scheme's gate
+// verdict.
+int CmdRules(int argc, char** argv) {
+  bool ids_only = false;
+  const char* scheme_name = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--ids") {
+      ids_only = true;
+    } else if (scheme_name == nullptr) {
+      scheme_name = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: graft_cli rules [--ids] [scheme]\n");
+      return 2;
+    }
+  }
+  const graft::core::RewriteRuleRegistry& registry =
+      graft::core::RewriteRuleRegistry::Global();
+  if (ids_only) {
+    for (const graft::core::RewriteRule& rule : registry.All()) {
+      std::printf("%s\n", rule.id.c_str());
+    }
+    return 0;
+  }
+  const graft::sa::ScoringScheme* scheme = nullptr;
+  if (scheme_name != nullptr) {
+    scheme = graft::sa::SchemeRegistry::Global().Lookup(scheme_name);
+    if (scheme == nullptr) {
+      std::fprintf(stderr, "unknown scheme: %s\n", scheme_name);
+      return 1;
+    }
+  }
+  std::printf("rewrite-rule catalog (%zu rules):\n", registry.All().size());
+  for (const graft::core::RewriteRule& rule : registry.All()) {
+    std::printf("  %-22s [%s]\n", rule.id.c_str(),
+                rule.stage == graft::core::RuleStage::kPlan ? "plan"
+                                                            : "execution");
+    std::printf("    matches:    %s\n", rule.pattern.c_str());
+    std::printf("    rewrite to: %s\n", rule.transform.c_str());
+    if (rule.requirements.empty()) {
+      std::printf("    requires:   nothing (always score-consistent)\n");
+    } else {
+      std::string requires_line;
+      for (const graft::core::PropertyRequirement& req : rule.requirements) {
+        if (!requires_line.empty()) requires_line += ", ";
+        requires_line += req.name;
+      }
+      std::printf("    requires:   %s\n", requires_line.c_str());
+    }
+    if (scheme != nullptr) {
+      const graft::core::GateDecision decision =
+          rule.Explain(scheme->properties());
+      std::printf("    %s:  %s: %s\n", std::string(scheme->name()).c_str(),
+                  decision.valid ? "licensed" : "blocked",
+                  decision.reason.c_str());
+    }
+  }
+  return 0;
+}
+
 int CmdSchemes() {
   std::printf("registered scoring schemes:\n");
   for (const graft::sa::ScoringScheme* scheme :
@@ -189,7 +256,8 @@ int main(int argc, char** argv) {
   }
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: graft_cli <index|search|explain|schemes> ...\n");
+                 "usage: graft_cli <index|search|explain|schemes|rules> "
+                 "...\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -197,6 +265,7 @@ int main(int argc, char** argv) {
   if (command == "search") return CmdSearchOrExplain(false, argc - 2, argv + 2);
   if (command == "explain") return CmdSearchOrExplain(true, argc - 2, argv + 2);
   if (command == "schemes") return CmdSchemes();
+  if (command == "rules") return CmdRules(argc - 2, argv + 2);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 2;
 }
