@@ -92,10 +92,11 @@ bool PhraseInDoc(const index::InvertedIndex& index,
   std::vector<std::vector<Offset>> lists;
   for (const TermId term : terms) {
     const index::PostingList& postings = index.postings(term);
-    const auto docs = postings.docs();
-    const auto it = std::lower_bound(docs.begin(), docs.end(), doc);
-    if (it == docs.end() || *it != doc) return false;
-    lists.push_back(postings.OffsetsAt(static_cast<size_t>(it - docs.begin())));
+    const size_t pos = postings.GallopTo(0, doc);
+    if (pos >= postings.doc_count() || postings.doc_at(pos) != doc) {
+      return false;
+    }
+    lists.push_back(postings.OffsetsAt(pos));
   }
   for (const Offset start : lists[0]) {
     bool ok = true;
@@ -121,11 +122,11 @@ bool ProximityInDoc(const index::InvertedIndex& index,
   std::vector<Tagged> all;
   for (size_t i = 0; i < terms.size(); ++i) {
     const index::PostingList& postings = index.postings(terms[i]);
-    const auto docs = postings.docs();
-    const auto it = std::lower_bound(docs.begin(), docs.end(), doc);
-    if (it == docs.end() || *it != doc) return false;
-    for (const Offset offset :
-         postings.OffsetsAt(static_cast<size_t>(it - docs.begin()))) {
+    const size_t pos = postings.GallopTo(0, doc);
+    if (pos >= postings.doc_count() || postings.doc_at(pos) != doc) {
+      return false;
+    }
+    for (const Offset offset : postings.OffsetsAt(pos)) {
       all.push_back(Tagged{offset, i});
     }
   }

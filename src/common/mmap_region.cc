@@ -1,0 +1,93 @@
+#include "common/mmap_region.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+
+namespace graft::common {
+
+MmapRegion::~MmapRegion() { Release(); }
+
+MmapRegion::MmapRegion(MmapRegion&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MmapRegion& MmapRegion::operator=(MmapRegion&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+void MmapRegion::Release() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+StatusOr<MmapRegion> MmapRegion::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open for mmap: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat failed: " + path);
+  }
+  MmapRegion region;
+  region.size_ = static_cast<size_t>(st.st_size);
+  if (region.size_ == 0) {
+    ::close(fd);
+    return region;
+  }
+  void* addr = ::mmap(nullptr, region.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (addr != MAP_FAILED) {
+    region.data_ = static_cast<const uint8_t*>(addr);
+    region.mapped_ = true;
+    ::close(fd);
+    return region;
+  }
+  // Heap fallback: same pointer contract, just not demand-paged.
+  region.fallback_.resize(region.size_);
+  size_t done = 0;
+  while (done < region.size_) {
+    const ssize_t got = ::read(fd, region.fallback_.data() + done,
+                               region.size_ - done);
+    if (got < 0) {
+      ::close(fd);
+      return Status::IOError("read failed during mmap fallback: " + path);
+    }
+    if (got == 0) {
+      ::close(fd);
+      return Status::DataLoss("file shrank during mmap fallback: " + path);
+    }
+    done += static_cast<size_t>(got);
+  }
+  ::close(fd);
+  region.data_ = region.fallback_.data();
+  return region;
+}
+
+}  // namespace graft::common

@@ -1,0 +1,54 @@
+// Read-only memory-mapped file region — the storage substrate of the v5
+// mmap load path (docs/index-format.md).
+//
+// Open() maps the whole file MAP_PRIVATE/PROT_READ; data() is valid until
+// destruction. On filesystems where mmap fails (some network mounts,
+// /proc-style pseudo-files), Open falls back to reading the file into an
+// owned heap buffer, so callers get the same zero-copy pointer contract
+// either way; mapped() says which mode was taken. The region is movable
+// and is typically held by shared_ptr so decoded-block cache entries and
+// cursors can outlive the loading scope safely.
+
+#ifndef GRAFT_COMMON_MMAP_REGION_H_
+#define GRAFT_COMMON_MMAP_REGION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace graft::common {
+
+class MmapRegion {
+ public:
+  MmapRegion() = default;
+  ~MmapRegion();
+
+  MmapRegion(const MmapRegion&) = delete;
+  MmapRegion& operator=(const MmapRegion&) = delete;
+  MmapRegion(MmapRegion&& other) noexcept;
+  MmapRegion& operator=(MmapRegion&& other) noexcept;
+
+  // Maps `path` read-only (heap-buffer fallback if mmap is unavailable).
+  // An empty file yields an ok region with size() == 0.
+  static StatusOr<MmapRegion> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  // True when the bytes come from mmap (false: heap fallback).
+  bool mapped() const { return mapped_; }
+
+ private:
+  void Release();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint8_t> fallback_;
+};
+
+}  // namespace graft::common
+
+#endif  // GRAFT_COMMON_MMAP_REGION_H_

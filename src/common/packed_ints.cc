@@ -1,0 +1,31 @@
+#include "common/packed_ints.h"
+
+#include <cassert>
+
+namespace graft::common {
+
+void PackInts(const uint32_t* in, size_t n, unsigned bits, uint8_t* out) {
+  if (bits == 0) {
+    return;  // nothing stored; every value decodes as 0
+  }
+  assert(bits <= 32);
+  uint64_t acc = 0;
+  unsigned have = 0;
+  uint8_t* p = out;
+  for (size_t i = 0; i < n; ++i) {
+    assert(bits == 32 || (in[i] >> bits) == 0);
+    acc |= uint64_t{in[i]} << have;
+    have += bits;
+    while (have >= 8) {
+      *p++ = static_cast<uint8_t>(acc & 0xff);
+      acc >>= 8;
+      have -= 8;
+    }
+  }
+  if (have > 0) {
+    *p++ = static_cast<uint8_t>(acc & 0xff);
+  }
+  assert(static_cast<size_t>(p - out) == PackedBytes(n, bits));
+}
+
+}  // namespace graft::common

@@ -1,0 +1,68 @@
+// Fixed-width bit packing for 32-bit integers — the codec beneath the v5
+// posting blocks (docs/index-format.md).
+//
+// A run of n values is stored at a single bit width b in ceil(n*b/8)
+// bytes, little-endian within a conceptual bit stream: value i occupies
+// bits [i*b, (i+1)*b). b == 0 is the degenerate-but-common case (every
+// value is 0: consecutive doc ids, tf == 1 blocks) and stores nothing.
+//
+// The unpack loop is scalar but SIMD-friendly: one 64-bit accumulator,
+// no per-value branches beyond the refill, and independent stores — the
+// compiler unrolls and vectorizes the fixed-width inner loop without any
+// intrinsics, which keeps the codec portable across the CI targets.
+// Throughput is measured by bench_postings_v5 (decode side of the cold
+// QPS numbers).
+
+#ifndef GRAFT_COMMON_PACKED_INTS_H_
+#define GRAFT_COMMON_PACKED_INTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace graft::common {
+
+// Bytes needed to store n values at `bits` width (bits in [0, 32]).
+constexpr size_t PackedBytes(size_t n, unsigned bits) {
+  return (n * bits + 7) / 8;
+}
+
+// Smallest width that can represent `max_value` (0 for 0, 32 for ~0u).
+constexpr unsigned BitsFor(uint32_t max_value) {
+  unsigned bits = 0;
+  while (max_value != 0) {
+    ++bits;
+    max_value >>= 1;
+  }
+  return bits;
+}
+
+// Packs in[0..n) at `bits` width into out (PackedBytes(n, bits) bytes,
+// zeroed by the call). Every value must fit in `bits` bits.
+void PackInts(const uint32_t* in, size_t n, unsigned bits, uint8_t* out);
+
+// Unpacks n values of `bits` width from `in` into out[0..n).
+inline void UnpackInts(const uint8_t* in, size_t n, unsigned bits,
+                       uint32_t* out) {
+  if (bits == 0) {
+    std::memset(out, 0, n * sizeof(uint32_t));
+    return;
+  }
+  const uint64_t mask =
+      bits >= 32 ? ~uint64_t{0} >> 32 : (uint64_t{1} << bits) - 1;
+  uint64_t acc = 0;
+  unsigned have = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (have < bits) {
+      acc |= uint64_t{*in++} << have;
+      have += 8;
+    }
+    out[i] = static_cast<uint32_t>(acc & mask);
+    acc >>= bits;
+    have -= bits;
+  }
+}
+
+}  // namespace graft::common
+
+#endif  // GRAFT_COMMON_PACKED_INTS_H_

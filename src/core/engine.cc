@@ -164,6 +164,14 @@ std::string FormatExecStats(const exec::ExecStats& s) {
            " bound_refinements=" +
            std::to_string(s.topk_bound_refinements) + "\n";
   }
+  if (s.block_cache_hits != 0 || s.block_cache_misses != 0 ||
+      s.block_cache_evictions != 0 || s.packed_payload_decodes != 0) {
+    out += "  block_cache: hits=" + std::to_string(s.block_cache_hits) +
+           " misses=" + std::to_string(s.block_cache_misses) +
+           " evictions=" + std::to_string(s.block_cache_evictions) +
+           " payload_decodes=" + std::to_string(s.packed_payload_decodes) +
+           "\n";
+  }
   std::string rules;
   const auto& catalog = RewriteRuleRegistry::Global().All();
   for (size_t i = 0; i < catalog.size() && i < exec::ExecStats::kMaxRules;
@@ -275,6 +283,26 @@ StatusOr<SearchResult> Engine::Search(std::string_view query_text,
 StatusOr<SearchResult> Engine::SearchQuery(const mcalc::Query& query,
                                            const sa::ScoringScheme& scheme,
                                            const SearchOptions& options) const {
+  // Harvest the calling thread's decoded-block cache traffic into the
+  // query's ExecStats. Packed (v5 mmap) posting access runs on this thread
+  // for every monolithic path; segmented queries execute over materialized
+  // per-segment indexes, which produce no cache traffic.
+  const index::BlockCacheTls before = index::TlsBlockCacheCounters();
+  auto result = SearchQueryImpl(query, scheme, options);
+  if (result.ok()) {
+    const index::BlockCacheTls& after = index::TlsBlockCacheCounters();
+    exec::ExecStats& s = result.value().exec_stats;
+    s.block_cache_hits += after.hits - before.hits;
+    s.block_cache_misses += after.misses - before.misses;
+    s.block_cache_evictions += after.evictions - before.evictions;
+    s.packed_payload_decodes += after.payload_decodes - before.payload_decodes;
+  }
+  return result;
+}
+
+StatusOr<SearchResult> Engine::SearchQueryImpl(
+    const mcalc::Query& query, const sa::ScoringScheme& scheme,
+    const SearchOptions& options) const {
   if (segmented_ != nullptr && options.use_segmented &&
       !options.use_canonical_reference) {
     if (options.stats_overlay != nullptr) {

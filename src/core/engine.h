@@ -194,6 +194,13 @@ class Engine {
   StatusOr<const sa::ScoringScheme*> ResolveScheme(
       std::string_view name) const;
 
+  // SearchQuery minus the block-cache accounting wrapper: SearchQuery
+  // harvests the calling thread's decoded-block cache counters around this
+  // call so EXPLAIN ANALYZE and /stats attribute cache traffic per query.
+  StatusOr<SearchResult> SearchQueryImpl(const mcalc::Query& query,
+                                         const sa::ScoringScheme& scheme,
+                                         const SearchOptions& options) const;
+
   // The parallel path: one operator tree per segment, executed on the
   // pool, merged score-consistently.
   StatusOr<SearchResult> SearchQuerySegmented(

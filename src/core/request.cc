@@ -87,11 +87,28 @@ StatusOr<EngineBundle> FinishBundle(EngineBundle bundle, size_t segments,
 
 StatusOr<EngineBundle> LoadEngineBundle(const std::string& index_path,
                                         size_t segments, size_t pool_threads) {
+  return LoadEngineBundle(index_path, segments, pool_threads,
+                          BundleLoadOptions{});
+}
+
+StatusOr<EngineBundle> LoadEngineBundle(const std::string& index_path,
+                                        size_t segments, size_t pool_threads,
+                                        const BundleLoadOptions& load) {
   GRAFT_FAILPOINT(g_fp_load_bundle);
-  GRAFT_ASSIGN_OR_RETURN(index::InvertedIndex loaded,
-                         index::LoadIndex(index_path));
   EngineBundle bundle;
-  bundle.index = std::make_unique<index::InvertedIndex>(std::move(loaded));
+  if (load.mmap_index) {
+    index::MappedLoadOptions mapped;
+    mapped.cache = load.block_cache;
+    mapped.private_cache_bytes = load.block_cache_bytes;
+    GRAFT_ASSIGN_OR_RETURN(
+        index::InvertedIndex loaded,
+        index::LoadIndexMapped(index_path, std::move(mapped)));
+    bundle.index = std::make_unique<index::InvertedIndex>(std::move(loaded));
+  } else {
+    GRAFT_ASSIGN_OR_RETURN(index::InvertedIndex loaded,
+                           index::LoadIndex(index_path));
+    bundle.index = std::make_unique<index::InvertedIndex>(std::move(loaded));
+  }
   return FinishBundle(std::move(bundle), segments, pool_threads);
 }
 

@@ -78,8 +78,24 @@ struct EngineBundle {
   std::unique_ptr<Engine> engine;
 };
 
+// How LoadEngineBundle opens the index file.
+struct BundleLoadOptions {
+  // Map the index (v5) instead of materializing it: postings stay on disk
+  // and decode through the block cache on demand. v3/v4 files load eagerly
+  // regardless (they have no packed sections).
+  bool mmap_index = false;
+  // Decoded-block cache for mapped loads; shared across hot reloads so the
+  // decoded working set stays bounded across generations. Null gets the
+  // bundle a private cache of `block_cache_bytes`.
+  std::shared_ptr<index::BlockCache> block_cache;
+  size_t block_cache_bytes = size_t{64} << 20;
+};
+
 StatusOr<EngineBundle> LoadEngineBundle(const std::string& index_path,
                                         size_t segments, size_t pool_threads);
+StatusOr<EngineBundle> LoadEngineBundle(const std::string& index_path,
+                                        size_t segments, size_t pool_threads,
+                                        const BundleLoadOptions& load);
 
 // Builds a bundle around an already-built index (used by tests and the
 // in-process load generator); the bundle takes ownership of `index`.

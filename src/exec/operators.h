@@ -63,6 +63,14 @@ struct ExecStats {
   uint64_t topk_sorted_accesses = 0;    // score-ordered stream entries read
   uint64_t topk_random_accesses = 0;    // TA candidate completions by probe
   uint64_t topk_bound_refinements = 0;  // NRA candidate upper-bound updates
+  // Decoded-block cache traffic (v5 mmap indexes); zero on materialized
+  // indexes. Harvested from the thread-local BlockCache accumulator around
+  // query execution by the engine.
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+  uint64_t block_cache_evictions = 0;
+  uint64_t packed_payload_decodes = 0;  // blocks whose score payload (tfs +
+                                        // offset lengths) was bit-unpacked
   // Per-rewrite-rule fired counters, indexed by the rule's position in
   // core::RewriteRuleRegistry (kAllOptimizations order). Sized with slack
   // so exec/ needs no core/ include; the engine stamps one count per fired
@@ -90,6 +98,10 @@ struct ExecStats {
     topk_sorted_accesses += other.topk_sorted_accesses;
     topk_random_accesses += other.topk_random_accesses;
     topk_bound_refinements += other.topk_bound_refinements;
+    block_cache_hits += other.block_cache_hits;
+    block_cache_misses += other.block_cache_misses;
+    block_cache_evictions += other.block_cache_evictions;
+    packed_payload_decodes += other.packed_payload_decodes;
     for (size_t i = 0; i < kMaxRules; ++i) {
       rule_fired[i] += other.rule_fired[i];
     }

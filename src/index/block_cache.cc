@@ -1,0 +1,99 @@
+#include "index/block_cache.h"
+
+namespace graft::index {
+
+BlockCacheTls& TlsBlockCacheCounters() {
+  thread_local BlockCacheTls tls;
+  return tls;
+}
+
+BlockCache::BlockCache(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+uint64_t BlockCache::NextGeneration() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+BlockCache::BlockPtr BlockCache::Lookup(uint64_t generation, uint32_t term,
+                                        uint32_t block, BlockKind kind) {
+  const Key key{generation, term, block, kind};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      ++TlsBlockCacheCounters().hits;
+      return it->second->value;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  ++TlsBlockCacheCounters().misses;
+  return nullptr;
+}
+
+void BlockCache::Insert(uint64_t generation, uint32_t term, uint32_t block,
+                        BlockKind kind, BlockPtr value) {
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (kind == BlockKind::kFull) {
+    payload_decodes_.fetch_add(1, std::memory_order_relaxed);
+    ++TlsBlockCacheCounters().payload_decodes;
+  }
+  const Key key{generation, term, block, kind};
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      // A concurrent decoder won the race; keep the resident entry (the
+      // bytes are identical) and just refresh recency.
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      lru_.push_front(Entry{key, std::move(value)});
+      map_[key] = lru_.begin();
+      bytes_ += kEntryCharge;
+      while (bytes_ > capacity_bytes_ && lru_.size() > 1) {
+        map_.erase(lru_.back().key);
+        lru_.pop_back();
+        bytes_ -= kEntryCharge;
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    TlsBlockCacheCounters().evictions += evicted;
+  }
+}
+
+void BlockCache::EraseGeneration(uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.generation == generation) {
+      map_.erase(it->key);
+      bytes_ -= kEntryCharge;
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+BlockCache::Snapshot BlockCache::snapshot() const {
+  Snapshot s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.payload_decodes = payload_decodes_.load(std::memory_order_relaxed);
+  s.capacity_bytes = capacity_bytes_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.bytes = bytes_;
+    s.entries = lru_.size();
+  }
+  return s;
+}
+
+}  // namespace graft::index

@@ -3,14 +3,20 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/crc32c.h"
 #include "common/failpoint.h"
+#include "common/mmap_region.h"
+#include "common/packed_ints.h"
+#include "index/index_format.h"
 
 namespace graft::index {
 
@@ -34,6 +40,16 @@ GRAFT_DEFINE_FAILPOINT(g_fp_load_verify, "index_io.load.verify");
 constexpr char kMagicPrefix[7] = {'G', 'R', 'F', 'T', 'I', 'D', 'X'};
 constexpr char kFormatVersion = '4';
 constexpr char kLegacyFormatVersion = '3';
+constexpr char kPackedFormatVersion = '5';
+
+// index_format.h is the documented source of truth (tools/check_docs.py
+// lints docs/index-format.md against it); pin the local constants to it.
+static_assert(sizeof(kMagicPrefix) == sizeof(kFmtMagic));
+static_assert(kFmtVersionV3 == kLegacyFormatVersion);
+static_assert(kFmtVersionV4 == kFormatVersion);
+static_assert(kFmtVersionV5 == kPackedFormatVersion);
+static_assert(kFmtV5BlockSize == PostingList::kBlockSize,
+              "packed block granularity must match the block-max blocks");
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -246,18 +262,20 @@ Status SyncParentDir(const std::string& path) {
   return Status::Ok();
 }
 
-// The fallible middle of SaveIndex, factored out so the caller can unlink
-// the temp file on ANY failure path with a single cleanup site.
-Status WriteTempAndRename(const InvertedIndex& index,
+// The fallible middle of every Save, factored out so the caller can unlink
+// the temp file on ANY failure path with a single cleanup site. `body`
+// writes the complete file image; the crash-safe envelope (tmp file,
+// fsync, rename, dirsync) is identical for every format version.
+Status WriteTempAndRename(const std::function<Status(std::FILE*)>& body,
                           const std::string& tmp_path,
-                          const std::string& path, char version) {
+                          const std::string& path) {
   FilePtr file(std::fopen(tmp_path.c_str(), "wb"));
   if (file == nullptr) {
     return Status::IOError("cannot open for write: " + tmp_path);
   }
   std::FILE* f = file.get();
   GRAFT_FAILPOINT_WRITE(g_fp_save_open_tmp, f);
-  GRAFT_RETURN_IF_ERROR(WriteIndexBody(index, f, version));
+  GRAFT_RETURN_IF_ERROR(body(f));
   GRAFT_FAILPOINT_WRITE(g_fp_save_before_sync, f);
   if (std::fflush(f) != 0) {
     return Status::IOError("flush failed: " + tmp_path);
@@ -276,20 +294,724 @@ Status WriteTempAndRename(const InvertedIndex& index,
   return SyncParentDir(path);
 }
 
+// ---------------------------------------------------------------------------
+// v5 sectioned layout (normative spec: docs/index-format.md).
+//
+// The file is canonical: sections appear in FmtV5Section order, each
+// starting on an 8-byte boundary (zero padding between the previous
+// section's CRC and the next section; the loader verifies the pad bytes),
+// with the section table's {offset, length} pairs patched in by fseek once
+// the section positions are known. Canonical placement means the loader
+// can account for EVERY byte of the file — prologue by direct comparison,
+// table and sections by CRC32C, padding by zero check — which is what
+// keeps the exhaustive bit-flip corruption fuzz meaningful for v5.
+
+constexpr uint64_t kV5PrologueBytes = 8;
+constexpr uint64_t kV5TableBytes =
+    4 + uint64_t{kFmtV5SectionCount} * 16 + 4;  // count + entries + crc
+constexpr uint64_t kV5FirstSectionOffset = kV5PrologueBytes + kV5TableBytes;
+static_assert(kV5FirstSectionOffset % 8 == 0,
+              "the first section must start 8-aligned");
+
+constexpr uint64_t Align8(uint64_t v) { return (v + 7) & ~uint64_t{7}; }
+
+struct V5SectionRecord {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+// Positioned checksummed writer for v5 sections. Unlike CrcWriter, lengths
+// live in the section table rather than as per-array prefixes, so this
+// tracks the absolute file position to place sections canonically.
+class V5Writer {
+ public:
+  V5Writer(std::FILE* f, uint64_t pos) : f_(f), pos_(pos) {}
+
+  Status BeginSection(V5SectionRecord* rec) {
+    static constexpr uint8_t kZeros[8] = {0};
+    const uint64_t aligned = Align8(pos_);
+    if (aligned != pos_) {
+      GRAFT_RETURN_IF_ERROR(RawWrite(kZeros, aligned - pos_));
+    }
+    crc_ = 0;
+    current_ = rec;
+    current_->offset = pos_;
+    return Status::Ok();
+  }
+
+  Status Write(const void* data, size_t size) {
+    crc_ = common::Crc32cExtend(crc_, data, size);
+    return RawWrite(data, size);
+  }
+
+  template <typename T>
+  Status WriteScalar(T value) {
+    return Write(&value, sizeof(T));
+  }
+
+  Status EndSection() {
+    current_->length = pos_ - current_->offset;
+    const uint32_t crc = crc_;
+    return RawWrite(&crc, sizeof(crc));
+  }
+
+ private:
+  Status RawWrite(const void* data, size_t size) {
+    if (size != 0 && std::fwrite(data, 1, size, f_) != size) {
+      return Status::IOError("short write");
+    }
+    pos_ += size;
+    return Status::Ok();
+  }
+
+  std::FILE* f_;
+  uint64_t pos_;
+  uint32_t crc_ = 0;
+  V5SectionRecord* current_ = nullptr;
+};
+
+// Per-term packing plan: block headers and term records computed in one
+// dry pass (no I/O) so every section knows its sizes before writing.
+struct V5Plan {
+  std::vector<TermMetaV5> metas;
+  std::vector<BlockHeaderV5> headers;
+  uint64_t payload_bytes = 0;
+  uint64_t offsets_bytes = 0;
+};
+
+Status BuildV5Plan(const InvertedIndex& index, V5Plan* plan) {
+  plan->metas.resize(index.term_count());
+  for (TermId t = 0; t < index.term_count(); ++t) {
+    const PostingList& list = index.postings(t);
+    const std::vector<DocId>& docs = list.raw_docs();
+    const std::vector<uint32_t>& tfs = list.raw_tfs();
+    const std::vector<uint64_t>& starts = list.raw_offset_starts();
+    TermMetaV5& m = plan->metas[t];
+    m.doc_count = docs.size();
+    m.collection_frequency = list.collection_frequency();
+    m.block_begin = plan->headers.size();
+    m.payload_begin = plan->payload_bytes;
+    m.offsets_begin = plan->offsets_bytes;
+    m.offsets_length = list.raw_encoded_offsets().size();
+    if (m.offsets_length > UINT32_MAX) {
+      return Status::Internal(
+          "term position blob exceeds the 4 GiB a v5 block header can "
+          "address: " + index.TermText(t));
+    }
+    uint64_t term_payload = 0;
+    for (size_t begin = 0; begin < docs.size();
+         begin += kFmtV5BlockSize) {
+      const size_t end = std::min(docs.size(), begin + kFmtV5BlockSize);
+      const size_t n = end - begin;
+      const uint32_t base = begin == 0 ? 0 : docs[begin - 1] + 1;
+      uint32_t max_gap = 0;
+      uint32_t max_tf1 = 0;
+      uint32_t max_len = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const uint32_t gap =
+            i == begin ? docs[i] - base : docs[i] - docs[i - 1] - 1;
+        max_gap = std::max(max_gap, gap);
+        max_tf1 = std::max(max_tf1, tfs[i] - 1);
+        max_len = std::max(
+            max_len, static_cast<uint32_t>(starts[i + 1] - starts[i]));
+      }
+      if (term_payload > UINT32_MAX) {
+        return Status::Internal(
+            "term payload exceeds the 4 GiB a v5 block header can "
+            "address: " + index.TermText(t));
+      }
+      BlockHeaderV5 h;
+      h.last_doc = docs[end - 1];
+      h.payload_offset = static_cast<uint32_t>(term_payload);
+      h.offsets_base = static_cast<uint32_t>(starts[begin]);
+      h.doc_bits = static_cast<uint8_t>(common::BitsFor(max_gap));
+      h.tf_bits = static_cast<uint8_t>(common::BitsFor(max_tf1));
+      h.off_bits = static_cast<uint8_t>(common::BitsFor(max_len));
+      h.reserved = 0;
+      plan->headers.push_back(h);
+      term_payload += common::PackedBytes(n, h.doc_bits) +
+                      common::PackedBytes(n, h.tf_bits) +
+                      common::PackedBytes(n, h.off_bits);
+    }
+    plan->payload_bytes += term_payload;
+    plan->offsets_bytes += m.offsets_length;
+  }
+  return Status::Ok();
+}
+
+Status WriteIndexBodyV5(const InvertedIndex& index, std::FILE* f) {
+  V5Plan plan;
+  GRAFT_RETURN_IF_ERROR(BuildV5Plan(index, &plan));
+
+  char prologue[8];
+  std::memcpy(prologue, kMagicPrefix, sizeof(kMagicPrefix));
+  prologue[7] = kPackedFormatVersion;
+  const std::vector<uint8_t> placeholder(kV5TableBytes, 0);
+  if (std::fwrite(prologue, 1, sizeof(prologue), f) != sizeof(prologue) ||
+      std::fwrite(placeholder.data(), 1, placeholder.size(), f) !=
+          placeholder.size()) {
+    return Status::IOError("short write");
+  }
+
+  V5Writer w(f, kV5FirstSectionOffset);
+  V5SectionRecord recs[kFmtV5SectionCount];
+
+  // kCollection.
+  GRAFT_RETURN_IF_ERROR(w.BeginSection(&recs[0]));
+  GRAFT_RETURN_IF_ERROR(w.WriteScalar<uint64_t>(index.doc_count()));
+  GRAFT_RETURN_IF_ERROR(w.WriteScalar<uint64_t>(index.total_words()));
+  GRAFT_RETURN_IF_ERROR(
+      w.WriteScalar<uint64_t>(index.doc_lengths().size()));
+  GRAFT_RETURN_IF_ERROR(w.Write(index.doc_lengths().data(),
+                                index.doc_lengths().size() * 4));
+  GRAFT_RETURN_IF_ERROR(w.EndSection());
+  GRAFT_FAILPOINT_WRITE(g_fp_save_header, f);
+
+  // kTermDict.
+  GRAFT_RETURN_IF_ERROR(w.BeginSection(&recs[1]));
+  GRAFT_RETURN_IF_ERROR(w.WriteScalar<uint64_t>(index.term_count()));
+  for (TermId t = 0; t < index.term_count(); ++t) {
+    const std::string& text = index.TermText(t);
+    GRAFT_RETURN_IF_ERROR(
+        w.WriteScalar<uint32_t>(static_cast<uint32_t>(text.size())));
+    GRAFT_RETURN_IF_ERROR(w.Write(text.data(), text.size()));
+  }
+  GRAFT_RETURN_IF_ERROR(w.EndSection());
+
+  // kTermMeta.
+  GRAFT_RETURN_IF_ERROR(w.BeginSection(&recs[2]));
+  GRAFT_RETURN_IF_ERROR(w.Write(plan.metas.data(),
+                                plan.metas.size() * kFmtV5TermMetaBytes));
+  GRAFT_RETURN_IF_ERROR(w.EndSection());
+
+  // kBlockHeaders.
+  GRAFT_RETURN_IF_ERROR(w.BeginSection(&recs[3]));
+  GRAFT_RETURN_IF_ERROR(w.Write(
+      plan.headers.data(), plan.headers.size() * kFmtV5BlockHeaderBytes));
+  GRAFT_RETURN_IF_ERROR(w.EndSection());
+
+  // kPayload: per block, the three packed columns (doc gaps, tf-1,
+  // position-varint byte lengths), each starting on a byte boundary.
+  GRAFT_RETURN_IF_ERROR(w.BeginSection(&recs[4]));
+  uint32_t vals[kFmtV5BlockSize];
+  uint8_t packed[common::PackedBytes(kFmtV5BlockSize, 32)];
+  for (TermId t = 0; t < index.term_count(); ++t) {
+    GRAFT_FAILPOINT_WRITE(g_fp_save_term, f);
+    const PostingList& list = index.postings(t);
+    const std::vector<DocId>& docs = list.raw_docs();
+    const std::vector<uint32_t>& tfs = list.raw_tfs();
+    const std::vector<uint64_t>& starts = list.raw_offset_starts();
+    const TermMetaV5& m = plan.metas[t];
+    for (size_t begin = 0; begin < docs.size();
+         begin += kFmtV5BlockSize) {
+      const size_t end = std::min(docs.size(), begin + kFmtV5BlockSize);
+      const size_t n = end - begin;
+      const BlockHeaderV5& h =
+          plan.headers[m.block_begin + begin / kFmtV5BlockSize];
+      const uint32_t base = begin == 0 ? 0 : docs[begin - 1] + 1;
+      for (size_t i = begin; i < end; ++i) {
+        vals[i - begin] =
+            i == begin ? docs[i] - base : docs[i] - docs[i - 1] - 1;
+      }
+      common::PackInts(vals, n, h.doc_bits, packed);
+      GRAFT_RETURN_IF_ERROR(w.Write(packed, common::PackedBytes(n, h.doc_bits)));
+      for (size_t i = begin; i < end; ++i) {
+        vals[i - begin] = tfs[i] - 1;
+      }
+      common::PackInts(vals, n, h.tf_bits, packed);
+      GRAFT_RETURN_IF_ERROR(w.Write(packed, common::PackedBytes(n, h.tf_bits)));
+      for (size_t i = begin; i < end; ++i) {
+        vals[i - begin] = static_cast<uint32_t>(starts[i + 1] - starts[i]);
+      }
+      common::PackInts(vals, n, h.off_bits, packed);
+      GRAFT_RETURN_IF_ERROR(w.Write(packed, common::PackedBytes(n, h.off_bits)));
+    }
+  }
+  GRAFT_RETURN_IF_ERROR(w.EndSection());
+
+  // kOffsets: each term's position-varint blob, byte-identical to v4.
+  GRAFT_RETURN_IF_ERROR(w.BeginSection(&recs[5]));
+  for (TermId t = 0; t < index.term_count(); ++t) {
+    const std::vector<uint8_t>& encoded =
+        index.postings(t).raw_encoded_offsets();
+    GRAFT_RETURN_IF_ERROR(w.Write(encoded.data(), encoded.size()));
+  }
+  GRAFT_RETURN_IF_ERROR(w.EndSection());
+
+  // kFrontiers: the PR 5 block-max Pareto frontiers, verbatim (or computed
+  // on the fly when saving an index loaded from a v3 file).
+  GRAFT_RETURN_IF_ERROR(w.BeginSection(&recs[6]));
+  std::vector<uint32_t> scratch_start;
+  std::vector<uint32_t> scratch_tf;
+  std::vector<uint32_t> scratch_len;
+  for (TermId t = 0; t < index.term_count(); ++t) {
+    const PostingList& list = index.postings(t);
+    std::span<const uint32_t> fs;
+    std::span<const uint32_t> ftf;
+    std::span<const uint32_t> flen;
+    if (index.has_block_max()) {
+      fs = list.raw_frontier_start();
+      ftf = list.raw_frontier_tf();
+      flen = list.raw_frontier_doc_length();
+    } else {
+      list.ComputeBlockMax(index.doc_lengths(), &scratch_start, &scratch_tf,
+                           &scratch_len);
+      fs = scratch_start;
+      ftf = scratch_tf;
+      flen = scratch_len;
+    }
+    GRAFT_RETURN_IF_ERROR(
+        w.WriteScalar<uint32_t>(static_cast<uint32_t>(ftf.size())));
+    GRAFT_RETURN_IF_ERROR(w.Write(fs.data(), fs.size() * 4));
+    GRAFT_RETURN_IF_ERROR(w.Write(ftf.data(), ftf.size() * 4));
+    GRAFT_RETURN_IF_ERROR(w.Write(flen.data(), flen.size() * 4));
+  }
+  GRAFT_RETURN_IF_ERROR(w.EndSection());
+
+  // Patch the section table now that offsets and lengths are known.
+  std::vector<uint8_t> table(kV5TableBytes, 0);
+  const uint32_t count = kFmtV5SectionCount;
+  std::memcpy(table.data(), &count, 4);
+  for (uint32_t i = 0; i < kFmtV5SectionCount; ++i) {
+    std::memcpy(table.data() + 4 + i * 16, &recs[i].offset, 8);
+    std::memcpy(table.data() + 4 + i * 16 + 8, &recs[i].length, 8);
+  }
+  const uint32_t table_crc =
+      common::Crc32cExtend(0, table.data(), kV5TableBytes - 4);
+  std::memcpy(table.data() + kV5TableBytes - 4, &table_crc, 4);
+  if (std::fseek(f, static_cast<long>(kV5PrologueBytes), SEEK_SET) != 0) {
+    return Status::IOError("fseek failed while patching section table");
+  }
+  if (std::fwrite(table.data(), 1, table.size(), f) != table.size()) {
+    return Status::IOError("short write");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// v5 parsing: one validation pass shared by the eager and mapped loaders.
+// Everything is verified BEFORE any content is trusted — table CRC, every
+// section CRC, canonical placement with zero padding, then structural
+// invariants (contiguous term records, monotone doc ids, in-range offsets).
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+struct V5FrontierView {
+  const uint32_t* start = nullptr;  // blocks + 1 delimiters
+  const uint32_t* tf = nullptr;
+  const uint32_t* len = nullptr;
+  uint32_t n_pts = 0;
+};
+
+struct V5Parsed {
+  uint64_t doc_count = 0;
+  uint64_t total_words = 0;
+  const uint32_t* doc_lengths = nullptr;
+  std::vector<std::string_view> terms;
+  const TermMetaV5* metas = nullptr;
+  const BlockHeaderV5* headers = nullptr;
+  uint64_t total_blocks = 0;
+  const uint8_t* payload = nullptr;
+  uint64_t payload_len = 0;
+  const uint8_t* offsets = nullptr;
+  uint64_t offsets_len = 0;
+  std::vector<V5FrontierView> frontiers;
+};
+
+Status ParseV5(const uint8_t* data, uint64_t size, V5Parsed* out) {
+  // The caller has verified the 8-byte prologue.
+  if (size < kV5FirstSectionOffset) {
+    return Status::DataLoss("index file truncated inside the section table");
+  }
+  const uint8_t* table = data + kV5PrologueBytes;
+  if (common::Crc32cExtend(0, table, kV5TableBytes - 4) !=
+      LoadU32(table + kV5TableBytes - 4)) {
+    return Status::Corruption("checksum mismatch in section table");
+  }
+  if (LoadU32(table) != kFmtV5SectionCount) {
+    return Status::Corruption("unexpected section count");
+  }
+  V5SectionRecord recs[kFmtV5SectionCount];
+  uint64_t expect = kV5FirstSectionOffset;
+  for (uint32_t i = 0; i < kFmtV5SectionCount; ++i) {
+    recs[i].offset = LoadU64(table + 4 + i * 16);
+    recs[i].length = LoadU64(table + 4 + i * 16 + 8);
+    if (recs[i].offset != Align8(expect)) {
+      return Status::Corruption("non-canonical section placement");
+    }
+    if (recs[i].offset > size || recs[i].length > size ||
+        recs[i].offset + recs[i].length + 4 > size) {
+      return Status::DataLoss("section extends past end of index file");
+    }
+    // Alignment padding sits between the previous section's CRC and this
+    // section; it must be zero so every file byte stays accounted for.
+    for (uint64_t b = expect; b < recs[i].offset; ++b) {
+      if (data[b] != 0) {
+        return Status::Corruption("nonzero section padding");
+      }
+    }
+    expect = recs[i].offset + recs[i].length + 4;
+  }
+  if (expect != size) {
+    return Status::Corruption("trailing bytes after the last section");
+  }
+  static const char* kSectionNames[kFmtV5SectionCount] = {
+      "collection", "term dictionary", "term metadata", "block headers",
+      "payload",    "offsets",         "frontiers"};
+  for (uint32_t i = 0; i < kFmtV5SectionCount; ++i) {
+    const uint8_t* s = data + recs[i].offset;
+    if (common::Crc32cExtend(0, s, recs[i].length) !=
+        LoadU32(s + recs[i].length)) {
+      return Status::Corruption(std::string("checksum mismatch in section ") +
+                                kSectionNames[i]);
+    }
+  }
+
+  // kCollection.
+  {
+    const auto& rec = recs[static_cast<size_t>(FmtV5Section::kCollection)];
+    const uint8_t* s = data + rec.offset;
+    if (rec.length < 24) {
+      return Status::Corruption("collection section too short");
+    }
+    out->doc_count = LoadU64(s);
+    out->total_words = LoadU64(s + 8);
+    const uint64_t n = LoadU64(s + 16);
+    if (n != out->doc_count || n > (rec.length - 24) / 4 ||
+        24 + n * 4 != rec.length) {
+      return Status::Corruption("doc length array does not match doc count");
+    }
+    out->doc_lengths = reinterpret_cast<const uint32_t*>(s + 24);
+  }
+
+  // kTermDict.
+  uint64_t term_count = 0;
+  {
+    const auto& rec = recs[static_cast<size_t>(FmtV5Section::kTermDict)];
+    const uint8_t* s = data + rec.offset;
+    if (rec.length < 8) {
+      return Status::Corruption("term dictionary section too short");
+    }
+    term_count = LoadU64(s);
+    if (term_count > kSanityCap || term_count > rec.length) {
+      return Status::Corruption("implausible term count");
+    }
+    out->terms.reserve(term_count);
+    uint64_t pos = 8;
+    for (uint64_t i = 0; i < term_count; ++i) {
+      if (pos + 4 > rec.length) {
+        return Status::Corruption("term dictionary ends mid-record");
+      }
+      const uint32_t text_len = LoadU32(s + pos);
+      pos += 4;
+      if (text_len > (1u << 20) || pos + text_len > rec.length) {
+        return Status::Corruption("implausible term length");
+      }
+      out->terms.emplace_back(reinterpret_cast<const char*>(s + pos),
+                              text_len);
+      pos += text_len;
+    }
+    if (pos != rec.length) {
+      return Status::Corruption("trailing bytes in term dictionary");
+    }
+  }
+
+  // kTermMeta / kBlockHeaders.
+  {
+    const auto& rec = recs[static_cast<size_t>(FmtV5Section::kTermMeta)];
+    if (rec.length != term_count * kFmtV5TermMetaBytes) {
+      return Status::Corruption(
+          "term metadata does not match term dictionary");
+    }
+    out->metas = reinterpret_cast<const TermMetaV5*>(data + rec.offset);
+  }
+  {
+    const auto& rec =
+        recs[static_cast<size_t>(FmtV5Section::kBlockHeaders)];
+    if (rec.length % kFmtV5BlockHeaderBytes != 0) {
+      return Status::Corruption("block header section not a header multiple");
+    }
+    out->headers = reinterpret_cast<const BlockHeaderV5*>(data + rec.offset);
+    out->total_blocks = rec.length / kFmtV5BlockHeaderBytes;
+  }
+  out->payload =
+      data + recs[static_cast<size_t>(FmtV5Section::kPayload)].offset;
+  out->payload_len =
+      recs[static_cast<size_t>(FmtV5Section::kPayload)].length;
+  out->offsets =
+      data + recs[static_cast<size_t>(FmtV5Section::kOffsets)].offset;
+  out->offsets_len =
+      recs[static_cast<size_t>(FmtV5Section::kOffsets)].length;
+
+  // Per-term structural validation: records must tile the block-header,
+  // payload and offsets sections exactly, block headers must be sane and
+  // doc ids monotone in range.
+  uint64_t running_block = 0;
+  uint64_t running_payload = 0;
+  uint64_t running_offsets = 0;
+  for (uint64_t t = 0; t < term_count; ++t) {
+    const TermMetaV5& m = out->metas[t];
+    if (m.doc_count == 0 || m.doc_count > out->doc_count) {
+      return Status::Corruption("implausible term document count");
+    }
+    if (m.collection_frequency < m.doc_count) {
+      return Status::Corruption("collection frequency below document count");
+    }
+    const uint64_t blocks =
+        (m.doc_count + kFmtV5BlockSize - 1) / kFmtV5BlockSize;
+    if (m.block_begin != running_block ||
+        m.payload_begin != running_payload ||
+        m.offsets_begin != running_offsets) {
+      return Status::Corruption("term records do not tile the sections");
+    }
+    running_block += blocks;
+    if (running_block > out->total_blocks) {
+      return Status::Corruption("term block range exceeds header section");
+    }
+    uint64_t term_payload = 0;
+    uint32_t prev_last = 0;
+    for (uint64_t b = 0; b < blocks; ++b) {
+      const BlockHeaderV5& h = out->headers[m.block_begin + b];
+      const size_t bn = static_cast<size_t>(
+          std::min<uint64_t>(kFmtV5BlockSize, m.doc_count - b * kFmtV5BlockSize));
+      if (h.reserved != 0 || h.doc_bits > 32 || h.tf_bits > 32 ||
+          h.off_bits > 32) {
+        return Status::Corruption("implausible block header");
+      }
+      if (h.payload_offset != term_payload) {
+        return Status::Corruption("block payload offsets do not tile");
+      }
+      if ((b > 0 && h.last_doc <= prev_last) ||
+          h.last_doc >= out->doc_count) {
+        return Status::Corruption("block last_doc not monotone in range");
+      }
+      if (h.offsets_base > m.offsets_length ||
+          (b == 0 && h.offsets_base != 0)) {
+        return Status::Corruption("block offsets base out of range");
+      }
+      prev_last = h.last_doc;
+      term_payload += common::PackedBytes(bn, h.doc_bits) +
+                      common::PackedBytes(bn, h.tf_bits) +
+                      common::PackedBytes(bn, h.off_bits);
+    }
+    running_payload += term_payload;
+    running_offsets += m.offsets_length;
+    if (running_payload > out->payload_len ||
+        running_offsets > out->offsets_len) {
+      return Status::Corruption("term payload exceeds its section");
+    }
+  }
+  if (running_block != out->total_blocks ||
+      running_payload != out->payload_len ||
+      running_offsets != out->offsets_len) {
+    return Status::Corruption("sections larger than the term records claim");
+  }
+
+  // kFrontiers.
+  {
+    const auto& rec = recs[static_cast<size_t>(FmtV5Section::kFrontiers)];
+    const uint8_t* s = data + rec.offset;
+    out->frontiers.resize(term_count);
+    uint64_t pos = 0;
+    for (uint64_t t = 0; t < term_count; ++t) {
+      const uint64_t blocks = (out->metas[t].doc_count + kFmtV5BlockSize - 1) /
+                              kFmtV5BlockSize;
+      if (pos + 4 > rec.length) {
+        return Status::Corruption("frontier section ends mid-record");
+      }
+      const uint32_t n_pts = LoadU32(s + pos);
+      pos += 4;
+      const uint64_t need = (blocks + 1 + uint64_t{2} * n_pts) * 4;
+      if (need > rec.length - pos) {
+        return Status::Corruption("frontier record exceeds its section");
+      }
+      V5FrontierView& v = out->frontiers[t];
+      v.n_pts = n_pts;
+      v.start = reinterpret_cast<const uint32_t*>(s + pos);
+      pos += (blocks + 1) * 4;
+      v.tf = reinterpret_cast<const uint32_t*>(s + pos);
+      pos += uint64_t{n_pts} * 4;
+      v.len = reinterpret_cast<const uint32_t*>(s + pos);
+      pos += uint64_t{n_pts} * 4;
+      if (v.start[0] != 0 || v.start[blocks] != n_pts) {
+        return Status::Corruption(
+            "block frontier arrays do not match posting block count");
+      }
+      for (uint64_t b = 0; b < blocks; ++b) {
+        if (v.start[b] >= v.start[b + 1]) {
+          return Status::Corruption(
+              "block frontier delimiters are not strictly increasing");
+        }
+      }
+    }
+    if (pos != rec.length) {
+      return Status::Corruption("trailing bytes in frontier section");
+    }
+  }
+  return Status::Ok();
+}
+
+// Shared tail of the v5 loaders: builds the InvertedIndex from a parsed
+// region, either materializing every list (eager) or installing zero-copy
+// packed views plus the decoded-block cache (mapped).
+StatusOr<InvertedIndex> BuildIndexFromV5(common::MmapRegion region,
+                                         bool eager,
+                                         MappedLoadOptions options) {
+  V5Parsed p;
+  GRAFT_RETURN_IF_ERROR(ParseV5(region.data(), region.size(), &p));
+
+  InvertedIndex index;
+  std::vector<uint32_t> doc_lengths(p.doc_count);
+  std::memcpy(doc_lengths.data(), p.doc_lengths, p.doc_count * 4);
+  index.SetDocLengths(std::move(doc_lengths), p.total_words);
+
+  std::shared_ptr<BlockCache> cache;
+  uint64_t generation = 0;
+  if (!eager) {
+    cache = options.cache != nullptr
+                ? options.cache
+                : std::make_shared<BlockCache>(options.private_cache_bytes);
+    generation = BlockCache::NextGeneration();
+  }
+
+  uint32_t scratch[kFmtV5BlockSize];
+  for (uint64_t t = 0; t < p.terms.size(); ++t) {
+    const TermId term = index.InternTerm(p.terms[t]);
+    if (term != t) {
+      return Status::Corruption("duplicate term in index file: " +
+                                std::string(p.terms[t]));
+    }
+    const TermMetaV5& m = p.metas[t];
+    PostingList* list = index.mutable_postings(term);
+    if (eager) {
+      const BlockHeaderV5* hs = p.headers + m.block_begin;
+      const uint8_t* payload = p.payload + m.payload_begin;
+      const size_t n = static_cast<size_t>(m.doc_count);
+      std::vector<DocId> docs(n);
+      std::vector<uint32_t> tfs(n);
+      std::vector<uint64_t> starts(n + 1);
+      starts[0] = 0;
+      for (size_t begin = 0, b = 0; begin < n;
+           begin += kFmtV5BlockSize, ++b) {
+        const size_t bn = std::min(kFmtV5BlockSize, n - begin);
+        const BlockHeaderV5& h = hs[b];
+        const uint8_t* pp = payload + h.payload_offset;
+        common::UnpackInts(pp, bn, h.doc_bits, scratch);
+        uint32_t running = b == 0 ? 0 : hs[b - 1].last_doc + 1;
+        for (size_t i = 0; i < bn; ++i) {
+          running += scratch[i] + (i > 0 ? 1 : 0);
+          docs[begin + i] = running;
+        }
+        if (docs[begin + bn - 1] != h.last_doc) {
+          return Status::Corruption(
+              "block payload disagrees with its header last_doc");
+        }
+        pp += common::PackedBytes(bn, h.doc_bits);
+        common::UnpackInts(pp, bn, h.tf_bits, scratch);
+        for (size_t i = 0; i < bn; ++i) {
+          tfs[begin + i] = scratch[i] + 1;
+        }
+        pp += common::PackedBytes(bn, h.tf_bits);
+        common::UnpackInts(pp, bn, h.off_bits, scratch);
+        for (size_t i = 0; i < bn; ++i) {
+          starts[begin + i + 1] = starts[begin + i] + scratch[i];
+        }
+      }
+      if (starts[n] != m.offsets_length) {
+        return Status::Corruption(
+            "packed offset lengths disagree with the offsets blob");
+      }
+      std::vector<uint8_t> encoded(
+          p.offsets + m.offsets_begin,
+          p.offsets + m.offsets_begin + m.offsets_length);
+      list->RestoreFrom(std::move(docs), std::move(tfs), std::move(starts),
+                        std::move(encoded), m.collection_frequency);
+    } else {
+      PackedPostings packed;
+      packed.headers = p.headers + m.block_begin;
+      packed.payload = p.payload + m.payload_begin;
+      packed.offsets = p.offsets + m.offsets_begin;
+      packed.offsets_length = m.offsets_length;
+      packed.doc_count = m.doc_count;
+      packed.generation = generation;
+      packed.term = static_cast<uint32_t>(term);
+      packed.cache = cache.get();
+      list->RestorePacked(packed, m.collection_frequency);
+    }
+    const V5FrontierView& fv = p.frontiers[t];
+    const uint64_t blocks =
+        (m.doc_count + kFmtV5BlockSize - 1) / kFmtV5BlockSize;
+    list->RestoreBlockMax(
+        std::vector<uint32_t>(fv.start, fv.start + blocks + 1),
+        std::vector<uint32_t>(fv.tf, fv.tf + fv.n_pts),
+        std::vector<uint32_t>(fv.len, fv.len + fv.n_pts));
+  }
+  index.set_has_block_max(true);
+  if (!eager) {
+    index.AttachPackedStorage(
+        std::make_shared<common::MmapRegion>(std::move(region)),
+        std::move(cache), generation);
+  }
+  GRAFT_FAILPOINT(g_fp_load_verify);
+  return index;
+}
+
+// Opens `path`, verifies the v5 prologue, and hands off to BuildIndexFromV5.
+StatusOr<InvertedIndex> LoadIndexV5(const std::string& path, bool eager,
+                                    MappedLoadOptions options) {
+  GRAFT_ASSIGN_OR_RETURN(common::MmapRegion region,
+                         common::MmapRegion::Open(path));
+  if (region.size() < 8) {
+    return Status::DataLoss("index file shorter than its magic: " + path);
+  }
+  if (std::memcmp(region.data(), kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
+    return Status::DataLoss("bad magic; not a GRAFT index file: " + path);
+  }
+  if (region.data()[7] != static_cast<uint8_t>(kPackedFormatVersion)) {
+    return Status::VersionMismatch(
+        std::string("not a v5 index (version byte '") +
+        static_cast<char>(region.data()[7]) + "'): " + path);
+  }
+  return BuildIndexFromV5(std::move(region), eager, std::move(options));
+}
+
 }  // namespace
 
 namespace {
 
-Status SaveIndexVersioned(const InvertedIndex& index, const std::string& path,
-                          char version) {
+Status SaveIndexWithBody(const std::function<Status(std::FILE*)>& body,
+                         const std::string& path) {
   // Deterministic temp name: a leftover from a crashed writer is simply
   // overwritten by the next save, so torn temp files never accumulate.
   const std::string tmp_path = path + ".tmp";
-  const Status status = WriteTempAndRename(index, tmp_path, path, version);
+  const Status status = WriteTempAndRename(body, tmp_path, path);
   if (!status.ok()) {
     std::remove(tmp_path.c_str());  // best effort; `path` is untouched
   }
   return status;
+}
+
+Status SaveIndexVersioned(const InvertedIndex& index, const std::string& path,
+                          char version) {
+  if (index.is_packed()) {
+    return Status::FailedPrecondition(
+        "cannot save a mapped (packed) index; eager-load it first: " + path);
+  }
+  return SaveIndexWithBody(
+      [&index, version](std::FILE* f) {
+        return WriteIndexBody(index, f, version);
+      },
+      path);
 }
 
 }  // namespace
@@ -300,6 +1022,15 @@ Status SaveIndex(const InvertedIndex& index, const std::string& path) {
 
 Status SaveIndexV3(const InvertedIndex& index, const std::string& path) {
   return SaveIndexVersioned(index, path, kLegacyFormatVersion);
+}
+
+Status SaveIndexV5(const InvertedIndex& index, const std::string& path) {
+  if (index.is_packed()) {
+    return Status::FailedPrecondition(
+        "cannot save a mapped (packed) index; eager-load it first: " + path);
+  }
+  return SaveIndexWithBody(
+      [&index](std::FILE* f) { return WriteIndexBodyV5(index, f); }, path);
 }
 
 StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
@@ -319,11 +1050,17 @@ StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
   if (std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
     return Status::DataLoss("bad magic; not a GRAFT index file: " + path);
   }
+  if (magic[7] == kPackedFormatVersion) {
+    // v5 is a different shape entirely; the sectioned loader handles it
+    // (eagerly — LoadIndexMapped is the zero-copy entry point).
+    file.reset();
+    return LoadIndexV5(path, /*eager=*/true, MappedLoadOptions{});
+  }
   if (magic[7] != kFormatVersion && magic[7] != kLegacyFormatVersion) {
     return Status::VersionMismatch(
         std::string("unsupported index format version '") + magic[7] +
-        "' (this build reads versions '" + kLegacyFormatVersion + "' and '" +
-        kFormatVersion + "'): " + path);
+        "' (this build reads versions '" + kLegacyFormatVersion + "', '" +
+        kFormatVersion + "' and '" + kPackedFormatVersion + "'): " + path);
   }
   const bool has_block_max_sections = magic[7] == kFormatVersion;
 
@@ -424,6 +1161,31 @@ StatusOr<InvertedIndex> LoadIndex(const std::string& path) {
   index.set_has_block_max(has_block_max_sections);
   GRAFT_FAILPOINT(g_fp_load_verify);
   return index;
+}
+
+StatusOr<InvertedIndex> LoadIndexMapped(const std::string& path,
+                                        MappedLoadOptions options) {
+  GRAFT_FAILPOINT(g_fp_load_open);
+  // Sniff the version byte: v3/v4 files have no packed sections, so a
+  // mapped load of one transparently falls back to the eager path.
+  {
+    FilePtr file(std::fopen(path.c_str(), "rb"));
+    if (file == nullptr) {
+      return Status::IOError("cannot open for read: " + path);
+    }
+    char magic[8];
+    if (std::fread(magic, 1, sizeof(magic), file.get()) != sizeof(magic)) {
+      return Status::DataLoss("index file shorter than its magic: " + path);
+    }
+    if (std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
+      return Status::DataLoss("bad magic; not a GRAFT index file: " + path);
+    }
+    if (magic[7] == kFormatVersion || magic[7] == kLegacyFormatVersion) {
+      file.reset();
+      return LoadIndex(path);
+    }
+  }
+  return LoadIndexV5(path, /*eager=*/false, std::move(options));
 }
 
 }  // namespace graft::index

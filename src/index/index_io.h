@@ -37,10 +37,21 @@
 // index_io.save.{open_tmp,header,term,before_sync,before_rename,
 // before_dirsync} and index_io.load.{open,verify}.
 //
+// v5 (SaveIndexV5) is a different shape entirely — a sectioned, mmap-able
+// layout with delta + fixed-width bit-packed posting blocks (normative
+// spec: docs/index-format.md; constants: index/index_format.h). It keeps
+// BOTH invariants of the older formats: the same tmp+fsync+rename
+// crash-safe protocol, and CRC32C coverage of every byte (prologue by
+// direct comparison, section table and each section by checksum, inter-
+// section padding validated zero), so the exhaustive bit-flip fuzz holds
+// for it too. LoadIndex reads v5 eagerly (materializing the arrays);
+// LoadIndexMapped keeps the file mapped and serves postings zero-copy
+// through a decoded-block cache.
+//
 // LoadIndex is hardened against corrupt or truncated input and reports a
 // distinct failure class per Status code:
-//   * kVersionMismatch — magic matches but the version byte is neither
-//     '3' nor '4' (e.g. an index written by a different build);
+//   * kVersionMismatch — magic matches but the version byte is not '3',
+//     '4' or '5' (e.g. an index written by a different build);
 //   * kDataLoss       — the file ends early (short read, or a declared
 //     array length exceeding the bytes remaining): a torn/truncated file;
 //   * kCorruption     — the bytes are all there but wrong: a section CRC
@@ -52,9 +63,12 @@
 #ifndef GRAFT_INDEX_INDEX_IO_H_
 #define GRAFT_INDEX_INDEX_IO_H_
 
+#include <cstddef>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
+#include "index/block_cache.h"
 #include "index/inverted_index.h"
 
 namespace graft::index {
@@ -63,7 +77,27 @@ Status SaveIndex(const InvertedIndex& index, const std::string& path);
 // Legacy writer: emits the v3 layout (no block-max sections). An index
 // round-tripped through this loads with has_block_max() == false.
 Status SaveIndexV3(const InvertedIndex& index, const std::string& path);
+// Compressed sectioned writer (format version '5'). Requires a
+// materialized index; re-saving a mapped index means eager-loading it
+// first (FailedPrecondition otherwise).
+Status SaveIndexV5(const InvertedIndex& index, const std::string& path);
 StatusOr<InvertedIndex> LoadIndex(const std::string& path);
+
+struct MappedLoadOptions {
+  // Decoded-block cache to charge this index's blocks against. Null gets
+  // the index a private cache of `private_cache_bytes` — sharing one cache
+  // across reload generations is what makes hot reload memory-bounded.
+  std::shared_ptr<BlockCache> cache;
+  size_t private_cache_bytes = size_t{64} << 20;
+};
+
+// Zero-copy load: validates every section checksum up front, then keeps
+// the file mapped and serves postings through the block cache on demand.
+// v3/v4 files (which have no packed sections) fall back to the eager
+// LoadIndex path transparently — callers can always opt in to mapped
+// loading regardless of on-disk version.
+StatusOr<InvertedIndex> LoadIndexMapped(const std::string& path,
+                                        MappedLoadOptions options = {});
 
 }  // namespace graft::index
 

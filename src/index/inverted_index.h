@@ -5,13 +5,16 @@
 #define GRAFT_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mmap_region.h"
 #include "common/status.h"
+#include "index/block_cache.h"
 #include "index/posting_list.h"
 #include "index/types.h"
 
@@ -92,6 +95,26 @@ class InvertedIndex {
   }
   const std::vector<uint32_t>& doc_lengths() const { return doc_lengths_; }
 
+  // ---- Packed (v5 mmap) storage ----
+  // A LoadIndexMapped index owns the mapped file region and shares a
+  // decoded-block cache; its posting lists are zero-copy views keyed by a
+  // process-unique cache generation. A materialized index reports
+  // is_packed() == false and a null cache.
+  bool is_packed() const { return region_ != nullptr; }
+  void AttachPackedStorage(std::shared_ptr<common::MmapRegion> region,
+                           std::shared_ptr<BlockCache> cache,
+                           uint64_t generation) {
+    region_ = std::move(region);
+    cache_ = std::move(cache);
+    cache_generation_ = generation;
+  }
+  const std::shared_ptr<BlockCache>& block_cache() const { return cache_; }
+  // Generation under which this load's blocks are cached; EraseGeneration
+  // with it after a hot-reload swap frees the dead entries immediately.
+  uint64_t cache_generation() const { return cache_generation_; }
+  // True when the packed bytes are a real mmap (false: heap fallback).
+  bool mapped() const { return region_ != nullptr && region_->mapped(); }
+
  private:
   std::unordered_map<std::string, TermId> dictionary_;
   std::vector<std::string> terms_;
@@ -99,6 +122,9 @@ class InvertedIndex {
   std::vector<uint32_t> doc_lengths_;
   uint64_t total_words_ = 0;
   bool has_block_max_ = false;
+  std::shared_ptr<common::MmapRegion> region_;
+  std::shared_ptr<BlockCache> cache_;
+  uint64_t cache_generation_ = 0;
 };
 
 // Incremental index construction. Documents must be added in increasing

@@ -1,10 +1,41 @@
 #include "index/posting_list.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <limits>
 
+#include "common/packed_ints.h"
+
 namespace graft::index {
+
+namespace {
+
+// Thread-local memo of the last few fetched blocks. Tight loops (scoring a
+// run of postings inside one block, gallop refinement) hit the same
+// (list, block, kind) repeatedly; the memo answers those without taking
+// the cache mutex, and the held shared_ptr keeps the block alive so
+// FetchBlock can hand out a raw pointer. Entries are keyed by generation
+// as well as list address, so a reload that reuses a freed list's address
+// can never alias a stale block.
+struct BlockMemoEntry {
+  const void* list = nullptr;
+  uint64_t generation = 0;
+  uint64_t block = 0;
+  BlockKind kind = BlockKind::kDocs;
+  BlockCache::BlockPtr data;
+};
+
+constexpr size_t kMemoSlots = 16;
+
+BlockMemoEntry* MemoSlot(const void* list, size_t block, BlockKind kind) {
+  thread_local std::array<BlockMemoEntry, kMemoSlots> memo;
+  const size_t h = (reinterpret_cast<uintptr_t>(list) >> 4) ^ (block * 2 + 1) ^
+                   (static_cast<size_t>(kind) << 3);
+  return &memo[h % kMemoSlots];
+}
+
+}  // namespace
 
 void PostingList::AddDocument(DocId doc, std::span<const Offset> offsets) {
   assert(!offsets.empty());
@@ -23,6 +54,10 @@ void PostingList::AddDocument(DocId doc, std::span<const Offset> offsets) {
 }
 
 void PostingList::DecodeOffsets(size_t i, std::vector<Offset>* out) const {
+  if (is_packed()) {
+    PackedDecodeOffsets(i, out);
+    return;
+  }
   out->clear();
   const uint32_t tf = tfs_[i];
   out->reserve(tf);
@@ -36,6 +71,9 @@ void PostingList::DecodeOffsets(size_t i, std::vector<Offset>* out) const {
 
 size_t PostingList::GallopTo(size_t from, DocId target,
                              uint64_t* probes) const {
+  if (is_packed()) {
+    return PackedGallopTo(from, target, probes);
+  }
   const size_t n = docs_.size();
   if (from >= n || docs_[from] >= target) {
     if (probes != nullptr && from < n) {
@@ -137,7 +175,7 @@ void PostingList::RestoreBlockMax(std::vector<uint32_t> frontier_start,
   frontier_doc_length_ = std::move(frontier_doc_length);
   assert(frontier_tf_.size() == frontier_doc_length_.size());
   assert(frontier_start_.size() ==
-         (docs_.size() + kBlockSize - 1) / kBlockSize + 1);
+         (doc_count() + kBlockSize - 1) / kBlockSize + 1);
   assert(frontier_start_.front() == 0);
   assert(frontier_start_.back() == frontier_tf_.size());
 }
@@ -153,6 +191,160 @@ void PostingList::RestoreFrom(std::vector<DocId> docs,
   encoded_offsets_ = std::move(encoded_offsets);
   total_positions_ = total_positions;
   assert(offset_start_.size() == docs_.size() + 1);
+}
+
+void PostingList::RestorePacked(const PackedPostings& packed,
+                                uint64_t collection_frequency) {
+  assert(packed.cache != nullptr);
+  assert(docs_.empty());
+  packed_ = packed;
+  total_positions_ = collection_frequency;
+  // Drop the materialized-mode sentinel entry so accidental raw access
+  // trips the asserts instead of reading a phantom empty list.
+  offset_start_.clear();
+}
+
+void PostingList::UnpackBlock(size_t b, BlockKind kind,
+                              DecodedBlock* out) const {
+  const BlockHeaderV5& h = packed_.headers[b];
+  const size_t begin = b * kBlockSize;
+  const size_t n =
+      std::min<size_t>(kBlockSize, packed_.doc_count - begin);
+  out->count = static_cast<uint32_t>(n);
+  const uint8_t* p = packed_.payload + h.payload_offset;
+  // Doc gaps -> absolute ids. gap_0 is relative to the previous block's
+  // last_doc + 1 (0 for the first block); later gaps store doc_i -
+  // doc_{i-1} - 1 since ids are strictly increasing.
+  common::UnpackInts(p, n, h.doc_bits, out->docs);
+  uint32_t running = b == 0 ? 0 : packed_.headers[b - 1].last_doc + 1;
+  for (size_t i = 0; i < n; ++i) {
+    running += out->docs[i] + (i > 0 ? 1 : 0);
+    out->docs[i] = running;
+  }
+  if (kind == BlockKind::kDocs) {
+    return;
+  }
+  p += common::PackedBytes(n, h.doc_bits);
+  common::UnpackInts(p, n, h.tf_bits, out->tfs);
+  for (size_t i = 0; i < n; ++i) {
+    ++out->tfs[i];  // stored as tf - 1
+  }
+  p += common::PackedBytes(n, h.tf_bits);
+  // Per-doc position-varint byte lengths, prefix-summed into offsets
+  // (relative to the term's offsets base) with one delimiting entry.
+  uint32_t lens[kFmtV5BlockSize];
+  common::UnpackInts(p, n, h.off_bits, lens);
+  out->off_start[0] = h.offsets_base;
+  for (size_t i = 0; i < n; ++i) {
+    out->off_start[i + 1] = out->off_start[i] + lens[i];
+  }
+}
+
+const DecodedBlock* PostingList::FetchBlock(size_t b, BlockKind kind) const {
+  BlockMemoEntry* slot = MemoSlot(this, b, kind);
+  if (slot->list == this && slot->generation == packed_.generation &&
+      slot->block == b && slot->kind == kind && slot->data != nullptr) {
+    return slot->data.get();
+  }
+  BlockCache::BlockPtr ptr =
+      packed_.cache->Lookup(packed_.generation, packed_.term,
+                            static_cast<uint32_t>(b), kind);
+  if (ptr == nullptr) {
+    auto decoded = std::make_shared<DecodedBlock>();
+    UnpackBlock(b, kind, decoded.get());
+    ptr = std::move(decoded);
+    packed_.cache->Insert(packed_.generation, packed_.term,
+                          static_cast<uint32_t>(b), kind, ptr);
+  }
+  slot->list = this;
+  slot->generation = packed_.generation;
+  slot->block = b;
+  slot->kind = kind;
+  slot->data = std::move(ptr);
+  return slot->data.get();
+}
+
+DocId PostingList::PackedDocAt(size_t i) const {
+  const size_t b = i / kBlockSize;
+  return FetchBlock(b, BlockKind::kDocs)->docs[i - b * kBlockSize];
+}
+
+uint32_t PostingList::PackedTfAt(size_t i) const {
+  const size_t b = i / kBlockSize;
+  return FetchBlock(b, BlockKind::kFull)->tfs[i - b * kBlockSize];
+}
+
+void PostingList::PackedDecodeOffsets(size_t i,
+                                      std::vector<Offset>* out) const {
+  const size_t b = i / kBlockSize;
+  const DecodedBlock* block = FetchBlock(b, BlockKind::kFull);
+  const size_t j = i - b * kBlockSize;
+  out->clear();
+  const uint32_t tf = block->tfs[j];
+  out->reserve(tf);
+  const uint8_t* p = packed_.offsets + block->off_start[j];
+  Offset running = 0;
+  for (uint32_t k = 0; k < tf; ++k) {
+    running += GetVarint32(&p);
+    out->push_back(running);
+  }
+}
+
+size_t PostingList::PackedGallopTo(size_t from, DocId target,
+                                   uint64_t* probes) const {
+  const size_t n = packed_.doc_count;
+  if (from >= n) {
+    return from;
+  }
+  uint64_t local_probes = 1;  // the doc_at(from) >= target check
+  const size_t from_block = from / kBlockSize;
+  if (FetchBlock(from_block, BlockKind::kDocs)
+          ->docs[from - from_block * kBlockSize] >= target) {
+    if (probes != nullptr) {
+      *probes += local_probes;
+    }
+    return from;
+  }
+  // Block-level binary search over the header last_doc array (no payload
+  // touched): first block whose last_doc can contain `target`.
+  const size_t num_blocks = (n + kBlockSize - 1) / kBlockSize;
+  size_t left = from_block;
+  size_t right = num_blocks;
+  while (left < right) {
+    ++local_probes;
+    const size_t mid = left + (right - left) / 2;
+    if (packed_.headers[mid].last_doc < target) {
+      left = mid + 1;
+    } else {
+      right = mid;
+    }
+  }
+  if (left == num_blocks) {
+    if (probes != nullptr) {
+      *probes += local_probes;
+    }
+    return n;
+  }
+  // In-block binary search over the decoded doc-id column.
+  const DecodedBlock* block = FetchBlock(left, BlockKind::kDocs);
+  const size_t base = left * kBlockSize;
+  size_t lo = left == from_block ? from - base + 1 : 0;
+  size_t hi = block->count;
+  while (lo < hi) {
+    ++local_probes;
+    const size_t mid = lo + (hi - lo) / 2;
+    if (block->docs[mid] < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (probes != nullptr) {
+    *probes += local_probes;
+  }
+  // The block-level search guarantees a hit inside this block.
+  assert(base + lo < n);
+  return base + lo;
 }
 
 }  // namespace graft::index

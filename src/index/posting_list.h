@@ -18,20 +18,54 @@
 //
 // Document-level skipping (SkipTo) uses galloping search over the document
 // array; this is the skip-pointer / zig-zag-join primitive of Section 5.2.1.
+//
+// Storage comes in TWO modes:
+//
+//   * materialized (the default): docs/tfs are in-heap arrays, positions
+//     are an in-heap varint blob — what IndexBuilder produces and what v3/
+//     v4/eager-v5 loads restore;
+//   * packed (v5 mmap loads): nothing is materialized. The list holds
+//     zero-copy pointers into the mapped index file (fixed-width block
+//     headers, bit-packed 128-entry payload blocks, the position-varint
+//     blob) and every accessor decodes blocks on demand through the
+//     generation-keyed BlockCache (index/block_cache.h). Doc-id-only reads
+//     (GallopTo, doc_at) fetch docs-granularity blocks; tf_at and
+//     DecodeOffsets fetch full blocks — so block-max pruning can align on
+//     block boundaries without ever unpacking the score payload of a
+//     skipped block. Decoded values are bit-identical to the materialized
+//     arrays (the differential fuzzer's v5 variant enforces this), only
+//     access cost differs.
 
 #ifndef GRAFT_INDEX_POSTING_LIST_H_
 #define GRAFT_INDEX_POSTING_LIST_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "index/block_cache.h"
+#include "index/index_format.h"
 #include "index/types.h"
 #include "index/varint.h"
 
 namespace graft::index {
+
+// Zero-copy backing views of one term's packed (v5) posting data. The
+// pointed-to bytes belong to the owning index's MmapRegion; the cache
+// pointer is non-owning too (the index keeps both alive).
+struct PackedPostings {
+  const BlockHeaderV5* headers = nullptr;  // ceil(doc_count / 128) entries
+  const uint8_t* payload = nullptr;        // term's packed-column base
+  const uint8_t* offsets = nullptr;        // term's position-varint base
+  uint64_t offsets_length = 0;
+  uint64_t doc_count = 0;
+  uint64_t generation = 0;  // BlockCache key namespace for this load
+  uint32_t term = 0;
+  BlockCache* cache = nullptr;  // null <=> the list is not packed
+};
 
 class PostingList {
  public:
@@ -56,15 +90,33 @@ class PostingList {
   // strictly increasing doc order; offsets must be strictly increasing.
   void AddDocument(DocId doc, std::span<const Offset> offsets);
 
-  size_t doc_count() const { return docs_.size(); }
+  size_t doc_count() const {
+    return is_packed() ? packed_.doc_count : docs_.size();
+  }
   // Total occurrences across all documents (collection frequency).
   uint64_t collection_frequency() const { return total_positions_; }
 
-  std::span<const DocId> docs() const { return docs_; }
-  std::span<const uint32_t> tfs() const { return tfs_; }
+  // True when the list is a zero-copy view over a v5 mmap load; accessors
+  // then decode through the BlockCache instead of reading in-heap arrays.
+  bool is_packed() const { return packed_.cache != nullptr; }
 
-  DocId doc_at(size_t i) const { return docs_[i]; }
-  uint32_t tf_at(size_t i) const { return tfs_[i]; }
+  // Whole-array spans exist only in materialized mode (baselines that want
+  // them on a packed index must walk via doc_at/GallopTo instead).
+  std::span<const DocId> docs() const {
+    assert(!is_packed());
+    return docs_;
+  }
+  std::span<const uint32_t> tfs() const {
+    assert(!is_packed());
+    return tfs_;
+  }
+
+  DocId doc_at(size_t i) const {
+    return is_packed() ? PackedDocAt(i) : docs_[i];
+  }
+  uint32_t tf_at(size_t i) const {
+    return is_packed() ? PackedTfAt(i) : tfs_[i];
+  }
 
   // Decodes doc i's positions into `out` (cleared first). The decode cost
   // is the point: position access is not free.
@@ -122,21 +174,32 @@ class PostingList {
   // Posting-index range [begin, end) covered by `block`.
   size_t block_begin(size_t block) const { return block * kBlockSize; }
   size_t block_end(size_t block) const {
-    return std::min(docs_.size(), (block + 1) * kBlockSize);
+    return std::min(doc_count(), (block + 1) * kBlockSize);
   }
   // Last (largest) document id in `block` — the skip target when the
-  // block's ceiling cannot reach the heap threshold.
+  // block's ceiling cannot reach the heap threshold. Packed lists answer
+  // from the block header, so skipping a block never decodes it.
   DocId block_last_doc(size_t block) const {
-    return docs_[block_end(block) - 1];
+    return is_packed() ? packed_.headers[block].last_doc
+                       : docs_[block_end(block) - 1];
   }
 
-  // Serialization hooks used by index_io.
-  const std::vector<DocId>& raw_docs() const { return docs_; }
-  const std::vector<uint32_t>& raw_tfs() const { return tfs_; }
+  // Serialization hooks used by index_io (materialized lists only; a
+  // packed list re-saves by round-tripping through an eager load).
+  const std::vector<DocId>& raw_docs() const {
+    assert(!is_packed());
+    return docs_;
+  }
+  const std::vector<uint32_t>& raw_tfs() const {
+    assert(!is_packed());
+    return tfs_;
+  }
   const std::vector<uint64_t>& raw_offset_starts() const {
+    assert(!is_packed());
     return offset_start_;
   }
   const std::vector<uint8_t>& raw_encoded_offsets() const {
+    assert(!is_packed());
     return encoded_offsets_;
   }
   const std::vector<uint32_t>& raw_frontier_start() const {
@@ -152,8 +215,24 @@ class PostingList {
                    std::vector<uint64_t> offset_starts,
                    std::vector<uint8_t> encoded_offsets,
                    uint64_t total_positions);
+  // Turns the list into a packed view (v5 mmap load). Mutators and raw
+  // array hooks must not be called afterwards.
+  void RestorePacked(const PackedPostings& packed,
+                     uint64_t collection_frequency);
 
  private:
+  // Decodes block `b` at the requested granularity, through the cache.
+  // The returned pointer stays valid until the list's next accessor call
+  // on this thread (a thread-local memo pins it).
+  const DecodedBlock* FetchBlock(size_t b, BlockKind kind) const;
+  DocId PackedDocAt(size_t i) const;
+  uint32_t PackedTfAt(size_t i) const;
+  void PackedDecodeOffsets(size_t i, std::vector<Offset>* out) const;
+  size_t PackedGallopTo(size_t from, DocId target, uint64_t* probes) const;
+  // Bit-unpacks block `b` from the mapped payload bytes (cache miss path).
+  void UnpackBlock(size_t b, BlockKind kind, DecodedBlock* out) const;
+
+  PackedPostings packed_;
   std::vector<DocId> docs_;
   std::vector<uint32_t> tfs_;
   // offset_start_[i] is the byte offset into encoded_offsets_ of doc i's

@@ -9,6 +9,7 @@
 
 #include "common/failpoint.h"
 #include "core/rewrite_rules.h"
+#include "index/block_cache.h"
 #include "server/pinned_stats.h"
 
 namespace graft::server {
@@ -91,7 +92,13 @@ void AppendFullExecJson(std::string* out, const exec::ExecStats& s) {
           ",\"topk_random_accesses\":" +
           std::to_string(s.topk_random_accesses) +
           ",\"topk_bound_refinements\":" +
-          std::to_string(s.topk_bound_refinements) + "}";
+          std::to_string(s.topk_bound_refinements) +
+          ",\"block_cache_hits\":" + std::to_string(s.block_cache_hits) +
+          ",\"block_cache_misses\":" + std::to_string(s.block_cache_misses) +
+          ",\"block_cache_evictions\":" +
+          std::to_string(s.block_cache_evictions) +
+          ",\"packed_payload_decodes\":" +
+          std::to_string(s.packed_payload_decodes) + "}";
 }
 
 // "explain":{...} block: pinned generation, rewrite table, counters, trace.
@@ -185,7 +192,12 @@ SearchService::SearchService(const core::Engine* engine,
       // no-op. Reload would drop that guarantee, hence reloadable_ = false.
       engine_(std::shared_ptr<const core::Engine>(engine,
                                                   [](const core::Engine*) {})),
-      reloadable_(false) {}
+      reloadable_(false) {
+  // A packed (mmap-loaded) index brings its own decoded-block cache; adopt
+  // it so /stats and /metrics can report on it. Set once here, never
+  // reassigned — handlers read block_cache_ without a lock.
+  block_cache_ = engine->index().block_cache();
+}
 
 SearchService::SearchService(std::shared_ptr<const core::EngineBundle> bundle,
                              ServiceOptions options)
@@ -195,7 +207,19 @@ SearchService::SearchService(std::shared_ptr<const core::EngineBundle> bundle,
       // in-flight request lets go.
       engine_(std::shared_ptr<const core::Engine>(bundle,
                                                   bundle->engine.get())),
-      reloadable_(!options_.index_path.empty()) {}
+      reloadable_(!options_.index_path.empty()) {
+  // One decoded-block cache for the service's whole lifetime: adopt the
+  // initial bundle's cache when it was mmap-loaded, otherwise create one
+  // up front when mmap reloads are configured. Set once here, never
+  // reassigned — handlers read block_cache_ without a lock; Reload() feeds
+  // the same cache to every future generation.
+  if (bundle->index != nullptr && bundle->index->block_cache() != nullptr) {
+    block_cache_ = bundle->index->block_cache();
+  } else if (options_.mmap_index) {
+    block_cache_ =
+        std::make_shared<index::BlockCache>(options_.block_cache_bytes);
+  }
+}
 
 SearchService::~SearchService() { Shutdown(); }
 
@@ -244,8 +268,12 @@ Status SearchService::Reload() {
     stats_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
     return status;
   };
+  core::BundleLoadOptions load;
+  load.mmap_index = options_.mmap_index;
+  load.block_cache = block_cache_;  // shared across generations (may be null)
+  load.block_cache_bytes = options_.block_cache_bytes;
   StatusOr<core::EngineBundle> loaded = core::LoadEngineBundle(
-      options_.index_path, options_.segments, options_.engine_threads);
+      options_.index_path, options_.segments, options_.engine_threads, load);
   if (!loaded.ok()) return fail(loaded.status());
 #ifdef GRAFT_FAILPOINTS_ENABLED
   {
@@ -256,11 +284,21 @@ Status SearchService::Reload() {
   auto bundle =
       std::make_shared<const core::EngineBundle>(std::move(loaded).value());
   std::shared_ptr<const core::Engine> snapshot(bundle, bundle->engine.get());
+  uint64_t old_cache_generation = 0;
   {
     std::lock_guard<std::mutex> engine_lock(engine_mu_);
+    old_cache_generation = engine_->index().cache_generation();
     engine_ = std::move(snapshot);
   }
   generation_.fetch_add(1, std::memory_order_acq_rel);
+  // Drop the replaced generation's decoded blocks from the shared cache:
+  // they can never be looked up again (cache keys carry the generation),
+  // so leaving them in would squat on capacity until LRU pressure evicts
+  // them. In-flight requests still pinning the old engine keep their
+  // blocks alive via shared_ptr — this only removes cache references.
+  if (block_cache_ != nullptr && old_cache_generation != 0) {
+    block_cache_->EraseGeneration(old_cache_generation);
+  }
   degraded_.store(false, std::memory_order_release);
   last_reload_error_.clear();
   stats_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
@@ -431,7 +469,19 @@ Response SearchService::HandleStats() const {
     std::lock_guard<std::mutex> lock(reload_mu_);
     JsonAppendEscaped(&body, last_reload_error_);
   }
-  body += "\"}";
+  body += "\"";
+  if (block_cache_ != nullptr) {
+    const index::BlockCache::Snapshot cache = block_cache_->snapshot();
+    body += ",\"block_cache\":{\"hits\":" + std::to_string(cache.hits) +
+            ",\"misses\":" + std::to_string(cache.misses) +
+            ",\"evictions\":" + std::to_string(cache.evictions) +
+            ",\"inserts\":" + std::to_string(cache.inserts) +
+            ",\"payload_decodes\":" + std::to_string(cache.payload_decodes) +
+            ",\"bytes\":" + std::to_string(cache.bytes) +
+            ",\"capacity_bytes\":" + std::to_string(cache.capacity_bytes) +
+            ",\"entries\":" + std::to_string(cache.entries) + "}";
+  }
+  body += "}";
   response.body = std::move(body);
   return response;
 }
@@ -455,6 +505,42 @@ Response SearchService::HandleMetrics() const {
   body += "# TYPE graft_uptime_seconds gauge\n";
   body += "graft_uptime_seconds " +
           std::to_string(MicrosSince(started_at_) / 1000000) + "\n";
+  if (block_cache_ != nullptr) {
+    const index::BlockCache::Snapshot cache = block_cache_->snapshot();
+    const struct {
+      const char* name;
+      const char* help;
+      const char* type;
+      uint64_t value;
+    } rows[] = {
+        {"graft_block_cache_hits_total",
+         "Decoded-block cache lookups served from cache.", "counter",
+         cache.hits},
+        {"graft_block_cache_misses_total",
+         "Decoded-block cache lookups that decoded from the mapped file.",
+         "counter", cache.misses},
+        {"graft_block_cache_evictions_total",
+         "Decoded blocks evicted by LRU capacity pressure.", "counter",
+         cache.evictions},
+        {"graft_block_cache_inserts_total",
+         "Decoded blocks inserted into the cache.", "counter", cache.inserts},
+        {"graft_block_cache_payload_decodes_total",
+         "Full-payload (docs+tfs+offsets) block decodes.", "counter",
+         cache.payload_decodes},
+        {"graft_block_cache_bytes", "Resident decoded bytes in the cache.",
+         "gauge", cache.bytes},
+        {"graft_block_cache_capacity_bytes",
+         "Configured decoded-block cache capacity.", "gauge",
+         cache.capacity_bytes},
+        {"graft_block_cache_entries", "Decoded blocks resident in the cache.",
+         "gauge", cache.entries},
+    };
+    for (const auto& row : rows) {
+      body += std::string("# HELP ") + row.name + " " + row.help + "\n";
+      body += std::string("# TYPE ") + row.name + " " + row.type + "\n";
+      body += std::string(row.name) + " " + std::to_string(row.value) + "\n";
+    }
+  }
   response.body = std::move(body);
   return response;
 }

@@ -104,6 +104,11 @@ struct ServiceOptions {
   std::string index_path;
   size_t segments = 1;        // reload partitioning (LoadEngineBundle arg)
   size_t engine_threads = 0;  // reload engine pool workers
+  // Map the index (v5) instead of materializing it on load and reload.
+  // The service keeps one BlockCache of block_cache_bytes across all
+  // reload generations (old generations are erased from it on swap).
+  bool mmap_index = false;
+  size_t block_cache_bytes = size_t{64} << 20;
   // Slow-query log: a /search whose total latency (queued + handled)
   // reaches this many milliseconds is logged to stderr with its query,
   // scheme, and measured operator counters, and counted in
@@ -211,6 +216,12 @@ class SearchService {
   mutable std::mutex reload_mu_;    // serializes Reload(); guards the below
   std::string last_reload_error_;   // empty unless degraded
   const bool reloadable_;           // owning ctor + non-empty index_path
+
+  // Shared decoded-block cache for mmap_index mode: one cache across all
+  // reload generations (created lazily on the first mapped load), so the
+  // decoded working set stays bounded through hot reloads. Also the /stats
+  // + /metrics source for cache counters.
+  std::shared_ptr<index::BlockCache> block_cache_;
 
   std::atomic<uint64_t> generation_{1};
   std::atomic<bool> degraded_{false};

@@ -1,0 +1,121 @@
+// Property tests for the fixed-width bit-packing codec under the v5
+// posting blocks: for EVERY width in [0, 32], pack ∘ unpack must be the
+// identity on values that fit the width, at every run length a posting
+// block can have (1..128) — the codec is beneath every v5 score, so a
+// single wrong bit here breaks GRAFT's score-consistency guarantee
+// end-to-end.
+
+#include "common/packed_ints.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace graft::common {
+namespace {
+
+// Largest value representable at `bits` (0 at width 0).
+uint32_t MaxAt(unsigned bits) {
+  if (bits == 0) return 0;
+  if (bits >= 32) return ~uint32_t{0};
+  return (uint32_t{1} << bits) - 1;
+}
+
+TEST(PackedIntsTest, PackedBytesAndBitsForAgree) {
+  EXPECT_EQ(PackedBytes(128, 0), 0u);
+  EXPECT_EQ(PackedBytes(128, 1), 16u);
+  EXPECT_EQ(PackedBytes(128, 32), 512u);
+  EXPECT_EQ(PackedBytes(3, 5), 2u);  // 15 bits -> 2 bytes
+  EXPECT_EQ(BitsFor(0), 0u);
+  EXPECT_EQ(BitsFor(1), 1u);
+  EXPECT_EQ(BitsFor(2), 2u);
+  EXPECT_EQ(BitsFor(255), 8u);
+  EXPECT_EQ(BitsFor(256), 9u);
+  EXPECT_EQ(BitsFor(~uint32_t{0}), 32u);
+  // BitsFor's result always round-trips its own argument.
+  for (const uint32_t v : {0u, 1u, 7u, 100u, 65535u, 1u << 30, ~0u}) {
+    EXPECT_LE(v, MaxAt(BitsFor(v))) << v;
+  }
+}
+
+TEST(PackedIntsTest, RoundTripEveryWidthRandomValues) {
+  Rng rng(0x5eed);
+  for (unsigned bits = 0; bits <= 32; ++bits) {
+    const uint32_t max = MaxAt(bits);
+    for (const size_t n : {size_t{1}, size_t{2}, size_t{7}, size_t{63},
+                           size_t{127}, size_t{128}}) {
+      std::vector<uint32_t> values(n);
+      for (uint32_t& v : values) {
+        v = bits == 0 ? 0
+            : bits >= 32
+                ? static_cast<uint32_t>(rng.NextUint64())
+                : static_cast<uint32_t>(rng.NextUint64()) & max;
+      }
+      // Boundary values exercise the accumulator refill the hardest.
+      values[0] = max;
+      if (n > 1) values[n - 1] = max;
+
+      std::vector<uint8_t> packed(PackedBytes(n, bits) + 8, 0xAB);
+      PackInts(values.data(), n, bits, packed.data());
+      // The pack wrote exactly PackedBytes — the sentinel tail is intact.
+      for (size_t i = PackedBytes(n, bits); i < packed.size(); ++i) {
+        ASSERT_EQ(packed[i], 0xAB) << "bits=" << bits << " n=" << n
+                                   << " overwrote byte " << i;
+      }
+
+      std::vector<uint32_t> decoded(n, 0xDEADBEEF);
+      UnpackInts(packed.data(), n, bits, decoded.data());
+      ASSERT_EQ(decoded, values) << "bits=" << bits << " n=" << n;
+    }
+  }
+}
+
+TEST(PackedIntsTest, WidthZeroStoresNothingDecodesZeros) {
+  const uint32_t zeros[4] = {0, 0, 0, 0};
+  uint8_t out[1] = {0x77};
+  PackInts(zeros, 4, 0, out);
+  EXPECT_EQ(out[0], 0x77);  // nothing written
+  uint32_t decoded[4] = {1, 2, 3, 4};
+  UnpackInts(out, 4, 0, decoded);
+  for (const uint32_t v : decoded) EXPECT_EQ(v, 0u);
+}
+
+TEST(PackedIntsTest, KnownBitLayoutLittleEndian) {
+  // Two 12-bit values 0xABC, 0x123: the bit stream is value0 in bits
+  // [0,12), value1 in bits [12,24) -> bytes BC 3A 12.
+  const uint32_t values[2] = {0xABC, 0x123};
+  uint8_t packed[3] = {};
+  PackInts(values, 2, 12, packed);
+  EXPECT_EQ(packed[0], 0xBC);
+  EXPECT_EQ(packed[1], 0x3A);
+  EXPECT_EQ(packed[2], 0x12);
+  uint32_t decoded[2] = {};
+  UnpackInts(packed, 2, 12, decoded);
+  EXPECT_EQ(decoded[0], 0xABCu);
+  EXPECT_EQ(decoded[1], 0x123u);
+}
+
+TEST(PackedIntsTest, AdversarialPatternsFullBlock) {
+  // Alternating extremes at every width over a full 128-entry block:
+  // max,0,max,0,... stresses carry-over across the 64-bit accumulator at
+  // widths that don't divide 64.
+  for (unsigned bits = 1; bits <= 32; ++bits) {
+    const uint32_t max = MaxAt(bits);
+    std::vector<uint32_t> values(128);
+    for (size_t i = 0; i < values.size(); ++i) {
+      values[i] = (i % 2 == 0) ? max : 0;
+    }
+    std::vector<uint8_t> packed(PackedBytes(values.size(), bits), 0);
+    PackInts(values.data(), values.size(), bits, packed.data());
+    std::vector<uint32_t> decoded(values.size());
+    UnpackInts(packed.data(), decoded.size(), bits, decoded.data());
+    ASSERT_EQ(decoded, values) << "bits=" << bits;
+  }
+}
+
+}  // namespace
+}  // namespace graft::common

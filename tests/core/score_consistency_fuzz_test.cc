@@ -12,6 +12,11 @@
 //             rank-join/rank-union engine fires where the gate admits it —
 //             and the block-max PRUNED operator fires where its stricter
 //             gate passes too), checked against the base ranking's prefix;
+//   v5        the same corpus saved as a v5 (bit-packed, mmap-loaded)
+//             index: full ranking and top-k through the packed decode
+//             path, bit-identical to the materialized index's results —
+//             the codec sits inside the score path, so this is the
+//             configuration that catches a compression bug;
 //   topk-unpruned  the same top-k with allow_block_max_pruning = false:
 //             the pruned and unpruned top-k must both be bit-identical to
 //             the full ranking's prefix. The fuzzer additionally asserts
@@ -48,6 +53,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -69,6 +76,7 @@
 #include "exec/nra_topk.h"
 #include "exec/rank_join.h"
 #include "exec/threshold_topk.h"
+#include "index/index_io.h"
 #include "index/segmented_index.h"
 #include "ma/plan.h"
 #include "router/scatter_gather.h"
@@ -162,6 +170,29 @@ const index::SegmentedIndex& FuzzSegments() {
 
 const Engine& MonoEngine() {
   static const Engine engine(&FuzzIndex());
+  return engine;
+}
+
+// The SAME fuzz corpus through a v5 save + mmap load: postings stay
+// bit-packed on disk and decode through the block cache. Every score must
+// be bit-identical to the materialized index's — the v5 codec is inside
+// the score path, so this is where a codec bug would surface.
+const index::InvertedIndex& PackedFuzzIndex() {
+  static const index::InvertedIndex& index = *[] {
+    const std::string path = ::testing::TempDir() + "/graft_fuzz_v5_" +
+                             std::to_string(::getpid()) + ".idx";
+    if (!index::SaveIndexV5(FuzzIndex(), path).ok()) std::abort();
+    auto loaded = index::LoadIndexMapped(path);
+    if (!loaded.ok()) std::abort();
+    auto* out = new index::InvertedIndex(std::move(*loaded));
+    if (!out->is_packed()) std::abort();
+    return out;
+  }();
+  return index;
+}
+
+const Engine& PackedEngine() {
+  static const Engine engine(&PackedFuzzIndex());
   return engine;
 }
 
@@ -501,6 +532,17 @@ std::string CheckQuery(const mcalc::Query& query,
     return diff;
   }
 
+  // v5 configuration: the same optimized plan over the mmap-packed index.
+  // Compression must be invisible in the scores — bit-identical, same as
+  // the segmented claim.
+  auto packed = PackedEngine().SearchQuery(query, scheme, OptimizedOptions());
+  if (!packed.ok()) return "v5 packed failed: " + packed.status().ToString();
+  if (std::string diff =
+          DiffFull(opt_map, packed->results, "v5 packed", /*exact=*/true);
+      !diff.empty()) {
+    return diff;
+  }
+
   constexpr size_t kTopK = 10;
   auto topk = MonoEngine().SearchQuery(query, scheme,
                                        TopKOptions(kTopK, false));
@@ -518,6 +560,21 @@ std::string CheckQuery(const mcalc::Query& query,
   }
   if (std::string diff = DiffTopK(opt->results, opt_map, topk_seg->results,
                                   kTopK, "segmented top-k");
+      !diff.empty()) {
+    return diff;
+  }
+
+  // v5 top-k: rank processing AND block-max pruning run directly against
+  // packed blocks (pruning aligns on v5 block headers). Same bit-identical
+  // prefix contract as every other top-k configuration.
+  auto packed_topk = PackedEngine().SearchQuery(query, scheme,
+                                                TopKOptions(kTopK, false));
+  if (!packed_topk.ok()) {
+    return "v5 packed top-k failed: " + packed_topk.status().ToString();
+  }
+  if (std::string diff = DiffTopK(opt->results, opt_map,
+                                  packed_topk->results, kTopK,
+                                  "v5 packed top-k");
       !diff.empty()) {
     return diff;
   }

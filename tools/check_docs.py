@@ -13,6 +13,10 @@ Fails (exit 1) when the reference pages under docs/ fall behind the code:
   * likewise for the router: every "graft_..." metric name in
     src/router/router_service.cc and every flag graft_router parses must
     appear in docs/distributed.md;
+  * docs/index-format.md (the normative on-disk spec) must agree with
+    src/index/index_format.h: every kFmt* constant's value, every
+    FmtV5Section enum entry at its index, both struct sizes asserted by
+    static_assert, and every on-disk struct field name;
   * every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md
     and docs/*.md must resolve to an existing file.
 
@@ -104,7 +108,74 @@ def check_flags(ops_text, flags, page="docs/operations.md", binary="graft_server
     ]
 
 
-# ---- check 4: relative markdown links resolve ----------------------------
+# ---- check 4: index-format spec mirrors index_format.h -------------------
+
+FORMAT_HEADER = "src/index/index_format.h"
+FORMAT_DOC = "docs/index-format.md"
+
+
+def format_facts(header_text):
+    """Extract the layout facts the spec page must quote verbatim."""
+    facts = {
+        # ('kFmtVersionV3', '3') ...
+        "versions": re.findall(
+            r"(kFmtVersionV\d)\s*=\s*'(\d)'", header_text
+        ),
+        # ('kFmtV5SectionCount', '7'), ('kFmtV5BlockSize', '128')
+        "numeric": re.findall(
+            r"(kFmtV5SectionCount|kFmtV5BlockSize)\s*=\s*(\d+)", header_text
+        ),
+        # ('BlockHeaderV5', '16'), ('TermMetaV5', '48')
+        "sizes": re.findall(
+            r"static_assert\(sizeof\((\w+)\)\s*==\s*(\d+)", header_text
+        ),
+        "sections": [],
+        "fields": [],
+    }
+    enum = re.search(r"enum class FmtV5Section[^{]*\{(.*?)\}", header_text,
+                     re.DOTALL)
+    if enum:
+        facts["sections"] = re.findall(r"(k\w+)\s*=\s*(\d+)", enum.group(1))
+    for struct in re.finditer(r"struct (\w+V5)\s*\{(.*?)\};", header_text,
+                              re.DOTALL):
+        for field in re.findall(r"^\s*u?int\d+_t\s+(\w+)\s*;",
+                                struct.group(2), re.MULTILINE):
+            facts["fields"].append((struct.group(1), field))
+    return facts
+
+
+def check_format_spec(spec_text, facts):
+    errors = []
+    doc = FORMAT_DOC
+    if "GRFTIDX" not in spec_text:
+        errors.append(f"{doc} does not state the magic string GRFTIDX")
+    for name, char in facts["versions"]:
+        if f"`{name}` | `'{char}'`" not in spec_text:
+            errors.append(
+                f"{doc} does not list {name} = '{char}' in the version table"
+            )
+    for name, value in facts["numeric"]:
+        if f"`{name}` | {value}" not in spec_text:
+            errors.append(f"{doc} does not list {name} = {value}")
+    for name, size in facts["sizes"]:
+        if f"`{name}` | {size} bytes" not in spec_text:
+            errors.append(
+                f"{doc} does not state sizeof({name}) == {size} bytes"
+            )
+    for name, index in facts["sections"]:
+        if f"| {index} | `{name}` |" not in spec_text:
+            errors.append(
+                f"{doc} does not document section {name} at index {index}"
+            )
+    for struct, field in facts["fields"]:
+        if f"`{field}`" not in spec_text:
+            errors.append(
+                f"{doc} does not document {struct} field {field}"
+            )
+    return errors
+
+
+# ---- check 5: relative markdown links resolve ----------------------------
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
@@ -154,6 +225,7 @@ def run_checks():
         page="docs/distributed.md",
         binary="graft_router",
     )
+    errors += check_format_spec(read(FORMAT_DOC), format_facts(read(FORMAT_HEADER)))
     for doc in docs_to_link_check():
         errors += check_links(doc, read(doc))
     return errors
@@ -213,6 +285,28 @@ def self_test():
         dist, router_flags, page="docs/distributed.md", binary="graft_router"
     ):
         failures.append("router flags check fails on the real docs")
+
+    spec = read(FORMAT_DOC)
+    facts = format_facts(read(FORMAT_HEADER))
+    if ("kFmtV5BlockSize", "128") not in facts["numeric"]:
+        failures.append("format fact extraction lost kFmtV5BlockSize = 128")
+    if ("BlockHeaderV5", "16") not in facts["sizes"]:
+        failures.append("format fact extraction lost sizeof(BlockHeaderV5)")
+    if ("kPayload", "4") not in facts["sections"]:
+        failures.append("format fact extraction lost section kPayload = 4")
+    if ("BlockHeaderV5", "last_doc") not in facts["fields"]:
+        failures.append("format fact extraction lost BlockHeaderV5.last_doc")
+    mutated = spec.replace("`kFmtV5BlockSize` | 128", "`kFmtV5BlockSize` | 256")
+    if not check_format_spec(mutated, facts):
+        failures.append("format check missed a wrong kFmtV5BlockSize value")
+    mutated = spec.replace("| 4 | `kPayload` |", "| 4 | `kRenamed` |")
+    if not check_format_spec(mutated, facts):
+        failures.append("format check missed a renamed section row")
+    mutated = spec.replace("`last_doc`", "`renamed_doc`")
+    if not check_format_spec(mutated, facts):
+        failures.append("format check missed a removed struct field")
+    if check_format_spec(spec, facts):
+        failures.append("format check fails on the real docs")
 
     broken = "see [the docs](docs/definitely-not-a-real-file.md) for more"
     if not check_links("README.md", broken):

@@ -3,6 +3,7 @@
 //   graft_server --index FILE [--port N] [--segments N] [--threads N]
 //                [--max-inflight N] [--deadline-ms N] [--default-k N]
 //                [--slow-query-ms N] [--trace-ring N]
+//                [--mmap-index] [--block-cache-mb N]
 //
 //   --index FILE      index built with `graft_cli index` (required)
 //   --port N          listen port on 127.0.0.1 (default 8080; 0 = ephemeral,
@@ -19,6 +20,13 @@
 //   --trace-ring N    keep the last N query traces in the in-process ring
 //                     (common::Tracer) for post-hoc debugging (default 0 =
 //                     tracing gated off, one relaxed atomic per query)
+//   --mmap-index      map a v5 index instead of materializing it: postings
+//                     stay on disk and decode on demand through a metered
+//                     block cache (reported on /stats + /metrics). v3/v4
+//                     files fall back to the eager load. Hot reloads share
+//                     one cache across generations.
+//   --block-cache-mb N  decoded-block cache capacity for --mmap-index,
+//                     in MiB (default 64)
 //
 // Endpoints:
 //   GET /search?q=...&scheme=MeanSum&k=10[&threads=N][&segments=N]
@@ -60,7 +68,8 @@ int Usage() {
       "usage: graft_server --index FILE [--port N] [--segments N]\n"
       "                    [--threads N] [--max-inflight N]\n"
       "                    [--deadline-ms N] [--default-k N]\n"
-      "                    [--slow-query-ms N] [--trace-ring N]\n");
+      "                    [--slow-query-ms N] [--trace-ring N]\n"
+      "                    [--mmap-index] [--block-cache-mb N]\n");
   return 2;
 }
 
@@ -90,6 +99,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--mmap-index") {  // value-less flag
+      options.mmap_index = true;
+      continue;
+    }
     if (i + 1 >= argc) return Usage();
     const std::string value = argv[++i];
     if (arg == "--index") {
@@ -116,6 +129,12 @@ int main(int argc, char** argv) {
       options.default_top_k = *parsed;
     } else if (arg == "--slow-query-ms") {
       options.slow_query_ms = *parsed;
+    } else if (arg == "--block-cache-mb") {
+      if (*parsed == 0 || *parsed > (size_t{1} << 24)) {
+        return Fail(graft::Status::InvalidArgument(
+            "--block-cache-mb must be in [1, 2^24]"));
+      }
+      options.block_cache_bytes = *parsed << 20;
     } else if (arg == "--trace-ring") {
       if (*parsed > 0) {
         graft::common::Tracer::Global().Enable(*parsed);
@@ -144,17 +163,22 @@ int main(int argc, char** argv) {
     return Fail(graft::Status::Internal("pthread_sigmask failed"));
   }
 
-  auto loaded = graft::core::LoadEngineBundle(index_path, segments, threads);
+  graft::core::BundleLoadOptions load;
+  load.mmap_index = options.mmap_index;
+  load.block_cache_bytes = options.block_cache_bytes;
+  auto loaded =
+      graft::core::LoadEngineBundle(index_path, segments, threads, load);
   if (!loaded.ok()) return Fail(loaded.status());
   auto bundle = std::make_shared<const graft::core::EngineBundle>(
       std::move(loaded).value());
-  std::fprintf(stderr, "loaded %s: %llu docs, %zu terms, %zu segment(s)\n",
+  std::fprintf(stderr, "loaded %s: %llu docs, %zu terms, %zu segment(s)%s\n",
                index_path.c_str(),
                static_cast<unsigned long long>(bundle->index->doc_count()),
                bundle->index->term_count(),
                bundle->segmented == nullptr
                    ? size_t{1}
-                   : bundle->segmented->segment_count());
+                   : bundle->segmented->segment_count(),
+               bundle->index->is_packed() ? ", mmap (packed postings)" : "");
 
   graft::server::SearchService service(std::move(bundle), options);
   const graft::Status started = service.Start();
